@@ -1,0 +1,63 @@
+"""Extension bench (§7 'Other Considerations'): DDoS resilience.
+
+Not a numbered figure in the paper, but the paper's secondary argument
+for anycast everywhere: anycast absorbs volumetric attacks [18].  The
+sweep shows zone availability under a uniform attack as unicast NSes are
+converted to anycast.
+"""
+
+import random
+
+from repro.analysis.report import render_table
+from repro.atlas.probes import ProbeGenerator
+from repro.core.planner import sidn_style_designs
+from repro.core.resilience import AttackScenario, ResilienceEvaluator
+
+CLIENTS = 200
+ATTACK_QPS = 2_000_000.0
+
+
+def run_sweep():
+    clients = ProbeGenerator(rng=random.Random(3)).generate(CLIENTS)
+    evaluator = ResilienceEvaluator(
+        clients,
+        site_capacity_qps=50_000.0,
+        rng=random.Random(4),
+    )
+    attack = AttackScenario(total_qps=ATTACK_QPS, bot_count=200)
+    return evaluator.compare(sidn_style_designs(), attack)
+
+
+def test_resilience_sweep(benchmark):
+    reports = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+
+    rows = [
+        [
+            report.design_name,
+            f"{report.availability:.2%}",
+            f"{report.mean_latency_ms:.0f}",
+            str(len(report.overloaded_sites())),
+        ]
+        for report in reports
+    ]
+    print()
+    print(
+        render_table(
+            ["design", "availability", "latency(ms)", "overloaded sites"],
+            rows,
+            title=f"DDoS sweep: {ATTACK_QPS:,.0f} qps across all NSes",
+        )
+    )
+
+    by_name = {report.design_name: report for report in reports}
+    # Anycast absorbs: availability rises monotonically with anycast NSes.
+    order = [
+        "all-unicast",
+        "1-of-4-anycast",
+        "2-of-4-anycast",
+        "3-of-4-anycast",
+        "all-anycast",
+    ]
+    availabilities = [by_name[name].availability for name in order]
+    assert availabilities == sorted(availabilities)
+    assert by_name["all-anycast"].availability > by_name["all-unicast"].availability + 0.2

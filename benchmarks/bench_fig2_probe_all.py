@@ -1,0 +1,53 @@
+"""Figure 2: queries (after the first) until all authoritatives are probed.
+
+Regenerates the boxplot's statistics for all seven combinations and
+checks the paper's shape: most recursives (a large majority) probe every
+authoritative; two-NS combinations converge after ~1 extra query while
+four-NS combinations take several.
+"""
+
+from repro.analysis.probe_all import analyze_probe_all
+from repro.analysis.report import render_probe_all
+from repro.core.combinations import COMBINATIONS
+
+
+def analyze_all(run_cache):
+    results = []
+    for combo in COMBINATIONS.values():
+        result = run_cache.get(combo.combo_id)
+        results.append(
+            analyze_probe_all(
+                result.observations, set(combo.sites), combo_id=combo.combo_id
+            )
+        )
+    return results
+
+
+def test_fig2_probe_all(benchmark, run_cache):
+    for combo in COMBINATIONS:  # warm the cache outside the timer
+        run_cache.get(combo)
+    results = benchmark.pedantic(analyze_all, args=(run_cache,), rounds=3, iterations=1)
+
+    print()
+    print(render_probe_all(results))
+    paper = {c.combo_id: c.paper_probe_all_pct for c in COMBINATIONS.values()}
+    print("paper probed-all %:", paper)
+
+    by_id = {result.combo_id: result for result in results}
+
+    # Shape: most recursives query all authoritatives (paper: 75-96%).
+    for result in results:
+        assert result.probed_all_pct >= 70.0, result.combo_id
+
+    # Shape: with two authoritatives, half the recursives probe the
+    # second NS on their second query (median = 1 query after the first).
+    for combo_id in ("2A", "2B", "2C"):
+        assert by_id[combo_id].queries_to_all.median <= 2.0
+
+    # Shape: four-NS combinations take clearly longer (paper: up to ~7).
+    for combo_id in ("4A", "4B"):
+        assert by_id[combo_id].queries_to_all.median >= 3.0
+        assert (
+            by_id[combo_id].queries_to_all.median
+            > by_id["2A"].queries_to_all.median
+        )

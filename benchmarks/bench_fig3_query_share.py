@@ -1,0 +1,50 @@
+"""Figure 3: query share per authoritative vs. median RTT.
+
+Regenerates both panels (share bars, RTT points) for all seven
+combinations.  Paper shape: the authoritative with the lowest median RTT
+receives the most queries; FRA, with the lowest latency overall, always
+wins the combinations that include it.
+"""
+
+from repro.analysis.query_share import analyze_query_share
+from repro.analysis.report import render_query_share
+from repro.core.combinations import COMBINATIONS
+
+
+def analyze_all(run_cache):
+    results = []
+    for combo in COMBINATIONS.values():
+        result = run_cache.get(combo.combo_id)
+        results.append(
+            analyze_query_share(
+                result.observations, set(combo.sites), combo_id=combo.combo_id
+            )
+        )
+    return results
+
+
+def test_fig3_query_share(benchmark, run_cache):
+    for combo in COMBINATIONS:
+        run_cache.get(combo)
+    results = benchmark.pedantic(analyze_all, args=(run_cache,), rounds=3, iterations=1)
+
+    print()
+    print(render_query_share(results))
+
+    by_id = {result.combo_id: result for result in results}
+
+    # Shape: in every combination the lowest-RTT site gets the most queries.
+    for result in results:
+        assert result.fastest_site_wins, result.combo_id
+
+    # Shape: FRA sees most queries in every combination that includes it
+    # (the paper: "FRA has the lowest latency and always sees most
+    # queries overall").
+    for combo_id in ("2B", "2C", "3B", "4B"):
+        assert by_id[combo_id].ranked_by_share()[0].site == "FRA", combo_id
+
+    # Shape: shares are never a winner-takes-all — every authoritative
+    # keeps receiving a noticeable fraction (the §7 premise).
+    for result in results:
+        for site in result.sites:
+            assert site.query_share > 0.05, (result.combo_id, site.site)

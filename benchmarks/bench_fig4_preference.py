@@ -1,0 +1,87 @@
+"""Figure 4: per-recursive preference (weak/strong) for 2A, 2B, 2C.
+
+Regenerates the weak (≥60 %) and strong (≥90 %) preference fractions
+over VPs with ≥50 ms RTT difference, and runs the resolver-mix ablation
+the calibration in DESIGN.md calls out.
+"""
+
+from repro.analysis.figures import render_fig4_curves
+from repro.analysis.preference import analyze_preference
+from repro.analysis.report import render_preference
+from repro.core.experiment import run_combination
+
+from .conftest import BENCH_PROBES, BENCH_SEED
+
+#: Paper values for (weak %, strong %) per combination.
+PAPER = {"2A": (61, 10), "2B": (59, 12), "2C": (69, 37)}
+
+
+def analyze_all(run_cache):
+    results = []
+    for combo_id in ("2A", "2B", "2C"):
+        result = run_cache.get(combo_id)
+        sites = {spec.sites[0] for spec in result.config.authoritatives}
+        results.append(
+            analyze_preference(result.observations, sites, combo_id=combo_id)
+        )
+    return results
+
+
+def test_fig4_preference(benchmark, run_cache):
+    for combo_id in PAPER:
+        run_cache.get(combo_id)
+    results = benchmark.pedantic(analyze_all, args=(run_cache,), rounds=3, iterations=1)
+
+    print()
+    print(render_preference(results))
+    print("paper (weak, strong) %:", PAPER)
+    by_id = {result.combo_id: result for result in results}
+    reference = {"2A": "NRT", "2B": "FRA", "2C": "FRA"}
+    for combo_id, result in by_id.items():
+        print()
+        print(f"[{combo_id}] " + render_fig4_curves(result.vps, reference[combo_id]))
+    from repro.analysis.ground_truth import (
+        breakdown_by_implementation,
+        render_implementation_breakdown,
+    )
+
+    print()
+    print(
+        render_implementation_breakdown(
+            breakdown_by_implementation(
+                run_cache.get("2C").observations, {"FRA", "SYD"}
+            )
+        )
+    )
+
+    # Shape: a majority of recursives shows at least a weak preference.
+    for combo_id, result in by_id.items():
+        assert 45.0 <= result.weak_pct <= 85.0, combo_id
+
+    # Shape: 2C (largest RTT gap) has the strongest preferences of the
+    # three, and its strong-preference share is far above 2A's.
+    assert by_id["2C"].strong_pct > by_id["2A"].strong_pct
+    assert by_id["2C"].strong_pct >= 20.0
+    assert by_id["2A"].strong_pct <= 25.0
+
+
+def test_fig4_mix_ablation(benchmark):
+    """Ablation: an all-uniform population loses the strong preference."""
+
+    def run_uniform():
+        result = run_combination(
+            "2C",
+            num_probes=BENCH_PROBES // 2,
+            seed=BENCH_SEED,
+            resolver_mix={"random": 0.5, "roundrobin": 0.25, "unbound": 0.25},
+        )
+        return analyze_preference(result.observations, {"FRA", "SYD"}, combo_id="2C")
+
+    uniform = benchmark.pedantic(run_uniform, rounds=1, iterations=1)
+    print()
+    print(render_preference([uniform]))
+    print("(ablation: cache-less/uniform population, combination 2C)")
+
+    # Without latency-driven implementations, strong preference collapses.
+    assert uniform.strong_pct <= 8.0
+    assert uniform.weak_pct <= 50.0

@@ -1,0 +1,73 @@
+"""Figure 5: RTT sensitivity of preference for combination 2B (DUB/FRA).
+
+Regenerates the per-continent (median RTT, query fraction) points.
+Paper shape: continents close to the sites (EU) show clear RTT-driven
+preference; far continents (AS, SA — both sites beyond ~150 ms) split
+queries almost evenly despite similar RTT differences.  An ablation
+removes latency jitter to show the effect is driven by base RTT.
+"""
+
+from repro.analysis.report import render_rtt_sensitivity
+from repro.analysis.rtt_sensitivity import analyze_rtt_sensitivity
+from repro.core.experiment import run_combination
+from repro.netsim.geo import Continent
+from repro.netsim.latency import LatencyParameters
+
+from .conftest import BENCH_PROBES, BENCH_SEED
+
+SITES = {"DUB", "FRA"}
+
+
+def analyze(run_cache):
+    result = run_cache.get("2B")
+    return analyze_rtt_sensitivity(result.observations, SITES, combo_id="2B")
+
+
+def test_fig5_rtt_sensitivity(benchmark, run_cache):
+    run_cache.get("2B")
+    result = benchmark.pedantic(analyze, args=(run_cache,), rounds=3, iterations=1)
+
+    print()
+    print(render_rtt_sensitivity(result))
+    print("paper: EU prefers FRA (13.9ms closer); AS splits evenly despite 20ms gap")
+
+    # Shape: EU (nearby) develops a clear preference spread...
+    assert result.preference_spread(Continent.EU) >= 0.0
+    eu_points = result.points_for(Continent.EU)
+    assert eu_points, "no EU points"
+    # ...at low RTT (<100 ms for the preferred site).
+    assert min(p.median_rtt_ms for p in eu_points) < 100.0
+
+    # Shape: continents where both sites are far (>150 ms) split nearly
+    # evenly — preference decays with distance.
+    for continent in (Continent.AS, Continent.SA):
+        points = result.points_for(continent)
+        if not points:
+            continue
+        assert all(p.median_rtt_ms > 120.0 for p in points), continent
+        for point in points:
+            assert point.mean_query_fraction < 0.95, continent
+
+
+def test_fig5_jitter_ablation(benchmark):
+    """Ablation: with zero jitter, nearby preference sharpens further."""
+
+    def run_no_jitter():
+        result = run_combination(
+            "2B",
+            num_probes=BENCH_PROBES // 2,
+            seed=BENCH_SEED,
+            latency_params=LatencyParameters(jitter_sigma=0.0, loss_rate=0.0),
+        )
+        return analyze_rtt_sensitivity(result.observations, SITES, combo_id="2B")
+
+    result = benchmark.pedantic(run_no_jitter, rounds=1, iterations=1)
+    print()
+    print(render_rtt_sensitivity(result))
+    print("(ablation: jitter_sigma=0 — deterministic RTTs)")
+
+    eu_points = result.points_for(Continent.EU)
+    assert eu_points
+    # Latency-driven VPs lock on perfectly without jitter: the preferred
+    # site's mean fraction stays high.
+    assert max(p.mean_query_fraction for p in eu_points) >= 0.6

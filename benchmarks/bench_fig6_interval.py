@@ -1,0 +1,89 @@
+"""Figure 6: query interval (2→30 min) vs. fraction of queries to FRA (2C).
+
+Regenerates the interval sweep of §4.4.  Paper shape: preference for FRA
+is strongest at 2-minute probing, weakens somewhat as the interval grows
+past the 10/15-minute infrastructure-cache timeouts, but *persists* even
+at 30 minutes.  The ablation shows what the paper expected instead:
+resolvers that fully forget expired latency state lose the preference.
+"""
+
+from repro.analysis.interval import analyze_interval_sweep
+from repro.analysis.report import render_interval_sweep
+from repro.core.combinations import FIGURE6_INTERVALS_MIN
+from repro.core.experiment import run_combination
+from repro.netsim.geo import Continent
+
+from .conftest import BENCH_PROBES, BENCH_SEED
+
+
+def run_sweep(intervals_min, probes):
+    runs = {}
+    for minutes in intervals_min:
+        result = run_combination(
+            "2C",
+            num_probes=probes,
+            interval_s=minutes * 60.0,
+            duration_s=3600.0 if minutes <= 10 else minutes * 60.0 * 6,
+            seed=BENCH_SEED,
+        )
+        runs[float(minutes)] = result.observations
+    return analyze_interval_sweep(runs, "FRA")
+
+
+def test_fig6_interval_sweep(benchmark):
+    result = benchmark.pedantic(
+        run_sweep,
+        args=(FIGURE6_INTERVALS_MIN, BENCH_PROBES // 2),
+        rounds=1,
+        iterations=1,
+    )
+
+    print()
+    print(render_interval_sweep(result))
+    print("paper: EU fraction to FRA stays high at every interval; OC stays low")
+
+    eu = dict(result.series(Continent.EU))
+
+    # Shape: strong preference at 2-minute probing.
+    assert eu[2.0] >= 0.60
+
+    # Shape: preference persists at 30-minute probing (the paper's
+    # surprising §4.4 result) — well above a uniform 50/50 split.
+    assert result.preference_persists(Continent.EU, threshold=0.55)
+
+    # Shape: preference at 2 min is at least as strong as at 30 min.
+    assert eu[2.0] >= eu[30.0] - 0.05
+
+    # Shape: Oceania mirrors it — SYD keeps the majority throughout.
+    oc = dict(result.series(Continent.OC))
+    if oc:
+        assert oc[2.0] <= 0.50
+        assert oc[30.0] <= 0.50
+
+
+def test_fig6_memory_ablation(benchmark):
+    """Ablation: resolvers that truly forget lose long-interval preference.
+
+    A population of PowerDNS-style resolvers whose stale-memory is the
+    mechanism for persistence, versus pure cache-less resolvers: at a
+    30-minute interval the cache-less population sits at ~50 %.
+    """
+
+    def run_cacheless():
+        result = run_combination(
+            "2C",
+            num_probes=BENCH_PROBES // 2,
+            interval_s=1800.0,
+            duration_s=1800.0 * 6,
+            seed=BENCH_SEED,
+            resolver_mix={"random": 1.0},
+        )
+        return analyze_interval_sweep({30.0: result.observations}, "FRA")
+
+    result = benchmark.pedantic(run_cacheless, rounds=1, iterations=1)
+    print()
+    print(render_interval_sweep(result))
+    print("(ablation: pure random population at 30-minute interval)")
+
+    eu = dict(result.series(Continent.EU))
+    assert 0.35 <= eu[30.0] <= 0.65

@@ -1,0 +1,59 @@
+"""Figure 7: recursive behavior in production (Root DITL and .nl).
+
+Regenerates both panels from the synthetic passive traces.  Paper shape:
+at the Root, ~20 % of busy recursives (≥250 queries/h) stay on a single
+letter, ~60 % touch at least six of the ten observed letters, and only
+~2 % touch all ten; at .nl, the majority of recursives query all four
+observed authoritatives.
+"""
+
+from repro.analysis.figures import render_fig7_bands
+from repro.analysis.rank_bands import analyze_rank_bands
+from repro.analysis.report import render_rank_bands
+from repro.passive.ditl import generate_ditl_trace
+from repro.passive.nl import generate_nl_trace
+
+RECURSIVES = 250
+SEED = 2
+
+
+def build_root():
+    trace = generate_ditl_trace(num_recursives=RECURSIVES, seed=SEED)
+    return analyze_rank_bands(
+        trace.queries_by_recursive(), target_count=10, min_queries=250
+    )
+
+
+def build_nl():
+    trace = generate_nl_trace(num_recursives=RECURSIVES, seed=SEED + 1)
+    return analyze_rank_bands(
+        trace.queries_by_recursive(), target_count=4, min_queries=250
+    )
+
+
+def test_fig7_root(benchmark):
+    result = benchmark.pedantic(build_root, rounds=1, iterations=1)
+    print()
+    print(render_rank_bands(result, "Root DITL, 10 of 13 letters"))
+    print(render_fig7_bands(result, "Root"))
+    print("paper: ~20% one letter; 60% >=6 letters; ~2% all 10")
+
+    assert result.recursive_count >= 50
+    assert 10 <= result.pct_querying_exactly(1) <= 32
+    assert 45 <= result.pct_querying_at_least(6) <= 78
+    assert result.pct_querying_all() <= 10
+    # The top-ranked letter dominates each recursive's traffic on average.
+    assert result.mean_bands()[0] >= 0.35
+
+
+def test_fig7_nl(benchmark):
+    result = benchmark.pedantic(build_nl, rounds=1, iterations=1)
+    print()
+    print(render_rank_bands(result, ".nl ccTLD, 4 of 8 NSes"))
+    print(render_fig7_bands(result, ".nl"))
+    print("paper: majority of recursives query all 4 observed NSes")
+
+    assert result.recursive_count >= 50
+    assert result.pct_querying_all() > 50
+    # Fewer single-NS recursives than at the Root.
+    assert result.pct_querying_exactly(1) < 20

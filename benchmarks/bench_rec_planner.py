@@ -1,0 +1,114 @@
+"""§7 recommendation: anycast at every authoritative.
+
+Regenerates the deployment sweep behind the paper's primary
+recommendation — worst-case latency is limited by the least anycast
+authoritative, so if some NSes are anycast, all should be.  Includes the
+catchment-quality ablation called out in DESIGN.md.
+"""
+
+import random
+
+from repro.analysis.report import render_table
+from repro.atlas.probes import ProbeGenerator
+from repro.core.planner import DeploymentPlanner, SelectionModel, sidn_style_designs
+
+CLIENTS = 400
+SEED = 42
+
+
+def evaluate_designs(suboptimal_rate=0.0):
+    clients = ProbeGenerator(rng=random.Random(SEED)).generate(CLIENTS)
+    planner = DeploymentPlanner(clients)
+    return planner.rank(sidn_style_designs(suboptimal_rate=suboptimal_rate))
+
+
+def print_ranking(title, evaluations):
+    rows = [
+        [
+            ev.name,
+            str(ev.anycast_count),
+            f"{ev.mean_expected_ms:.1f}",
+            f"{ev.median_expected_ms:.1f}",
+            f"{ev.p90_expected_ms:.1f}",
+            f"{ev.mean_worst_ms:.1f}",
+        ]
+        for ev in evaluations
+    ]
+    print()
+    print(
+        render_table(
+            ["design", "anycast NSes", "mean(ms)", "median(ms)", "p90(ms)", "worstNS(ms)"],
+            rows,
+            title=title,
+        )
+    )
+
+
+def test_planner_recommends_all_anycast(benchmark):
+    evaluations = benchmark.pedantic(evaluate_designs, rounds=1, iterations=1)
+    print_ranking("§7 sweep: converting unicast NSes to anycast", evaluations)
+
+    by_name = {ev.name: ev for ev in evaluations}
+    # The recommendation: all-anycast ranks first on expected latency.
+    assert evaluations[0].name == "all-anycast"
+    # Monotone improvement with every converted NS.
+    means = [
+        by_name[name].mean_expected_ms
+        for name in (
+            "all-unicast",
+            "1-of-4-anycast",
+            "2-of-4-anycast",
+            "3-of-4-anycast",
+            "all-anycast",
+        )
+    ]
+    assert means == sorted(means, reverse=True)
+    # Worst-case (slowest NS) is limited by the least anycast NS: mixed
+    # designs keep a far unicast NS, so their p90 stays clearly above.
+    assert by_name["1-of-4-anycast"].p90_expected_ms > by_name["all-anycast"].p90_expected_ms
+
+
+def test_planner_catchment_ablation(benchmark):
+    """Ablation: imperfect catchments shrink but keep the anycast win."""
+    evaluations = benchmark.pedantic(
+        evaluate_designs, kwargs={"suboptimal_rate": 0.10}, rounds=1, iterations=1
+    )
+    print_ranking("ablation: 10% suboptimal anycast catchments", evaluations)
+
+    by_name = {ev.name: ev for ev in evaluations}
+    assert (
+        by_name["all-anycast"].mean_expected_ms
+        < by_name["all-unicast"].mean_expected_ms
+    )
+
+
+def test_planner_selection_model_ablation(benchmark):
+    """Ablation: the more uniform recursives select, the bigger the gain
+    from making every NS strong (the §7 argument)."""
+
+    def gains():
+        clients = ProbeGenerator(rng=random.Random(SEED)).generate(CLIENTS)
+        designs = sidn_style_designs()
+        results = {}
+        for share in (0.0, 0.5, 1.0):
+            planner = DeploymentPlanner(
+                clients, selection=SelectionModel(latency_sensitive_share=share)
+            )
+            mixed = planner.evaluate(designs["1-of-4-anycast"], name="mixed")
+            full = planner.evaluate(designs["all-anycast"], name="full")
+            results[share] = mixed.mean_expected_ms - full.mean_expected_ms
+        return results
+
+    results = benchmark.pedantic(gains, rounds=1, iterations=1)
+    print()
+    rows = [[f"{share:.1f}", f"{gain:.1f}"] for share, gain in results.items()]
+    print(
+        render_table(
+            ["latency-sensitive share", "mixed minus all-anycast (ms)"],
+            rows,
+            title="ablation: selection model vs. gain of full anycast",
+        )
+    )
+    # Uniform selection (share=0) suffers most from the unicast NS.
+    assert results[0.0] > results[1.0]
+    assert results[0.0] > 0

@@ -1,0 +1,61 @@
+"""Table 1: the seven authoritative combinations and their VP counts.
+
+Regenerates the table's rows (combination id, sites, VPs seen) from our
+scaled-down vantage-point platform, next to the paper's counts, and
+benchmarks deploying a combination end to end.
+"""
+
+import random
+
+from repro.analysis.report import render_table
+from repro.atlas.platform import AtlasPlatform
+from repro.atlas.probes import ProbeGenerator
+from repro.core.combinations import COMBINATIONS
+from repro.core.deployment import Deployment
+from repro.netsim.network import SimNetwork
+from repro.resolvers.population import ResolverPopulation
+
+from .conftest import BENCH_PROBES, BENCH_SEED
+
+
+def build_platform(sites):
+    network = SimNetwork()
+    deployment = Deployment.from_sites("ourtestdomain.nl.", sites)
+    addresses = deployment.deploy(network)
+    probes = ProbeGenerator(rng=random.Random(BENCH_SEED)).generate(BENCH_PROBES)
+    platform = AtlasPlatform(
+        network, probes, ResolverPopulation(rng=random.Random(1)),
+        rng=random.Random(2),
+    )
+    platform.build_vantage_points()
+    platform.configure_zone("ourtestdomain.nl.", addresses)
+    return platform
+
+
+def test_table1_rows(benchmark):
+    platform = benchmark(build_platform, COMBINATIONS["4A"].sites)
+    vp_count = len(platform.vantage_points)
+
+    rows = []
+    for combo in COMBINATIONS.values():
+        rows.append(
+            [
+                combo.combo_id,
+                ", ".join(combo.sites),
+                str(combo.paper_vp_count),
+                str(vp_count),
+            ]
+        )
+    print()
+    print(
+        render_table(
+            ["ID", "locations", "paper VPs", "our VPs"],
+            rows,
+            title="Table 1: combinations of authoritatives (scaled reproduction)",
+        )
+    )
+
+    # Shape assertions: 7 combinations, 2-4 sites each, VPs ≈ probes+extra.
+    assert len(COMBINATIONS) == 7
+    assert all(2 <= combo.size <= 4 for combo in COMBINATIONS.values())
+    assert BENCH_PROBES <= vp_count <= int(BENCH_PROBES * 1.3)

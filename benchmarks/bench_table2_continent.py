@@ -1,0 +1,59 @@
+"""Table 2: query distribution and median RTT per continent (2A, 2B, 2C).
+
+Regenerates every row of the table.  Paper shape highlights: EU VPs
+strongly prefer FRA over SYD in 2C (83 %/17 % at 39 ms vs 355 ms);
+Oceania prefers SYD; roughly equidistant pairs (2A from EU) split about
+evenly.
+"""
+
+from repro.analysis.preference import table2_rows
+from repro.analysis.report import render_table2
+from repro.netsim.geo import Continent
+
+
+def analyze_all(run_cache):
+    rows = {}
+    for combo_id in ("2A", "2B", "2C"):
+        result = run_cache.get(combo_id)
+        sites = {spec.sites[0] for spec in result.config.authoritatives}
+        rows[combo_id] = table2_rows(result.observations, sites)
+    return rows
+
+
+def test_table2_continent(benchmark, run_cache):
+    for combo_id in ("2A", "2B", "2C"):
+        run_cache.get(combo_id)
+    rows_by_combo = benchmark.pedantic(
+        analyze_all, args=(run_cache,), rounds=3, iterations=1
+    )
+
+    print()
+    print(render_table2(rows_by_combo))
+    print("paper 2C EU: FRA 83%@39ms, SYD 17%@355ms; OC: SYD 78%@48ms")
+
+    def row(combo_id, continent):
+        return next(
+            r for r in rows_by_combo[combo_id] if r.continent == continent
+        )
+
+    # 2C, EU: FRA strongly preferred and much faster.
+    eu_2c = row("2C", Continent.EU)
+    assert eu_2c.share_pct_by_site["FRA"] >= 60.0
+    assert eu_2c.median_rtt_by_site["FRA"] < 80.0
+    assert eu_2c.median_rtt_by_site["SYD"] > 250.0
+
+    # 2C, OC: the preference flips — SYD wins near Sydney.
+    oc_2c = row("2C", Continent.OC)
+    assert oc_2c.share_pct_by_site["SYD"] >= 52.0
+    assert oc_2c.median_rtt_by_site["SYD"] < oc_2c.median_rtt_by_site["FRA"]
+
+    # 2A from EU: GRU and NRT are roughly equidistant → a mild split
+    # (paper: 37/63), never the near-total preference of 2C.
+    eu_2a = row("2A", Continent.EU)
+    assert 25.0 <= eu_2a.share_pct_by_site["GRU"] <= 75.0
+
+    # 2B from EU: both sites nearby, FRA mildly ahead (paper: 65/35).
+    eu_2b = row("2B", Continent.EU)
+    assert eu_2b.share_pct_by_site["FRA"] >= 50.0
+    assert eu_2b.median_rtt_by_site["FRA"] < 80.0
+    assert eu_2b.median_rtt_by_site["DUB"] < 110.0

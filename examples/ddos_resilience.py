@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""DDoS resilience of NS-set designs (§7 "Other Considerations").
+
+Sweeps attack volume against the SIDN-style designs and prints zone
+availability: an all-unicast zone collapses once its sites saturate,
+while anycast spreads the same attack across many sites — the paper's
+secondary argument (after latency) for anycast at every authoritative.
+
+Run:  python examples/ddos_resilience.py [--clients N] [--capacity QPS]
+"""
+
+import argparse
+import random
+
+from repro.analysis import render_table
+from repro.atlas import ProbeGenerator
+from repro.core import AttackScenario, ResilienceEvaluator, sidn_style_designs
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--clients", type=int, default=300)
+    parser.add_argument("--capacity", type=float, default=50_000.0,
+                        help="per-site capacity in qps")
+    parser.add_argument("--seed", type=int, default=11)
+    args = parser.parse_args()
+
+    clients = ProbeGenerator(rng=random.Random(args.seed)).generate(args.clients)
+    evaluator = ResilienceEvaluator(
+        clients,
+        site_capacity_qps=args.capacity,
+        rng=random.Random(args.seed + 1),
+    )
+    designs = sidn_style_designs()
+
+    rows = []
+    for attack_qps in (0.0, 250_000.0, 1_000_000.0, 4_000_000.0):
+        attack = AttackScenario(total_qps=attack_qps, bot_count=200)
+        for report in evaluator.compare(designs, attack):
+            rows.append(
+                [
+                    f"{attack_qps:,.0f}",
+                    report.design_name,
+                    f"{report.availability:.2%}",
+                    f"{report.mean_latency_ms:.0f}",
+                    str(len(report.overloaded_sites())),
+                ]
+            )
+    print(
+        render_table(
+            ["attack qps", "design", "availability", "latency(ms)", "overloaded"],
+            rows,
+            title=f"availability under attack ({args.clients} clients, "
+            f"{args.capacity:,.0f} qps/site)",
+        )
+    )
+    print()
+    print(
+        "anycast absorbs: the same attack that breaks the all-unicast zone"
+        " leaves the all-anycast zone answering most queries."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""How public anycast resolvers shape server selection (§3.1).
+
+Runs the 2C combination twice: once with every probe on its ISP
+resolver, once with a third of probes behind an anycast public DNS
+service (one well-known address, six instances worldwide).  Public-DNS
+VPs inherit the *instance's* vantage: a probe in Helsinki measured
+through the Amsterdam instance looks like an Amsterdam client to the
+authoritatives.
+
+Run:  python examples/public_resolver_study.py [--probes N]
+"""
+
+import argparse
+import random
+
+from repro.analysis import analyze_preference, render_preference
+from repro.atlas import AtlasPlatform, ProbeGenerator, PublicResolverService
+from repro.core import Deployment
+from repro.netsim import SimNetwork
+from repro.resolvers import ResolverPopulation
+
+DOMAIN = "ourtestdomain.nl."
+
+
+def run(probe_count: int, public_share: float, seed: int):
+    network = SimNetwork()
+    deployment = Deployment.from_sites(DOMAIN, ("FRA", "SYD"))
+    addresses = deployment.deploy(network)
+    probes = ProbeGenerator(rng=random.Random(seed)).generate(probe_count)
+    services = []
+    if public_share > 0:
+        service = PublicResolverService.build(
+            "10.88.88.88", network, rng=random.Random(seed + 1)
+        )
+        service.add_stub_zone(DOMAIN, addresses)
+        services.append(service)
+    platform = AtlasPlatform(
+        network,
+        probes,
+        ResolverPopulation(rng=random.Random(seed + 2)),
+        rng=random.Random(seed + 3),
+        public_services=services,
+        public_resolver_share=public_share,
+    )
+    platform.build_vantage_points()
+    platform.configure_zone(DOMAIN, addresses)
+    return platform.measure(DOMAIN.rstrip("."), interval_s=120.0, duration_s=3600.0)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--probes", type=int, default=250)
+    parser.add_argument("--public-share", type=float, default=0.33)
+    parser.add_argument("--seed", type=int, default=21)
+    args = parser.parse_args()
+
+    results = []
+    for label, share in (("ISP resolvers only", 0.0),
+                         (f"{args.public_share:.0%} on public DNS", args.public_share)):
+        print(f"running 2C with {label} ...")
+        run_data = run(args.probes, share, args.seed)
+        pref = analyze_preference(
+            run_data.observations, {"FRA", "SYD"}, combo_id=label[:18]
+        )
+        results.append(pref)
+        public_count = len(
+            {o.vp_id for o in run_data.observations if o.impl_name == "public"}
+        )
+        print(f"  VPs: {run_data.vp_count} (public: {public_count})")
+
+    print()
+    print(render_preference(results))
+    print()
+    print(
+        "public-DNS vantage points cluster behind a handful of instance "
+        "locations, so their selection reflects the instance's latency "
+        "map, not the probe's — one of the middlebox effects the paper "
+        "controls for."
+    )
+
+
+if __name__ == "__main__":
+    main()

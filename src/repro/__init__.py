@@ -1,0 +1,36 @@
+"""repro — reproduction of "Recursives in the Wild: Engineering
+Authoritative DNS Servers" (Müller, Moura, Schmidt, Heidemann; IMC 2017).
+
+Subpackages
+-----------
+``repro.dns``
+    From-scratch DNS substrate: wire format, zones, authoritative engine.
+``repro.netsim``
+    Simulated Internet: virtual time, geography→latency, unicast/anycast.
+``repro.resolvers``
+    Recursive resolver models: caches and real selection algorithms.
+``repro.atlas``
+    RIPE-Atlas-like vantage-point platform and measurement campaigns.
+``repro.passive``
+    DITL/ENTRADA-style production trace synthesis (Root, .nl).
+``repro.core``
+    The paper's experiments (Table 1 combinations) and the §7
+    deployment planner.
+``repro.analysis``
+    One analysis per figure/table of the paper.
+"""
+
+__version__ = "1.0.0"
+
+from . import analysis, atlas, core, dns, netsim, passive, resolvers
+
+__all__ = [
+    "analysis",
+    "atlas",
+    "core",
+    "dns",
+    "netsim",
+    "passive",
+    "resolvers",
+    "__version__",
+]

@@ -1,0 +1,128 @@
+"""Analyses reproducing each figure and table of the paper."""
+
+from .interval import (
+    IntervalPoint,
+    IntervalSweepResult,
+    analyze_interval_sweep,
+    fraction_to_site,
+)
+from .preference import (
+    RTT_GATE_MS,
+    STRONG_THRESHOLD,
+    WEAK_THRESHOLD,
+    ContinentRow,
+    PreferenceResult,
+    StrengtheningResult,
+    VpPreference,
+    analyze_preference,
+    analyze_strengthening,
+    table2_rows,
+    vp_preferences,
+)
+from .export import (
+    export_interval_sweep,
+    export_probe_all,
+    export_query_share,
+    export_rank_bands,
+    export_table2,
+    export_vp_preferences,
+)
+from .figures import render_fig4_curves, render_fig7_bands, sparkline
+from .ground_truth import (
+    ImplementationRow,
+    breakdown_by_implementation,
+    render_implementation_breakdown,
+)
+from .paper import PAPER_CLAIMS, PaperClaim, Scorecard
+from .probe_all import ProbeAllResult, analyze_probe_all, queries_until_all
+from .query_share import (
+    QueryShareResult,
+    SiteShare,
+    analyze_query_share,
+    hot_cache_observations,
+)
+from .rank_bands import RankBandResult, RecursiveBands, analyze_rank_bands
+from .report import (
+    render_interval_sweep,
+    render_preference,
+    render_probe_all,
+    render_query_share,
+    render_rank_bands,
+    render_rtt_sensitivity,
+    render_table,
+    render_table2,
+)
+from .rtt_sensitivity import (
+    RttSensitivityResult,
+    SensitivityPoint,
+    analyze_rtt_sensitivity,
+)
+from .stats import BoxplotStats, bootstrap_ci, median, quantile
+from .validation import (
+    ViewComparison,
+    client_side_shares,
+    compare_views,
+    server_side_shares,
+)
+
+__all__ = [
+    "BoxplotStats",
+    "ContinentRow",
+    "ImplementationRow",
+    "IntervalPoint",
+    "IntervalSweepResult",
+    "breakdown_by_implementation",
+    "render_implementation_breakdown",
+    "PreferenceResult",
+    "PAPER_CLAIMS",
+    "PaperClaim",
+    "ProbeAllResult",
+    "QueryShareResult",
+    "Scorecard",
+    "RTT_GATE_MS",
+    "RankBandResult",
+    "RecursiveBands",
+    "RttSensitivityResult",
+    "STRONG_THRESHOLD",
+    "SensitivityPoint",
+    "SiteShare",
+    "StrengtheningResult",
+    "analyze_strengthening",
+    "bootstrap_ci",
+    "ViewComparison",
+    "VpPreference",
+    "WEAK_THRESHOLD",
+    "analyze_interval_sweep",
+    "client_side_shares",
+    "compare_views",
+    "export_interval_sweep",
+    "export_probe_all",
+    "export_query_share",
+    "export_rank_bands",
+    "export_table2",
+    "export_vp_preferences",
+    "server_side_shares",
+    "analyze_preference",
+    "analyze_probe_all",
+    "analyze_query_share",
+    "analyze_rank_bands",
+    "analyze_rtt_sensitivity",
+    "fraction_to_site",
+    "hot_cache_observations",
+    "median",
+    "quantile",
+    "queries_until_all",
+    "render_fig4_curves",
+    "render_fig7_bands",
+    "render_interval_sweep",
+    "render_preference",
+    "sparkline",
+    "render_probe_all",
+    "render_query_share",
+    "render_rank_bands",
+    "render_rtt_sensitivity",
+    "render_table",
+    "render_table2",
+    "table2_rows",
+    "vp_preferences",
+]

@@ -1,0 +1,134 @@
+"""CSV export of analysis results — the "publish the dataset" path.
+
+Each exporter writes one figure/table's underlying data as plain CSV so
+the reproduced series can be re-plotted with any tool, mirroring the
+paper's public dataset release [19].
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+from .interval import IntervalSweepResult
+from .preference import ContinentRow, VpPreference
+from .probe_all import ProbeAllResult
+from .query_share import QueryShareResult
+from .rank_bands import RankBandResult
+
+
+def _write(path: str | Path, header: list[str], rows: list[list]) -> int:
+    path = Path(path)
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(header)
+        writer.writerows(rows)
+    return len(rows)
+
+
+def export_probe_all(results: list[ProbeAllResult], path: str | Path) -> int:
+    """Figure 2 data: one row per combination."""
+    rows = []
+    for result in results:
+        box = result.queries_to_all
+        rows.append(
+            [
+                result.combo_id,
+                result.site_count,
+                result.vp_count,
+                f"{result.probed_all_pct:.2f}",
+                box.whisker_low if box else "",
+                box.q1 if box else "",
+                box.median if box else "",
+                box.q3 if box else "",
+                box.whisker_high if box else "",
+            ]
+        )
+    return _write(
+        path,
+        ["combo", "sites", "vps", "probed_all_pct", "p10", "q1", "median", "q3", "p90"],
+        rows,
+    )
+
+
+def export_query_share(results: list[QueryShareResult], path: str | Path) -> int:
+    """Figure 3 data: one row per (combination, site)."""
+    rows = [
+        [result.combo_id, share.site, f"{share.query_share:.4f}",
+         f"{share.median_rtt_ms:.2f}", share.queries]
+        for result in results
+        for share in result.sites
+    ]
+    return _write(path, ["combo", "site", "share", "median_rtt_ms", "queries"], rows)
+
+
+def export_vp_preferences(
+    vps: list[VpPreference], path: str | Path
+) -> int:
+    """Figure 4 data: one row per (VP, site)."""
+    rows = []
+    for vp in vps:
+        for site, share in sorted(vp.share_by_site.items()):
+            rtt = vp.median_rtt_by_site[site]
+            rows.append(
+                [
+                    vp.vp_id,
+                    vp.continent.value,
+                    vp.queries,
+                    site,
+                    f"{share:.4f}",
+                    f"{rtt:.2f}" if rtt == rtt else "",
+                ]
+            )
+    return _write(
+        path, ["vp_id", "continent", "queries", "site", "share", "median_rtt_ms"], rows
+    )
+
+
+def export_table2(rows_by_combo: dict[str, list[ContinentRow]], path: str | Path) -> int:
+    """Table 2 data: one row per (combination, continent, site)."""
+    rows = []
+    for combo_id, continent_rows in rows_by_combo.items():
+        for row in continent_rows:
+            for site in sorted(row.share_pct_by_site):
+                rtt = row.median_rtt_by_site[site]
+                rows.append(
+                    [
+                        combo_id,
+                        row.continent.value,
+                        site,
+                        f"{row.share_pct_by_site[site]:.2f}",
+                        f"{rtt:.2f}" if rtt == rtt else "",
+                        row.vp_count,
+                    ]
+                )
+    return _write(
+        path, ["combo", "continent", "site", "share_pct", "median_rtt_ms", "vps"], rows
+    )
+
+
+def export_interval_sweep(result: IntervalSweepResult, path: str | Path) -> int:
+    """Figure 6 data: one row per (interval, continent)."""
+    rows = [
+        [point.interval_min, point.continent.value,
+         f"{point.fraction_to_reference:.4f}", point.queries]
+        for point in result.points
+    ]
+    return _write(
+        path,
+        ["interval_min", "continent", f"fraction_to_{result.reference_site}", "queries"],
+        rows,
+    )
+
+
+def export_rank_bands(result: RankBandResult, path: str | Path) -> int:
+    """Figure 7 data: one row per recursive with its ordered shares."""
+    rows = [
+        [r.recursive, r.queries, r.distinct_targets]
+        + [f"{share:.4f}" for share in r.shares]
+        for r in result.recursives
+    ]
+    header = ["recursive", "queries", "distinct"] + [
+        f"rank{rank + 1}" for rank in range(result.target_count)
+    ]
+    return _write(path, header, rows)

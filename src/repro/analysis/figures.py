@@ -1,0 +1,95 @@
+"""Terminal renderings of the paper's figures (sparkline-style).
+
+The tables in :mod:`repro.analysis.report` carry the numbers; these
+renderers show the *shapes* — Figure 4's per-recursive preference
+curves and Figure 7's rank-band columns — using Unicode block glyphs.
+"""
+
+from __future__ import annotations
+
+from ..netsim.geo import Continent
+from .preference import VpPreference
+from .rank_bands import RankBandResult
+
+BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: list[float], lo: float = 0.0, hi: float = 1.0) -> str:
+    """Render values in [lo, hi] as one line of block glyphs."""
+    if hi <= lo:
+        raise ValueError("hi must exceed lo")
+    glyphs = []
+    for value in values:
+        clamped = min(max(value, lo), hi)
+        index = int((clamped - lo) / (hi - lo) * (len(BLOCKS) - 1))
+        glyphs.append(BLOCKS[index])
+    return "".join(glyphs)
+
+
+def _bucket_means(values: list[float], buckets: int) -> list[float]:
+    """Downsample a sorted value list into ``buckets`` mean values."""
+    if not values:
+        return []
+    buckets = min(buckets, len(values))
+    size = len(values) / buckets
+    means = []
+    for index in range(buckets):
+        chunk = values[int(index * size) : int((index + 1) * size)] or [
+            values[min(int(index * size), len(values) - 1)]
+        ]
+        means.append(sum(chunk) / len(chunk))
+    return means
+
+
+def render_fig4_curves(
+    vps: list[VpPreference],
+    reference_site: str,
+    width: int = 50,
+) -> str:
+    """Figure 4: per-continent curves of per-VP query fraction.
+
+    Each continent gets one sparkline: its VPs sorted by the fraction of
+    queries they send to ``reference_site`` (the paper sorts recursives
+    the same way along the x-axis).
+    """
+    lines = [
+        f"Figure 4 shape: fraction of queries to {reference_site} "
+        "(VPs sorted ascending; ▁=0 … █=1)"
+    ]
+    for continent in Continent:
+        members = sorted(
+            vp.share_by_site.get(reference_site, 0.0)
+            for vp in vps
+            if vp.continent == continent
+        )
+        if not members:
+            continue
+        curve = sparkline(_bucket_means(members, width))
+        lines.append(f"{continent.value}  |{curve}|  n={len(members)}")
+    return "\n".join(lines)
+
+
+def render_fig7_bands(result: RankBandResult, label: str, width: int = 60) -> str:
+    """Figure 7: rank-band columns across recursives.
+
+    One sparkline per rank: recursives along the x-axis (sorted by
+    concentration, as in the paper), the share of their rank-th most
+    queried NS as the height.
+    """
+    lines = [
+        f"Figure 7 shape ({label}): share per rank across "
+        f"{result.recursive_count} recursives (most- to least-concentrated)"
+    ]
+    ranks_to_show = min(result.target_count, 4)
+    for rank in range(ranks_to_show):
+        series = [
+            r.shares[rank] if rank < len(r.shares) else 0.0
+            for r in result.recursives
+        ]
+        curve = sparkline(_bucket_means(series, width))
+        lines.append(f"rank {rank + 1}  |{curve}|")
+    mean_bands = result.mean_bands()
+    if mean_bands:
+        summary = " ".join(f"{band:.2f}" for band in mean_bands)
+        lines.append(f"mean band shares: {summary}")
+    return "\n".join(lines)

@@ -1,0 +1,76 @@
+"""Figure 2 / §4.1: do recursives query all authoritatives?
+
+For every vantage point, count how many queries *after the first* it
+takes until every authoritative has answered at least once, and what
+fraction of VPs ever get there.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..atlas.platform import QueryObservation
+from .stats import BoxplotStats
+
+
+@dataclass(frozen=True)
+class ProbeAllResult:
+    """One combination's Figure 2 column."""
+
+    combo_id: str
+    site_count: int
+    vp_count: int
+    probed_all_pct: float              # x-axis label of Figure 2
+    queries_to_all: BoxplotStats | None  # box for VPs that probed all
+
+    def summary(self) -> str:
+        box = self.queries_to_all
+        med = f"{box.median:.0f}" if box else "-"
+        return (
+            f"{self.combo_id}: {self.probed_all_pct:.1f}% of {self.vp_count} VPs "
+            f"probed all {self.site_count} NSes (median {med} queries after the first)"
+        )
+
+
+def queries_until_all(
+    observations: list[QueryObservation], sites: set[str]
+) -> int | None:
+    """Queries after the first until every site answered; None if never."""
+    seen: set[str] = set()
+    for index, obs in enumerate(sorted(observations, key=lambda o: o.timestamp)):
+        if obs.site:
+            seen.add(obs.site)
+        if seen == sites:
+            return index  # queries *after the first* = index of this one
+    return None
+
+
+def analyze_probe_all(
+    observations: list[QueryObservation],
+    sites: set[str],
+    combo_id: str = "",
+    min_queries: int = 10,
+) -> ProbeAllResult:
+    """Compute the Figure 2 statistics for one combination's run."""
+    by_vp: dict[int, list[QueryObservation]] = {}
+    for obs in observations:
+        by_vp.setdefault(obs.vp_id, []).append(obs)
+
+    counts: list[float] = []
+    eligible = 0
+    for rows in by_vp.values():
+        if len(rows) < min_queries:
+            continue
+        eligible += 1
+        needed = queries_until_all(rows, sites)
+        if needed is not None:
+            counts.append(float(needed))
+    if eligible == 0:
+        raise ValueError("no vantage point sent enough queries")
+    return ProbeAllResult(
+        combo_id=combo_id,
+        site_count=len(sites),
+        vp_count=eligible,
+        probed_all_pct=100.0 * len(counts) / eligible,
+        queries_to_all=BoxplotStats.from_values(counts) if counts else None,
+    )

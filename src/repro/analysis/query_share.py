@@ -1,0 +1,93 @@
+"""Figure 3 / §4.2: query share per authoritative vs. its median RTT.
+
+Per combination: the fraction of (hot-cache) queries each site received,
+next to the median RTT recursives saw to that site.  The paper's claim:
+the lowest-RTT site always receives the most queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..atlas.platform import QueryObservation
+from .stats import median
+
+
+@dataclass(frozen=True)
+class SiteShare:
+    """One bar of Figure 3 (bottom) plus its RTT point (top)."""
+
+    site: str
+    query_share: float
+    median_rtt_ms: float
+    queries: int
+
+
+@dataclass(frozen=True)
+class QueryShareResult:
+    combo_id: str
+    sites: list[SiteShare]
+
+    def ranked_by_share(self) -> list[SiteShare]:
+        return sorted(self.sites, key=lambda s: s.query_share, reverse=True)
+
+    def ranked_by_rtt(self) -> list[SiteShare]:
+        return sorted(self.sites, key=lambda s: s.median_rtt_ms)
+
+    @property
+    def fastest_site_wins(self) -> bool:
+        """The paper's §4.2 statement for this combination."""
+        return self.ranked_by_share()[0].site == self.ranked_by_rtt()[0].site
+
+
+def hot_cache_observations(
+    observations: list[QueryObservation], sites: set[str]
+) -> list[QueryObservation]:
+    """Drop each VP's warm-up: analysis starts once it has seen every
+    site at least once (§4.2 'hot-cache condition')."""
+    by_vp: dict[int, list[QueryObservation]] = {}
+    for obs in observations:
+        by_vp.setdefault(obs.vp_id, []).append(obs)
+    kept: list[QueryObservation] = []
+    for rows in by_vp.values():
+        rows.sort(key=lambda o: o.timestamp)
+        seen: set[str] = set()
+        hot = False
+        for obs in rows:
+            if hot:
+                kept.append(obs)
+                continue
+            if obs.site:
+                seen.add(obs.site)
+            if seen == sites:
+                hot = True
+        # VPs that never reach hot cache contribute nothing, as in §4.2.
+    return kept
+
+
+def analyze_query_share(
+    observations: list[QueryObservation],
+    sites: set[str],
+    combo_id: str = "",
+    hot_cache_only: bool = True,
+) -> QueryShareResult:
+    rows = [obs for obs in observations if obs.succeeded and obs.site]
+    if hot_cache_only:
+        rows = hot_cache_observations(rows, sites)
+        rows = [obs for obs in rows if obs.succeeded and obs.site]
+    if not rows:
+        raise ValueError("no successful observations")
+    total = len(rows)
+    shares = []
+    for site in sorted(sites):
+        site_rows = [obs for obs in rows if obs.site == site]
+        rtts = [obs.rtt_ms for obs in site_rows if obs.rtt_ms is not None]
+        shares.append(
+            SiteShare(
+                site=site,
+                query_share=len(site_rows) / total,
+                median_rtt_ms=median(rtts) if rtts else float("nan"),
+                queries=len(site_rows),
+            )
+        )
+    return QueryShareResult(combo_id=combo_id, sites=shares)

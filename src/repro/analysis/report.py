@@ -1,0 +1,178 @@
+"""Plain-text rendering of the reproduced tables and figures.
+
+Benchmarks print these; they mirror the rows/series of the paper so the
+output can be compared side by side with the published numbers.
+"""
+
+from __future__ import annotations
+
+from ..netsim.geo import Continent
+from .interval import IntervalSweepResult
+from .preference import ContinentRow, PreferenceResult
+from .probe_all import ProbeAllResult
+from .query_share import QueryShareResult
+from .rank_bands import RankBandResult
+from .rtt_sensitivity import RttSensitivityResult
+
+
+def render_table(headers: list[str], rows: list[list[str]], title: str = "") -> str:
+    """Minimal fixed-width table renderer."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def render_probe_all(results: list[ProbeAllResult]) -> str:
+    """Figure 2 as a table: one column of the paper's boxplot per row."""
+    rows = []
+    for result in results:
+        box = result.queries_to_all
+        rows.append(
+            [
+                result.combo_id,
+                f"{result.probed_all_pct:.1f}%",
+                str(result.vp_count),
+                f"{box.median:.0f}" if box else "-",
+                f"{box.q1:.0f}/{box.q3:.0f}" if box else "-",
+                f"{box.whisker_low:.0f}/{box.whisker_high:.0f}" if box else "-",
+            ]
+        )
+    return render_table(
+        ["combo", "probed-all", "VPs", "median-q", "q1/q3", "p10/p90"],
+        rows,
+        title="Figure 2: queries (after the first) to probe all authoritatives",
+    )
+
+
+def render_query_share(results: list[QueryShareResult]) -> str:
+    """Figure 3 as a table: share and median RTT per site per combo."""
+    rows = []
+    for result in results:
+        for share in result.ranked_by_share():
+            rows.append(
+                [
+                    result.combo_id,
+                    share.site,
+                    f"{share.query_share:.2f}",
+                    f"{share.median_rtt_ms:.0f}",
+                    "yes" if result.fastest_site_wins else "no",
+                ]
+            )
+    return render_table(
+        ["combo", "site", "share", "medRTT(ms)", "fastest-wins"],
+        rows,
+        title="Figure 3: query share (bottom) and median RTT (top)",
+    )
+
+
+def render_preference(results: list[PreferenceResult]) -> str:
+    """Figure 4's summary: weak/strong preference per combination."""
+    rows = [
+        [
+            result.combo_id,
+            str(len(result.vps)),
+            str(result.gated_vp_count),
+            f"{result.weak_pct:.0f}%",
+            f"{result.strong_pct:.0f}%",
+        ]
+        for result in results
+    ]
+    return render_table(
+        ["combo", "VPs", "VPs(>50ms)", "weak(>=60%)", "strong(>=90%)"],
+        rows,
+        title="Figure 4: recursive preference (weak/strong thresholds)",
+    )
+
+
+def render_table2(rows_by_combo: dict[str, list[ContinentRow]]) -> str:
+    """Table 2: per-continent query share and median RTT per site."""
+    rows = []
+    for combo_id, continent_rows in rows_by_combo.items():
+        for row in continent_rows:
+            for site in sorted(row.share_pct_by_site):
+                rtt = row.median_rtt_by_site[site]
+                rows.append(
+                    [
+                        combo_id,
+                        row.continent.value,
+                        site,
+                        f"{row.share_pct_by_site[site]:.0f}%",
+                        f"{rtt:.0f}" if rtt == rtt else "-",
+                        str(row.vp_count),
+                    ]
+                )
+    return render_table(
+        ["combo", "cont", "site", "share", "medRTT(ms)", "VPs"],
+        rows,
+        title="Table 2: query distribution and median RTT by continent",
+    )
+
+
+def render_rtt_sensitivity(result: RttSensitivityResult) -> str:
+    """Figure 5: per-continent (RTT, fraction) points."""
+    rows = [
+        [
+            point.continent.value,
+            point.site,
+            f"{point.median_rtt_ms:.0f}",
+            f"{point.mean_query_fraction:.2f}",
+            str(point.vp_count),
+        ]
+        for point in result.points
+    ]
+    return render_table(
+        ["cont", "site", "medRTT(ms)", "fraction", "VPs"],
+        rows,
+        title=f"Figure 5: RTT sensitivity of {result.combo_id}",
+    )
+
+
+def render_interval_sweep(result: IntervalSweepResult) -> str:
+    """Figure 6: fraction to the reference site vs. query interval."""
+    intervals = sorted({point.interval_min for point in result.points})
+    headers = ["cont"] + [f"{interval:.0f}min" for interval in intervals]
+    rows = []
+    for continent in Continent:
+        series = dict(result.series(continent))
+        if not series:
+            continue
+        rows.append(
+            [continent.value]
+            + [
+                f"{series[interval]:.2f}" if interval in series else "-"
+                for interval in intervals
+            ]
+        )
+    return render_table(
+        headers,
+        rows,
+        title=f"Figure 6: fraction of queries to {result.reference_site} by interval",
+    )
+
+
+def render_rank_bands(result: RankBandResult, label: str) -> str:
+    """Figure 7 aggregates: how many NSes recursives touch."""
+    rows = [
+        ["recursives (>=250 q)", str(result.recursive_count)],
+        ["query exactly 1 NS", f"{result.pct_querying_exactly(1):.0f}%"],
+        [
+            f"query >= {max(1, result.target_count * 6 // 10)} NSes",
+            f"{result.pct_querying_at_least(max(1, result.target_count * 6 // 10)):.0f}%",
+        ],
+        [f"query all {result.target_count}", f"{result.pct_querying_all():.0f}%"],
+        [
+            "mean top-band share",
+            f"{result.mean_bands()[0]:.2f}" if result.mean_bands() else "-",
+        ],
+    ]
+    return render_table(["metric", "value"], rows, title=f"Figure 7 ({label})")

@@ -1,0 +1,108 @@
+"""§3.1 middlebox validation: client-side vs. authoritative-side views.
+
+The paper checks that middleboxes do not distort its client-side data by
+recomputing the preference distribution from the authoritative-side
+packet captures (recursives sending ≥5 queries) and comparing: "the two
+graphs are basically equivalent".  This module performs the same
+comparison on a finished experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..atlas.platform import QueryObservation
+from ..core.deployment import Deployment
+from .stats import quantile
+
+
+def client_side_shares(
+    observations: list[QueryObservation], min_queries: int = 5
+) -> dict[str, dict[str, float]]:
+    """Per *recursive address*: site shares, from the VP-side data."""
+    counts: dict[str, dict[str, int]] = {}
+    for obs in observations:
+        if not (obs.succeeded and obs.site):
+            continue
+        per_site = counts.setdefault(obs.recursive_address, {})
+        per_site[obs.site] = per_site.get(obs.site, 0) + 1
+    return _normalize(counts, min_queries)
+
+
+def server_side_shares(
+    deployment: Deployment, min_queries: int = 5
+) -> dict[str, dict[str, float]]:
+    """Per recursive address: site shares, from the authoritative logs.
+
+    The server only sees the recursive's address and the site that
+    logged the query — the paper's passive vantage.
+    """
+    counts: dict[str, dict[str, int]] = {}
+    for deployed in deployment.deployed:
+        for site_code, engine in deployed.engines.items():
+            site = site_code  # marker convention: site code per engine
+            for entry in engine.query_log:
+                recursive = entry.client
+                per_site = counts.setdefault(recursive, {})
+                per_site[site] = per_site.get(site, 0) + 1
+    return _normalize(counts, min_queries)
+
+
+def _normalize(
+    counts: dict[str, dict[str, int]], min_queries: int
+) -> dict[str, dict[str, float]]:
+    shares: dict[str, dict[str, float]] = {}
+    for recursive, per_site in counts.items():
+        total = sum(per_site.values())
+        if total < min_queries:
+            continue
+        shares[recursive] = {site: n / total for site, n in per_site.items()}
+    return shares
+
+
+@dataclass(frozen=True)
+class ViewComparison:
+    """Agreement between the client-side and server-side views."""
+
+    recursives_compared: int
+    mean_divergence: float    # mean over recursives of max |Δshare|
+    p90_divergence: float
+    client_only: int          # recursives visible only client-side
+    server_only: int
+
+    @property
+    def views_equivalent(self) -> bool:
+        """The paper's conclusion for its own data: basically equivalent."""
+        return self.mean_divergence < 0.05
+
+
+def compare_views(
+    observations: list[QueryObservation],
+    deployment: Deployment,
+    min_queries: int = 5,
+) -> ViewComparison:
+    """Compare the two vantages, as the paper does for Figure 4."""
+    client = client_side_shares(observations, min_queries)
+    server = server_side_shares(deployment, min_queries)
+    common = sorted(set(client) & set(server))
+    divergences = []
+    for recursive in common:
+        sites = set(client[recursive]) | set(server[recursive])
+        divergence = max(
+            abs(client[recursive].get(site, 0.0) - server[recursive].get(site, 0.0))
+            for site in sites
+        )
+        divergences.append(divergence)
+    if divergences:
+        mean_divergence = sum(divergences) / len(divergences)
+        p90 = quantile(divergences, 0.90)
+    else:
+        mean_divergence = 0.0
+        p90 = 0.0
+    return ViewComparison(
+        recursives_compared=len(common),
+        mean_divergence=mean_divergence,
+        p90_divergence=p90,
+        client_only=len(set(client) - set(server)),
+        server_only=len(set(server) - set(client)),
+    )

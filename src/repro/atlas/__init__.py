@@ -1,0 +1,20 @@
+"""Vantage-point platform: probes, recursives, measurement campaigns."""
+
+from .catchment import CatchmentEntry, CatchmentReport, map_catchment
+from .platform import AtlasPlatform, MeasurementRun, QueryObservation, VantagePoint
+from .probes import Probe, ProbeGenerator, continent_counts
+from .public import PublicResolverService
+
+__all__ = [
+    "AtlasPlatform",
+    "CatchmentEntry",
+    "CatchmentReport",
+    "MeasurementRun",
+    "Probe",
+    "ProbeGenerator",
+    "PublicResolverService",
+    "QueryObservation",
+    "VantagePoint",
+    "continent_counts",
+    "map_catchment",
+]

@@ -1,0 +1,276 @@
+"""The measurement platform: vantage points querying through recursives.
+
+A :class:`VantagePoint` is a (probe, recursive) pair — the unit of
+analysis in the paper (§3.1).  :class:`AtlasPlatform` builds the
+recursive resolvers for a probe set from a population mix, wires them to
+the simulated network, and runs the periodic TXT measurement with
+cache-busting unique labels.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..dns.name import Name
+from ..dns.types import RRType
+from ..netsim.events import EventScheduler
+from ..netsim.geo import Continent, cities_by_continent
+from ..netsim.network import SimNetwork
+from ..resolvers.population import ResolverPopulation
+from ..resolvers.resolver import RecursiveResolver
+from .probes import Probe
+
+
+@dataclass(frozen=True)
+class VantagePoint:
+    """One (probe, recursive) pair — a VP in the paper's terminology."""
+
+    vp_id: int
+    probe: Probe
+    resolver: RecursiveResolver
+    impl_name: str  # ground truth, invisible to the paper's methodology
+
+    @property
+    def continent(self) -> Continent:
+        return self.probe.continent
+
+
+@dataclass(frozen=True)
+class QueryObservation:
+    """One measured query, combining client- and server-side views."""
+
+    vp_id: int
+    probe_id: int
+    recursive_address: str
+    impl_name: str
+    continent: Continent
+    timestamp: float
+    qname: str
+    site: str                 # site code from the TXT marker ("" if failed)
+    authoritative: str        # service address the answer came from
+    rtt_ms: float | None      # recursive→authoritative RTT of the answer
+    attempts: int
+    succeeded: bool
+
+
+@dataclass
+class MeasurementRun:
+    """All observations of one campaign plus its parameters."""
+
+    domain: str
+    interval_s: float
+    duration_s: float
+    observations: list[QueryObservation] = field(default_factory=list)
+
+    def by_vp(self) -> dict[int, list[QueryObservation]]:
+        grouped: dict[int, list[QueryObservation]] = {}
+        for obs in self.observations:
+            grouped.setdefault(obs.vp_id, []).append(obs)
+        return grouped
+
+    @property
+    def vp_count(self) -> int:
+        return len({obs.vp_id for obs in self.observations})
+
+
+class AtlasPlatform:
+    """Builds vantage points and runs measurements against a deployment."""
+
+    def __init__(
+        self,
+        network: SimNetwork,
+        probes: list[Probe],
+        population: ResolverPopulation,
+        rng: random.Random | None = None,
+        second_resolver_share: float = 0.12,
+        remote_resolver_share: float = 0.20,
+        resolver_sharing_share: float = 0.25,
+        public_services: list | None = None,
+        public_resolver_share: float = 0.0,
+    ):
+        self.network = network
+        self.probes = probes
+        self.population = population
+        self.rng = rng if rng is not None else random.Random(0)
+        self.second_resolver_share = second_resolver_share
+        self.remote_resolver_share = remote_resolver_share
+        self.resolver_sharing_share = resolver_sharing_share
+        self.public_services = list(public_services or [])
+        self.public_resolver_share = public_resolver_share
+        if self.public_resolver_share > 0.0 and not self.public_services:
+            raise ValueError("public_resolver_share needs public_services")
+        self.vantage_points: list[VantagePoint] = []
+        self._resolver_by_as: dict[int, RecursiveResolver] = {}
+        self._impl_by_resolver: dict[str, str] = {}
+        self._next_resolver_ip = 1
+
+    # -- construction -------------------------------------------------------
+
+    def _new_resolver(self, probe: Probe) -> tuple[RecursiveResolver, str]:
+        """Create a recursive near the probe (ISP resolver model)."""
+        sample = self.population.sample()
+        location = probe.location
+        if self.rng.random() < self.remote_resolver_share:
+            # ISP resolver in another city on the same continent.
+            location = self.rng.choice(cities_by_continent(probe.continent))
+        address = f"10.53.{self._next_resolver_ip // 250}.{self._next_resolver_ip % 250 + 1}"
+        self._next_resolver_ip += 1
+        resolver = RecursiveResolver(
+            address,
+            location,
+            self.network,
+            sample.selector,
+            infra_ttl_s=sample.infra_ttl_s,
+            rng=random.Random(self.rng.randrange(2**63)),
+        )
+        self._impl_by_resolver[address] = sample.impl_name
+        return resolver, sample.impl_name
+
+    def build_vantage_points(self) -> list[VantagePoint]:
+        """Assign recursives to probes: shared within AS, sometimes two."""
+        self.vantage_points = []
+        vp_id = 0
+        for probe in self.probes:
+            resolvers: list[tuple[RecursiveResolver, str]] = []
+            if (
+                self.public_services
+                and self.rng.random() < self.public_resolver_share
+            ):
+                service = self.rng.choice(self.public_services)
+                instance = service.instance_for(probe, self.network)
+                resolvers.append((instance, "public"))
+                for resolver, impl in resolvers:
+                    self.vantage_points.append(
+                        VantagePoint(vp_id, probe, resolver, impl)
+                    )
+                    vp_id += 1
+                continue
+            shared = self._resolver_by_as.get(probe.asn)
+            if shared is not None and self.rng.random() < self.resolver_sharing_share:
+                resolvers.append((shared, self._impl_by_resolver[shared.address]))
+            else:
+                resolver, impl = self._new_resolver(probe)
+                self._resolver_by_as.setdefault(probe.asn, resolver)
+                resolvers.append((resolver, impl))
+            if self.rng.random() < self.second_resolver_share:
+                resolver, impl = self._new_resolver(probe)
+                resolvers.append((resolver, impl))
+            for resolver, impl in resolvers:
+                self.vantage_points.append(VantagePoint(vp_id, probe, resolver, impl))
+                vp_id += 1
+        return self.vantage_points
+
+    def configure_zone(self, origin: Name | str, addresses: list[str]) -> None:
+        """Teach every vantage point's recursive the zone's NS addresses.
+
+        Keyed by resolver *instance*, not address: anycast public
+        services run many instances behind one address.
+        """
+        seen: set[int] = set()
+        for vp in self.vantage_points:
+            if id(vp.resolver) not in seen:
+                vp.resolver.add_stub_zone(origin, addresses)
+                seen.add(id(vp.resolver))
+
+    # -- measurement ------------------------------------------------------------
+
+    def measure(
+        self,
+        domain: str,
+        interval_s: float = 120.0,
+        duration_s: float = 3600.0,
+        label_prefix: str = "m",
+    ) -> MeasurementRun:
+        """Run the paper's campaign: a TXT query per VP per interval.
+
+        Labels are unique per (VP, tick) so recursive record caches never
+        short-circuit a query (§3.1 "cold caches").
+        """
+        if not self.vantage_points:
+            self.build_vantage_points()
+        run = MeasurementRun(domain, interval_s, duration_s)
+        ticks = int(duration_s // interval_s)
+        for tick in range(ticks):
+            now = self.network.clock.now
+            for vp in self.vantage_points:
+                qname = f"{label_prefix}-{vp.vp_id}-{tick}.probe.{domain}"
+                result = vp.resolver.resolve(qname, RRType.TXT)
+                site = ""
+                if result.succeeded:
+                    marker = result.txt_value() or ""
+                    site = marker.rsplit("-", 1)[-1] if marker else ""
+                run.observations.append(
+                    QueryObservation(
+                        vp_id=vp.vp_id,
+                        probe_id=vp.probe.probe_id,
+                        recursive_address=vp.resolver.address,
+                        impl_name=vp.impl_name,
+                        continent=vp.continent,
+                        timestamp=now,
+                        qname=qname,
+                        site=site,
+                        authoritative=result.final_address,
+                        rtt_ms=result.rtt_ms,
+                        attempts=len(result.exchanges),
+                        succeeded=result.succeeded,
+                    )
+                )
+            self.network.clock.advance(interval_s)
+        return run
+
+    def measure_event_driven(
+        self,
+        domain: str,
+        interval_s: float = 120.0,
+        duration_s: float = 3600.0,
+        label_prefix: str = "e",
+    ) -> MeasurementRun:
+        """Like :meth:`measure`, but on the discrete-event engine.
+
+        Real Atlas probes are not synchronized: each VP fires at its own
+        phase within the interval.  Queries are events on the shared
+        virtual clock, so interleavings are realistic while remaining
+        fully deterministic for a given platform RNG.
+        """
+        if not self.vantage_points:
+            self.build_vantage_points()
+        run = MeasurementRun(domain, interval_s, duration_s)
+        scheduler = EventScheduler(clock=self.network.clock)
+        epoch = self.network.clock.now
+
+        def fire(vp: VantagePoint, tick: int) -> None:
+            now = self.network.clock.now
+            qname = f"{label_prefix}-{vp.vp_id}-{tick}.probe.{domain}"
+            result = vp.resolver.resolve(qname, RRType.TXT)
+            site = ""
+            if result.succeeded:
+                marker = result.txt_value() or ""
+                site = marker.rsplit("-", 1)[-1] if marker else ""
+            run.observations.append(
+                QueryObservation(
+                    vp_id=vp.vp_id,
+                    probe_id=vp.probe.probe_id,
+                    recursive_address=vp.resolver.address,
+                    impl_name=vp.impl_name,
+                    continent=vp.continent,
+                    timestamp=now,
+                    qname=qname,
+                    site=site,
+                    authoritative=result.final_address,
+                    rtt_ms=result.rtt_ms,
+                    attempts=len(result.exchanges),
+                    succeeded=result.succeeded,
+                )
+            )
+            next_at = now + interval_s
+            if next_at - epoch < duration_s:
+                scheduler.schedule_at(next_at, lambda: fire(vp, tick + 1))
+
+        for vp in self.vantage_points:
+            phase = self.rng.uniform(0.0, interval_s)
+            scheduler.schedule_at(
+                epoch + phase, lambda vp=vp: fire(vp, 0)
+            )
+        scheduler.run_until(epoch + duration_s)
+        return run

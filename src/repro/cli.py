@@ -1,0 +1,412 @@
+"""Command-line interface: run, analyze, and plan from the shell.
+
+Usage (also available as ``python -m repro``):
+
+    repro-dns combos
+    repro-dns run --combo 2C --probes 300 --out run.jsonl
+    repro-dns analyze --run run.jsonl --sites FRA SYD
+    repro-dns sweep --probes 150
+    repro-dns passive --kind root --recursives 250 --out trace.jsonl
+    repro-dns plan --clients 500 --sites FRA IAD SYD GRU --home FRA
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+
+from .analysis import (
+    analyze_interval_sweep,
+    analyze_preference,
+    analyze_probe_all,
+    analyze_query_share,
+    analyze_rank_bands,
+    render_interval_sweep,
+    render_preference,
+    render_probe_all,
+    render_query_share,
+    render_rank_bands,
+    render_table,
+    render_table2,
+    table2_rows,
+)
+from .atlas import ProbeGenerator
+from .core import (
+    COMBINATIONS,
+    FIGURE6_INTERVALS_MIN,
+    DeploymentPlanner,
+    ExperimentConfig,
+    SelectionModel,
+    TestbedExperiment,
+    load_run,
+    run_combination,
+    save_run,
+    sidn_style_designs,
+)
+from .netsim import DATACENTERS
+from .passive import generate_ditl_trace, generate_nl_trace, save_trace
+
+
+def _cmd_combos(args: argparse.Namespace) -> int:
+    rows = [
+        [combo.combo_id, ", ".join(combo.sites), str(combo.paper_vp_count)]
+        for combo in COMBINATIONS.values()
+    ]
+    print(render_table(["ID", "locations", "paper VPs"], rows, title="Table 1"))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    config = ExperimentConfig.for_combination(
+        args.combo,
+        num_probes=args.probes,
+        interval_s=args.interval * 60.0,
+        duration_s=args.duration * 60.0,
+        seed=args.seed,
+        ipv6=args.ipv6,
+    )
+    print(
+        f"running {args.combo} ({', '.join(COMBINATIONS[args.combo].sites)}): "
+        f"{args.probes} probes, every {args.interval} min for {args.duration} min"
+    )
+    result = TestbedExperiment(config).run()
+    print(f"{len(result.observations)} observations from {result.run.vp_count} VPs")
+    if args.out:
+        written = save_run(result.run, args.out)
+        print(f"wrote {written} observations to {args.out}")
+    sites = set(COMBINATIONS[args.combo].sites)
+    ticks = int(config.duration_s // config.interval_s)
+    _print_analyses(result.observations, sites, args.combo, ticks)
+    return 0
+
+
+def _print_analyses(observations, sites, combo_id, ticks: int = 30) -> None:
+    # Short campaigns need a lower per-VP query threshold.
+    min_queries = max(3, min(10, ticks - 2))
+    print()
+    print(
+        render_probe_all(
+            [analyze_probe_all(observations, sites, combo_id, min_queries=min_queries)]
+        )
+    )
+    print()
+    print(render_query_share([analyze_query_share(observations, sites, combo_id)]))
+    print()
+    print(
+        render_preference(
+            [analyze_preference(observations, sites, combo_id, min_queries=min_queries)]
+        )
+    )
+    print()
+    print(
+        render_table2(
+            {combo_id: table2_rows(observations, sites, min_queries=min_queries)}
+        )
+    )
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    run = load_run(args.run)
+    sites = set(args.sites)
+    print(f"{len(run.observations)} observations, {run.vp_count} VPs, domain {run.domain}")
+    ticks = int(run.duration_s // run.interval_s) if run.interval_s else 30
+    _print_analyses(run.observations, sites, args.combo, ticks)
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    runs = {}
+    for minutes in args.intervals:
+        print(f"running 2C at {minutes}-minute interval ...", file=sys.stderr)
+        duration = max(3600.0, minutes * 60.0 * 6)
+        result = run_combination(
+            "2C",
+            num_probes=args.probes,
+            interval_s=minutes * 60.0,
+            duration_s=duration,
+            seed=args.seed,
+        )
+        runs[float(minutes)] = result.observations
+    print(render_interval_sweep(analyze_interval_sweep(runs, args.reference)))
+    return 0
+
+
+def _cmd_passive(args: argparse.Namespace) -> int:
+    if args.kind == "root":
+        trace = generate_ditl_trace(num_recursives=args.recursives, seed=args.seed)
+        target_count, label = 10, "Root, 10 of 13 letters"
+    else:
+        trace = generate_nl_trace(num_recursives=args.recursives, seed=args.seed)
+        target_count, label = 4, ".nl, 4 of 8 NSes"
+    print(f"{trace.query_count} captured queries from {trace.recursive_count()} recursives")
+    if args.out:
+        save_trace(trace, args.out)
+        print(f"wrote trace to {args.out}")
+    result = analyze_rank_bands(
+        trace.queries_by_recursive(),
+        target_count=target_count,
+        min_queries=args.min_queries,
+    )
+    print()
+    print(render_rank_bands(result, label))
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Serve a zone file over real UDP (and TCP) sockets."""
+    from pathlib import Path
+
+    from .dns import (
+        AuthoritativeServer,
+        TcpAuthoritativeServer,
+        UdpAuthoritativeServer,
+        parse_zone_text,
+    )
+
+    text = Path(args.zone).read_text()
+    zone = parse_zone_text(text, args.origin)
+    zone.validate()
+    engine = AuthoritativeServer(args.server_id, [zone])
+    udp = UdpAuthoritativeServer(engine, host=args.host, port=args.port)
+    tcp = TcpAuthoritativeServer(engine, host=args.host, port=udp.address[1])
+    with udp, tcp:
+        host, port = udp.address
+        print(f"serving {zone.origin.to_text()} on {host}:{port} (udp+tcp)")
+        print("Ctrl-C to stop")
+        try:
+            import time as _time
+
+            while True:
+                _time.sleep(0.5)
+                if args.max_queries and engine.stats.queries >= args.max_queries:
+                    break
+        except KeyboardInterrupt:
+            pass
+    print(f"served {engine.stats.queries} queries")
+    return 0
+
+
+def _cmd_scorecard(args: argparse.Namespace) -> int:
+    """Regenerate the full paper-vs-measured scorecard."""
+    from .analysis import Scorecard
+    from .analysis.interval import analyze_interval_sweep
+    from .analysis.rank_bands import analyze_rank_bands
+    from .analysis.preference import table2_rows
+    from .netsim.geo import Continent
+    from .passive import generate_ditl_trace, generate_nl_trace
+
+    card = Scorecard()
+    runs = {}
+    probe_all = {}
+    for combo_id, combo in COMBINATIONS.items():
+        print(f"running {combo_id} ...", file=sys.stderr)
+        result = run_combination(combo_id, num_probes=args.probes, seed=args.seed)
+        runs[combo_id] = result
+        probe_all[combo_id] = analyze_probe_all(
+            result.observations, set(combo.sites), combo_id=combo_id
+        )
+    card.record(
+        "fig2_probed_all_min",
+        min(result.probed_all_pct for result in probe_all.values()),
+    )
+    card.record(
+        "fig2_2ns_median_queries",
+        max(probe_all[c].queries_to_all.median for c in ("2A", "2B", "2C")),
+    )
+    card.record(
+        "fig2_4ns_median_queries",
+        max(probe_all[c].queries_to_all.median for c in ("4A", "4B")),
+    )
+    for combo_id in ("2A", "2B", "2C"):
+        sites = set(COMBINATIONS[combo_id].sites)
+        pref = analyze_preference(runs[combo_id].observations, sites, combo_id)
+        card.record(f"fig4_{combo_id.lower()}_weak", pref.weak_pct)
+        card.record(f"fig4_{combo_id.lower()}_strong", pref.strong_pct)
+    rows = table2_rows(runs["2C"].observations, {"FRA", "SYD"})
+    eu = next(row for row in rows if row.continent == Continent.EU)
+    card.record("table2_2c_eu_fra_share", eu.share_pct_by_site["FRA"])
+    card.record("table2_2c_eu_fra_rtt", eu.median_rtt_by_site["FRA"])
+    card.record("table2_2c_eu_syd_rtt", eu.median_rtt_by_site["SYD"])
+
+    print("running interval sweep ...", file=sys.stderr)
+    sweep_runs = {}
+    for minutes in (2, 30):
+        result = run_combination(
+            "2C", num_probes=args.probes // 2, interval_s=minutes * 60.0,
+            duration_s=3600.0 if minutes == 2 else minutes * 60.0 * 6,
+            seed=args.seed,
+        )
+        sweep_runs[float(minutes)] = result.observations
+    eu_series = dict(
+        analyze_interval_sweep(sweep_runs, "FRA").series(Continent.EU)
+    )
+    card.record("fig6_eu_2min", eu_series[2.0])
+    card.record("fig6_eu_30min_persists", eu_series[30.0])
+
+    print("generating passive traces ...", file=sys.stderr)
+    root = analyze_rank_bands(
+        generate_ditl_trace(
+            num_recursives=args.recursives, seed=2
+        ).queries_by_recursive(),
+        target_count=10, min_queries=250,
+    )
+    card.record("fig7_root_one_letter", root.pct_querying_exactly(1))
+    card.record("fig7_root_six_plus", root.pct_querying_at_least(6))
+    card.record("fig7_root_all_ten", root.pct_querying_all())
+    nl = analyze_rank_bands(
+        generate_nl_trace(
+            num_recursives=args.recursives, seed=3
+        ).queries_by_recursive(),
+        target_count=4, min_queries=250,
+    )
+    card.record("fig7_nl_all_four", nl.pct_querying_all())
+
+    print(card.render())
+    misses = card.misses()
+    print(f"\n{len(card.measured) - len(misses)}/{len(card.measured)} claims within tolerance")
+    return 0 if not misses else 1
+
+
+def _cmd_dig(args: argparse.Namespace) -> int:
+    """Query a real DNS server (pairs with ``serve``)."""
+    from .dns import RRClass, RRType, query_tcp, query_udp
+
+    rrtype = RRType.from_text(args.rrtype)
+    rrclass = RRClass.from_text(args.rrclass)
+    address = (args.server, args.port)
+    if args.tcp:
+        response = query_tcp(address, args.name, rrtype, rrclass, timeout=args.timeout)
+    else:
+        response = query_udp(address, args.name, rrtype, rrclass, timeout=args.timeout)
+        if response.truncated:
+            print(";; truncated — retrying over TCP")
+            response = query_tcp(address, args.name, rrtype, rrclass, timeout=args.timeout)
+    print(response.to_text())
+    return 0 if response.rcode == 0 else 1
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    clients = ProbeGenerator(rng=random.Random(args.seed)).generate(args.clients)
+    planner = DeploymentPlanner(
+        clients, selection=SelectionModel(latency_sensitive_share=args.latency_share)
+    )
+    designs = sidn_style_designs(
+        anycast_sites=tuple(args.sites), home_site=args.home
+    )
+    rows = [
+        [
+            ev.name,
+            str(ev.anycast_count),
+            f"{ev.mean_expected_ms:.1f}",
+            f"{ev.p90_expected_ms:.1f}",
+            f"{ev.mean_worst_ms:.1f}",
+        ]
+        for ev in planner.rank(designs)
+    ]
+    print(
+        render_table(
+            ["design", "anycast", "mean(ms)", "p90(ms)", "worst-NS(ms)"],
+            rows,
+            title=f"NS-set designs over {args.clients} clients",
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-dns",
+        description="Reproduction toolkit for 'Recursives in the Wild' (IMC 2017)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("combos", help="list the Table 1 combinations").set_defaults(
+        func=_cmd_combos
+    )
+
+    run_parser = sub.add_parser("run", help="run a testbed combination")
+    run_parser.add_argument("--combo", default="2C", choices=sorted(COMBINATIONS))
+    run_parser.add_argument("--probes", type=int, default=300)
+    run_parser.add_argument("--interval", type=float, default=2.0, help="minutes")
+    run_parser.add_argument("--duration", type=float, default=60.0, help="minutes")
+    run_parser.add_argument("--seed", type=int, default=0)
+    run_parser.add_argument("--ipv6", action="store_true")
+    run_parser.add_argument("--out", help="save observations as JSONL")
+    run_parser.set_defaults(func=_cmd_run)
+
+    analyze_parser = sub.add_parser("analyze", help="analyze a saved run")
+    analyze_parser.add_argument("--run", required=True, help="JSONL run file")
+    analyze_parser.add_argument("--sites", nargs="+", required=True)
+    analyze_parser.add_argument("--combo", default="?", help="label for the tables")
+    analyze_parser.set_defaults(func=_cmd_analyze)
+
+    sweep_parser = sub.add_parser("sweep", help="Figure 6 interval sweep (2C)")
+    sweep_parser.add_argument("--probes", type=int, default=150)
+    sweep_parser.add_argument("--seed", type=int, default=0)
+    sweep_parser.add_argument(
+        "--intervals", nargs="+", type=int, default=list(FIGURE6_INTERVALS_MIN)
+    )
+    sweep_parser.add_argument("--reference", default="FRA")
+    sweep_parser.set_defaults(func=_cmd_sweep)
+
+    passive_parser = sub.add_parser("passive", help="synthesize a production trace")
+    passive_parser.add_argument("--kind", choices=("root", "nl"), default="root")
+    passive_parser.add_argument("--recursives", type=int, default=250)
+    passive_parser.add_argument("--min-queries", type=int, default=250)
+    passive_parser.add_argument("--seed", type=int, default=2)
+    passive_parser.add_argument("--out", help="save trace as JSONL")
+    passive_parser.set_defaults(func=_cmd_passive)
+
+    scorecard_parser = sub.add_parser(
+        "scorecard", help="regenerate the paper-vs-measured scorecard"
+    )
+    scorecard_parser.add_argument("--probes", type=int, default=300)
+    scorecard_parser.add_argument("--recursives", type=int, default=250)
+    scorecard_parser.add_argument("--seed", type=int, default=20170412)
+    scorecard_parser.set_defaults(func=_cmd_scorecard)
+
+    dig_parser = sub.add_parser("dig", help="query a real DNS server")
+    dig_parser.add_argument("server", help="server address")
+    dig_parser.add_argument("name", help="query name")
+    dig_parser.add_argument("rrtype", nargs="?", default="A")
+    dig_parser.add_argument("-p", "--port", type=int, default=53)
+    dig_parser.add_argument("--rrclass", default="IN")
+    dig_parser.add_argument("--tcp", action="store_true")
+    dig_parser.add_argument("--timeout", type=float, default=3.0)
+    dig_parser.set_defaults(func=_cmd_dig)
+
+    serve_parser = sub.add_parser("serve", help="serve a zone file over UDP/TCP")
+    serve_parser.add_argument("--zone", required=True, help="master-file path")
+    serve_parser.add_argument("--origin", required=True, help="zone origin")
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument("--port", type=int, default=5353)
+    serve_parser.add_argument("--server-id", default="repro-authoritative")
+    serve_parser.add_argument(
+        "--max-queries", type=int, default=0,
+        help="stop after N queries (0 = run until interrupted)",
+    )
+    serve_parser.set_defaults(func=_cmd_serve)
+
+    plan_parser = sub.add_parser("plan", help="evaluate NS-set designs (§7)")
+    plan_parser.add_argument("--clients", type=int, default=500)
+    plan_parser.add_argument(
+        "--sites", nargs="+", default=["FRA", "IAD", "SYD", "GRU"],
+        choices=sorted(DATACENTERS),
+    )
+    plan_parser.add_argument("--home", default="FRA", choices=sorted(DATACENTERS))
+    plan_parser.add_argument("--latency-share", type=float, default=0.5)
+    plan_parser.add_argument("--seed", type=int, default=0)
+    plan_parser.set_defaults(func=_cmd_plan)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,77 @@
+"""The paper's experiments and operator guidance (core contribution)."""
+
+from .capture import (
+    Capture,
+    CapturedExchange,
+    CapturingNetwork,
+    load_capture,
+    save_capture,
+)
+from .combinations import COMBINATIONS, FIGURE6_INTERVALS_MIN, Combination
+from .deployment import (
+    AuthoritativeSpec,
+    DeployedAuthoritative,
+    Deployment,
+    build_zone,
+)
+from .experiment import (
+    DEFAULT_DOMAIN,
+    ExperimentConfig,
+    ExperimentResult,
+    TestbedExperiment,
+    run_combination,
+)
+from .planner import (
+    ClientLatency,
+    DeploymentEvaluation,
+    DeploymentPlanner,
+    SelectionModel,
+    sidn_style_designs,
+)
+from .resilience import (
+    AttackScenario,
+    ResilienceEvaluator,
+    ResilienceReport,
+    SiteLoad,
+)
+from .results import (
+    iter_observations,
+    load_run,
+    observation_from_dict,
+    observation_to_dict,
+    save_run,
+)
+
+__all__ = [
+    "AttackScenario",
+    "AuthoritativeSpec",
+    "COMBINATIONS",
+    "Capture",
+    "CapturedExchange",
+    "CapturingNetwork",
+    "load_capture",
+    "save_capture",
+    "ClientLatency",
+    "Combination",
+    "DEFAULT_DOMAIN",
+    "DeployedAuthoritative",
+    "Deployment",
+    "DeploymentEvaluation",
+    "DeploymentPlanner",
+    "ExperimentConfig",
+    "ExperimentResult",
+    "FIGURE6_INTERVALS_MIN",
+    "ResilienceEvaluator",
+    "ResilienceReport",
+    "SelectionModel",
+    "SiteLoad",
+    "TestbedExperiment",
+    "build_zone",
+    "iter_observations",
+    "load_run",
+    "observation_from_dict",
+    "observation_to_dict",
+    "run_combination",
+    "save_run",
+    "sidn_style_designs",
+]

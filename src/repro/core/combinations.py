@@ -1,0 +1,44 @@
+"""Table 1: the seven authoritative-server combinations of the paper.
+
+Each combination deploys 2-4 unicast authoritatives in AWS datacenters,
+chosen to vary geographic proximity: the *A*/*C* variants spread sites
+across continents, the *B* variants cluster them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Combination:
+    """One row of Table 1."""
+
+    combo_id: str
+    sites: tuple[str, ...]
+    paper_vp_count: int     # VPs the paper saw for this combination
+    paper_probe_all_pct: float  # % of recursives that queried all NSes (Fig 2)
+
+    @property
+    def size(self) -> int:
+        return len(self.sites)
+
+
+#: Table 1 of the paper, including the per-combination results the
+#: reproduction is compared against (x-axis labels of Figure 2).
+COMBINATIONS: dict[str, Combination] = {
+    combo.combo_id: combo
+    for combo in [
+        Combination("2A", ("GRU", "NRT"), 8702, 96.0),
+        Combination("2B", ("DUB", "FRA"), 8685, 95.5),
+        Combination("2C", ("FRA", "SYD"), 8658, 82.4),
+        Combination("3A", ("GRU", "NRT", "SYD"), 8684, 91.3),
+        Combination("3B", ("DUB", "FRA", "IAD"), 8693, 84.8),
+        Combination("4A", ("GRU", "NRT", "SYD", "DUB"), 8702, 94.7),
+        Combination("4B", ("DUB", "FRA", "IAD", "SFO"), 8689, 75.2),
+    ]
+}
+
+#: The query intervals (minutes) of the paper's §4.4 frequency sweep,
+#: run on combination 2C (Figure 6).
+FIGURE6_INTERVALS_MIN: tuple[int, ...] = (2, 5, 10, 15, 20, 30)

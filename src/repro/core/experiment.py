@@ -1,0 +1,117 @@
+"""The paper's testbed experiment, end to end (§3.1).
+
+One :class:`TestbedExperiment` = deploy a combination of authoritatives
+for the test domain, generate the probe population, attach recursives,
+and run the periodic TXT measurement.  Everything is seeded, so a given
+configuration always reproduces the same observations.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..atlas.platform import AtlasPlatform, MeasurementRun
+from ..atlas.probes import ProbeGenerator
+from ..netsim.latency import LatencyModel, LatencyParameters
+from ..netsim.network import SimNetwork
+from ..resolvers.population import ResolverPopulation
+from .combinations import COMBINATIONS
+from .deployment import AuthoritativeSpec, Deployment
+
+DEFAULT_DOMAIN = "ourtestdomain.nl."
+
+
+@dataclass
+class ExperimentConfig:
+    """Everything that defines one testbed run."""
+
+    authoritatives: list[AuthoritativeSpec]
+    domain: str = DEFAULT_DOMAIN
+    num_probes: int = 400
+    interval_s: float = 120.0
+    duration_s: float = 3600.0
+    seed: int = 0
+    resolver_mix: dict[str, float] | None = None
+    latency_params: LatencyParameters = field(default_factory=LatencyParameters)
+    #: §3.1 IPv6 variant: deploy v6-only authoritatives and measure from
+    #: the IPv6-capable subset of the probes.
+    ipv6: bool = False
+
+    @classmethod
+    def for_combination(cls, combo_id: str, **overrides) -> "ExperimentConfig":
+        """Build the config for a Table 1 combination (e.g. '2C')."""
+        combo = COMBINATIONS[combo_id]
+        specs = [
+            AuthoritativeSpec(name=f"ns{i + 1}", sites=(code,))
+            for i, code in enumerate(combo.sites)
+        ]
+        return cls(authoritatives=specs, **overrides)
+
+
+@dataclass
+class ExperimentResult:
+    """Outputs of one run: client-side run + server-side views."""
+
+    config: ExperimentConfig
+    run: MeasurementRun
+    addresses: list[str]
+    site_of_address: dict[str, str]
+    server_query_counts: dict[str, int]
+    deployment: Deployment
+
+    @property
+    def observations(self):
+        return self.run.observations
+
+
+class TestbedExperiment:
+    """Deploys, measures, and collects one experiment."""
+
+    __test__ = False  # not a pytest class, despite the name
+
+    def __init__(self, config: ExperimentConfig):
+        self.config = config
+        root = random.Random(config.seed)
+        self.network = SimNetwork(
+            latency=LatencyModel(
+                config.latency_params, rng=random.Random(root.randrange(2**63))
+            )
+        )
+        self.deployment = Deployment(config.domain, config.authoritatives)
+        self.population = ResolverPopulation(
+            config.resolver_mix, rng=random.Random(root.randrange(2**63))
+        )
+        self.probe_rng = random.Random(root.randrange(2**63))
+        self.platform_rng = random.Random(root.randrange(2**63))
+
+    def run(self) -> ExperimentResult:
+        base = "2001:db8:53" if self.config.ipv6 else "10.0"
+        addresses = self.deployment.deploy(self.network, base_address=base)
+        probes = ProbeGenerator(rng=self.probe_rng).generate(self.config.num_probes)
+        if self.config.ipv6:
+            probes = [probe for probe in probes if probe.ipv6_capable]
+        platform = AtlasPlatform(
+            self.network, probes, self.population, rng=self.platform_rng
+        )
+        platform.build_vantage_points()
+        platform.configure_zone(self.config.domain, addresses)
+        run = platform.measure(
+            self.config.domain.rstrip("."),
+            interval_s=self.config.interval_s,
+            duration_s=self.config.duration_s,
+        )
+        return ExperimentResult(
+            config=self.config,
+            run=run,
+            addresses=addresses,
+            site_of_address=self.deployment.site_of_address(),
+            server_query_counts=self.deployment.server_query_counts(),
+            deployment=self.deployment,
+        )
+
+
+def run_combination(combo_id: str, **overrides) -> ExperimentResult:
+    """Convenience: run one Table 1 combination end to end."""
+    config = ExperimentConfig.for_combination(combo_id, **overrides)
+    return TestbedExperiment(config).run()

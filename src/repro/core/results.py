@@ -1,0 +1,95 @@
+"""Result persistence: observations to/from JSON Lines.
+
+The paper publishes its measurement dataset [19, 22]; this module gives
+the reproduction the same property — campaigns can be stored, shared,
+and re-analyzed without re-running the simulation.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from ..atlas.platform import MeasurementRun, QueryObservation
+from ..netsim.geo import Continent
+
+
+def observation_to_dict(obs: QueryObservation) -> dict:
+    return {
+        "vp_id": obs.vp_id,
+        "probe_id": obs.probe_id,
+        "recursive": obs.recursive_address,
+        "impl": obs.impl_name,
+        "continent": obs.continent.value,
+        "t": obs.timestamp,
+        "qname": obs.qname,
+        "site": obs.site,
+        "authoritative": obs.authoritative,
+        "rtt_ms": obs.rtt_ms,
+        "attempts": obs.attempts,
+        "ok": obs.succeeded,
+    }
+
+
+def observation_from_dict(row: dict) -> QueryObservation:
+    return QueryObservation(
+        vp_id=row["vp_id"],
+        probe_id=row["probe_id"],
+        recursive_address=row["recursive"],
+        impl_name=row["impl"],
+        continent=Continent(row["continent"]),
+        timestamp=row["t"],
+        qname=row["qname"],
+        site=row["site"],
+        authoritative=row["authoritative"],
+        rtt_ms=row["rtt_ms"],
+        attempts=row["attempts"],
+        succeeded=row["ok"],
+    )
+
+
+def save_run(run: MeasurementRun, path: str | Path) -> int:
+    """Write a run as JSONL with a header line; returns rows written."""
+    path = Path(path)
+    with path.open("w") as fh:
+        header = {
+            "kind": "measurement_run",
+            "domain": run.domain,
+            "interval_s": run.interval_s,
+            "duration_s": run.duration_s,
+        }
+        fh.write(json.dumps(header) + "\n")
+        for obs in run.observations:
+            fh.write(json.dumps(observation_to_dict(obs)) + "\n")
+    return len(run.observations)
+
+
+def load_run(path: str | Path) -> MeasurementRun:
+    """Read a run written by :func:`save_run`."""
+    path = Path(path)
+    with path.open() as fh:
+        header = json.loads(fh.readline())
+        if header.get("kind") != "measurement_run":
+            raise ValueError(f"{path} is not a measurement-run file")
+        run = MeasurementRun(
+            domain=header["domain"],
+            interval_s=header["interval_s"],
+            duration_s=header["duration_s"],
+        )
+        for line in fh:
+            line = line.strip()
+            if line:
+                run.observations.append(observation_from_dict(json.loads(line)))
+    return run
+
+
+def iter_observations(path: str | Path) -> Iterator[QueryObservation]:
+    """Stream observations from disk without loading the whole run."""
+    path = Path(path)
+    with path.open() as fh:
+        fh.readline()  # header
+        for line in fh:
+            line = line.strip()
+            if line:
+                yield observation_from_dict(json.loads(line))

@@ -1,0 +1,107 @@
+"""From-scratch DNS substrate: names, wire format, zones, authoritative engine."""
+
+from .errors import (
+    DnsError,
+    NameError_,
+    WireFormatError,
+    ZoneError,
+    ZoneFileSyntaxError,
+)
+from .message import Message, Question
+from .name import ROOT, Name
+from .rdata import (
+    AAAA,
+    CNAME,
+    MX,
+    NS,
+    PTR,
+    SOA,
+    SRV,
+    TXT,
+    A,
+    GenericRdata,
+    Rdata,
+)
+from .records import ResourceRecord, RRset, group_rrsets
+from .axfr import (
+    NotifyReceiver,
+    SecondaryZone,
+    build_notify,
+    request_axfr,
+    zone_from_axfr,
+)
+from .rdata import CAA, OPT
+from .rrl import ResponseRateLimiter, RrlAction
+from .server import AuthoritativeServer, QueryLogEntry, ServerStats
+from .tcp import (
+    TcpAuthoritativeServer,
+    query_tcp,
+    query_with_tcp_fallback,
+)
+from .types import Opcode, Rcode, RRClass, RRType
+from .udp import UdpAuthoritativeServer, query_udp
+from .update import (
+    UpdateHandler,
+    UpdatePolicy,
+    attach_update_handling,
+    make_update,
+)
+from .zone import LookupResult, LookupStatus, Zone
+from .zonefile import parse_zone_file, parse_zone_text, zone_to_text
+
+__all__ = [
+    "A",
+    "AAAA",
+    "AuthoritativeServer",
+    "CAA",
+    "CNAME",
+    "DnsError",
+    "GenericRdata",
+    "LookupResult",
+    "LookupStatus",
+    "MX",
+    "NotifyReceiver",
+    "Message",
+    "NS",
+    "Name",
+    "NameError_",
+    "OPT",
+    "Opcode",
+    "PTR",
+    "Question",
+    "QueryLogEntry",
+    "ROOT",
+    "RRClass",
+    "RRType",
+    "RRset",
+    "Rcode",
+    "Rdata",
+    "ResourceRecord",
+    "ResponseRateLimiter",
+    "RrlAction",
+    "SOA",
+    "SecondaryZone",
+    "SRV",
+    "ServerStats",
+    "TXT",
+    "TcpAuthoritativeServer",
+    "UdpAuthoritativeServer",
+    "UpdateHandler",
+    "UpdatePolicy",
+    "WireFormatError",
+    "attach_update_handling",
+    "build_notify",
+    "make_update",
+    "Zone",
+    "ZoneError",
+    "ZoneFileSyntaxError",
+    "group_rrsets",
+    "parse_zone_file",
+    "parse_zone_text",
+    "query_tcp",
+    "query_udp",
+    "query_with_tcp_fallback",
+    "request_axfr",
+    "zone_from_axfr",
+    "zone_to_text",
+]

@@ -1,0 +1,49 @@
+"""Exception hierarchy for the DNS substrate.
+
+Every error raised by :mod:`repro.dns` derives from :class:`DnsError`, so
+callers can catch protocol problems without masking unrelated bugs.
+"""
+
+from __future__ import annotations
+
+
+class DnsError(Exception):
+    """Base class for all DNS protocol errors."""
+
+
+class NameError_(DnsError):
+    """A domain name is syntactically invalid (label/name length, bad escape)."""
+
+
+class WireFormatError(DnsError):
+    """A DNS message could not be decoded from wire format."""
+
+
+class TruncatedMessageError(WireFormatError):
+    """The wire message ended before a field was complete."""
+
+
+class CompressionLoopError(WireFormatError):
+    """Compression pointers in a wire message form a loop."""
+
+
+class BadPointerError(WireFormatError):
+    """A compression pointer points forward or out of bounds."""
+
+
+class UnknownRdataTypeError(DnsError):
+    """An RDATA type has no registered implementation and no raw fallback."""
+
+
+class ZoneError(DnsError):
+    """A zone is malformed (missing SOA, out-of-zone records, ...)."""
+
+
+class ZoneFileSyntaxError(ZoneError):
+    """A master (zone) file could not be parsed."""
+
+    def __init__(self, message: str, line: int | None = None):
+        self.line = line
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)

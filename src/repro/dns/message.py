@@ -1,0 +1,312 @@
+"""DNS messages: header, question, and the four record sections.
+
+Encoding applies RFC 1035 name compression across the whole message;
+decoding follows compression pointers and validates counts.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+from .errors import TruncatedMessageError, WireFormatError
+from .name import Name
+from .records import ResourceRecord
+from .types import (
+    FLAG_AA,
+    FLAG_AD,
+    FLAG_CD,
+    FLAG_QR,
+    FLAG_RA,
+    FLAG_RD,
+    FLAG_TC,
+    Opcode,
+    Rcode,
+    RRClass,
+    RRType,
+)
+
+HEADER_STRUCT = struct.Struct("!HHHHHH")
+
+
+@dataclass(frozen=True)
+class Question:
+    """One entry of the question section."""
+
+    name: Name
+    rrtype: RRType
+    rrclass: RRClass = RRClass.IN
+
+    def to_wire(self, compress: dict[Name, int] | None = None, offset: int = 0) -> bytes:
+        return self.name.to_wire(compress, offset) + struct.pack(
+            "!HH", int(self.rrtype), int(self.rrclass)
+        )
+
+    @classmethod
+    def from_wire(cls, wire: bytes, offset: int) -> tuple["Question", int]:
+        name, cursor = Name.from_wire(wire, offset)
+        if cursor + 4 > len(wire):
+            raise TruncatedMessageError("question truncated")
+        type_code, class_code = struct.unpack_from("!HH", wire, cursor)
+        try:
+            rrtype = RRType(type_code)
+        except ValueError:
+            rrtype = type_code  # type: ignore[assignment]
+        try:
+            rrclass = RRClass(class_code)
+        except ValueError:
+            rrclass = class_code  # type: ignore[assignment]
+        return cls(name, rrtype, rrclass), cursor + 4
+
+    def to_text(self) -> str:
+        rrtype = self.rrtype.to_text() if isinstance(self.rrtype, RRType) else f"TYPE{self.rrtype}"
+        return f"{self.name.to_text()} {RRClass(self.rrclass).to_text()} {rrtype}"
+
+
+@dataclass
+class Message:
+    """A complete DNS message.
+
+    EDNS0 (RFC 6891) is handled as message state, not as a literal
+    record: ``edns_payload`` holds the advertised UDP payload size when
+    the message carries an OPT pseudo-record (None otherwise).  The OPT
+    record is synthesized on encode and absorbed on decode.
+    """
+
+    msg_id: int = 0
+    flags: int = 0
+    opcode: Opcode = Opcode.QUERY
+    rcode: Rcode = Rcode.NOERROR
+    questions: list[Question] = field(default_factory=list)
+    answers: list[ResourceRecord] = field(default_factory=list)
+    authorities: list[ResourceRecord] = field(default_factory=list)
+    additionals: list[ResourceRecord] = field(default_factory=list)
+    edns_payload: int | None = None
+    #: EDNS options as (code, payload) pairs; NSID is code 3 (RFC 5001)
+    edns_options: list[tuple[int, bytes]] = field(default_factory=list)
+
+    EDNS_NSID = 3
+
+    # -- flag helpers ---------------------------------------------------
+
+    def _flag(self, mask: int) -> bool:
+        return bool(self.flags & mask)
+
+    def _set_flag(self, mask: int, value: bool) -> None:
+        if value:
+            self.flags |= mask
+        else:
+            self.flags &= ~mask
+
+    @property
+    def is_response(self) -> bool:
+        return self._flag(FLAG_QR)
+
+    @is_response.setter
+    def is_response(self, value: bool) -> None:
+        self._set_flag(FLAG_QR, value)
+
+    @property
+    def authoritative(self) -> bool:
+        return self._flag(FLAG_AA)
+
+    @authoritative.setter
+    def authoritative(self, value: bool) -> None:
+        self._set_flag(FLAG_AA, value)
+
+    @property
+    def truncated(self) -> bool:
+        return self._flag(FLAG_TC)
+
+    @truncated.setter
+    def truncated(self, value: bool) -> None:
+        self._set_flag(FLAG_TC, value)
+
+    @property
+    def recursion_desired(self) -> bool:
+        return self._flag(FLAG_RD)
+
+    @recursion_desired.setter
+    def recursion_desired(self, value: bool) -> None:
+        self._set_flag(FLAG_RD, value)
+
+    @property
+    def recursion_available(self) -> bool:
+        return self._flag(FLAG_RA)
+
+    @recursion_available.setter
+    def recursion_available(self, value: bool) -> None:
+        self._set_flag(FLAG_RA, value)
+
+    # -- construction helpers --------------------------------------------
+
+    @classmethod
+    def make_query(
+        cls,
+        name: Name | str,
+        rrtype: RRType,
+        rrclass: RRClass = RRClass.IN,
+        msg_id: int = 0,
+        recursion_desired: bool = True,
+    ) -> "Message":
+        if isinstance(name, str):
+            name = Name.from_text(name)
+        message = cls(msg_id=msg_id)
+        message.questions.append(Question(name, rrtype, rrclass))
+        message.recursion_desired = recursion_desired
+        return message
+
+    def use_edns(self, payload: int = 4096) -> "Message":
+        """Attach an EDNS0 OPT advertising ``payload`` bytes; returns self."""
+        if not 512 <= payload <= 65535:
+            raise WireFormatError(f"EDNS payload {payload} out of range")
+        self.edns_payload = payload
+        return self
+
+    def request_nsid(self) -> "Message":
+        """Ask the server to identify itself via the NSID option."""
+        if self.edns_payload is None:
+            self.use_edns()
+        if (self.EDNS_NSID, b"") not in self.edns_options:
+            self.edns_options.append((self.EDNS_NSID, b""))
+        return self
+
+    @property
+    def nsid(self) -> bytes | None:
+        """The NSID payload of this message, if present."""
+        for code, payload in self.edns_options:
+            if code == self.EDNS_NSID:
+                return payload
+        return None
+
+    def make_response(self) -> "Message":
+        """Start a response to this query: copy id, question, RD, EDNS."""
+        response = Message(msg_id=self.msg_id, opcode=self.opcode)
+        response.questions = list(self.questions)
+        response.is_response = True
+        response.recursion_desired = self.recursion_desired
+        if self.edns_payload is not None:
+            response.edns_payload = self.edns_payload
+        return response
+
+    @property
+    def question(self) -> Question:
+        """The sole question; raises when the count is not exactly one."""
+        if len(self.questions) != 1:
+            raise WireFormatError(f"expected 1 question, have {len(self.questions)}")
+        return self.questions[0]
+
+    # -- wire format ------------------------------------------------------
+
+    def to_wire(self, max_size: int | None = None) -> bytes:
+        """Encode with name compression.
+
+        When ``max_size`` is given and the message does not fit, the answer
+        sections are dropped and the TC bit is set (UDP truncation).
+        """
+        wire = self._encode()
+        if max_size is not None and len(wire) > max_size:
+            truncated = Message(
+                msg_id=self.msg_id,
+                flags=self.flags | FLAG_TC,
+                opcode=self.opcode,
+                rcode=self.rcode,
+                questions=list(self.questions),
+                edns_payload=self.edns_payload,
+                edns_options=list(self.edns_options),
+            )
+            wire = truncated._encode()
+        return wire
+
+    def _opt_record(self) -> ResourceRecord:
+        """Synthesize the OPT pseudo-record for this message's EDNS state."""
+        from .name import ROOT
+        from .rdata import OPT
+
+        return ResourceRecord(
+            ROOT,
+            RRType.OPT,
+            self.edns_payload,  # type: ignore[arg-type]  # CLASS = payload
+            0,
+            OPT.encode_options(self.edns_options) if self.edns_options else OPT(),
+        )
+
+    def _encode(self) -> bytes:
+        flags = (
+            (self.flags & ~0x7800 & ~0x000F)
+            | (int(self.opcode) << 11)
+            | (int(self.rcode) & 0x000F)
+        )
+        additionals = list(self.additionals)
+        if self.edns_payload is not None:
+            additionals.append(self._opt_record())
+        out = bytearray(
+            HEADER_STRUCT.pack(
+                self.msg_id,
+                flags,
+                len(self.questions),
+                len(self.answers),
+                len(self.authorities),
+                len(additionals),
+            )
+        )
+        compress: dict[Name, int] = {}
+        for question in self.questions:
+            out += question.to_wire(compress, len(out))
+        for record in self.answers + self.authorities + additionals:
+            out += record.to_wire(compress, len(out))
+        return bytes(out)
+
+    @classmethod
+    def from_wire(cls, wire: bytes) -> "Message":
+        if len(wire) < HEADER_STRUCT.size:
+            raise TruncatedMessageError("message shorter than header")
+        msg_id, flags, qdcount, ancount, nscount, arcount = HEADER_STRUCT.unpack_from(wire)
+        # Keep AA/TC/RD/RA/AD/CD bits; opcode and rcode live in fields.
+        message = cls(
+            msg_id=msg_id,
+            flags=flags
+            & (FLAG_QR | FLAG_AA | FLAG_TC | FLAG_RD | FLAG_RA | FLAG_AD | FLAG_CD),
+            opcode=Opcode((flags >> 11) & 0xF),
+            rcode=Rcode(flags & 0xF),
+        )
+        cursor = HEADER_STRUCT.size
+        for _ in range(qdcount):
+            question, cursor = Question.from_wire(wire, cursor)
+            message.questions.append(question)
+        for count, section in (
+            (ancount, message.answers),
+            (nscount, message.authorities),
+            (arcount, message.additionals),
+        ):
+            for _ in range(count):
+                record, cursor = ResourceRecord.from_wire(wire, cursor)
+                section.append(record)
+        # Absorb the OPT pseudo-record into EDNS state (RFC 6891 §6.1.1).
+        for record in list(message.additionals):
+            if record.rrtype == RRType.OPT:
+                message.edns_payload = int(record.rrclass)
+                decode = getattr(record.rdata, "decode_options", None)
+                if decode is not None:
+                    message.edns_options = decode()
+                message.additionals.remove(record)
+        return message
+
+    def to_text(self) -> str:
+        lines = [
+            f";; id {self.msg_id} opcode {self.opcode.name} rcode {self.rcode.to_text()}"
+            f" flags{' qr' if self.is_response else ''}{' aa' if self.authoritative else ''}"
+            f"{' tc' if self.truncated else ''}{' rd' if self.recursion_desired else ''}"
+            f"{' ra' if self.recursion_available else ''}",
+            ";; QUESTION",
+            *(f";{q.to_text()}" for q in self.questions),
+        ]
+        for title, section in (
+            ("ANSWER", self.answers),
+            ("AUTHORITY", self.authorities),
+            ("ADDITIONAL", self.additionals),
+        ):
+            if section:
+                lines.append(f";; {title}")
+                lines.extend(record.to_text() for record in section)
+        return "\n".join(lines)

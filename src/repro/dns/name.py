@@ -1,0 +1,273 @@
+"""Domain names.
+
+A :class:`Name` is an immutable, case-preserving but case-insensitively
+comparable sequence of labels, plus conversions between presentation
+format (``www.example.nl.``), wire format (length-prefixed labels), and
+the compression-pointer scheme of RFC 1035 §4.1.4.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from .errors import (
+    BadPointerError,
+    CompressionLoopError,
+    NameError_,
+    TruncatedMessageError,
+)
+
+MAX_LABEL_LENGTH = 63
+MAX_NAME_LENGTH = 255  # total wire length including the root label
+
+_ESCAPED = {ord("."), ord("\\")}
+
+
+def _escape_label(label: bytes) -> str:
+    """Render one label in presentation format, escaping special bytes."""
+    out: list[str] = []
+    for byte in label:
+        if byte in _ESCAPED:
+            out.append("\\" + chr(byte))
+        elif 0x21 <= byte <= 0x7E:
+            out.append(chr(byte))
+        else:
+            out.append("\\%03d" % byte)
+    return "".join(out)
+
+
+def _parse_labels(text: str) -> list[bytes]:
+    """Split presentation-format text into raw label bytes, handling escapes."""
+    labels: list[bytes] = []
+    current = bytearray()
+    i = 0
+    n = len(text)
+    while i < n:
+        char = text[i]
+        if char == "\\":
+            if i + 1 >= n:
+                raise NameError_(f"dangling escape in {text!r}")
+            nxt = text[i + 1]
+            if nxt.isdigit():
+                if i + 3 >= n or not text[i + 1 : i + 4].isdigit():
+                    raise NameError_(f"bad decimal escape in {text!r}")
+                value = int(text[i + 1 : i + 4])
+                if value > 255:
+                    raise NameError_(f"escape value {value} > 255 in {text!r}")
+                current.append(value)
+                i += 4
+            else:
+                current.append(ord(nxt))
+                i += 2
+        elif char == ".":
+            if not current:
+                raise NameError_(f"empty label in {text!r}")
+            labels.append(bytes(current))
+            current = bytearray()
+            i += 1
+        else:
+            current.append(ord(char))
+            i += 1
+    if current:
+        labels.append(bytes(current))
+    return labels
+
+
+class Name:
+    """An immutable domain name.
+
+    Names are always stored fully qualified; the root name has zero
+    labels.  Comparison and hashing are case-insensitive per RFC 1035
+    §2.3.3, while the original spelling is preserved for display.
+    """
+
+    __slots__ = ("_labels", "_folded")
+
+    def __init__(self, labels: Iterable[bytes] = ()):
+        labels = tuple(labels)
+        for label in labels:
+            if not label:
+                raise NameError_("empty label")
+            if len(label) > MAX_LABEL_LENGTH:
+                raise NameError_(
+                    f"label {label!r} exceeds {MAX_LABEL_LENGTH} bytes"
+                )
+        if sum(len(label) + 1 for label in labels) + 1 > MAX_NAME_LENGTH:
+            raise NameError_("name exceeds 255 wire bytes")
+        self._labels = labels
+        self._folded = tuple(label.lower() for label in labels)
+
+    # -- constructors ---------------------------------------------------
+
+    @classmethod
+    def from_text(cls, text: str) -> "Name":
+        """Parse presentation format; a trailing dot is accepted and implied."""
+        if text in (".", ""):
+            return ROOT
+        if text.endswith("."):
+            text = text[:-1]
+        return cls(_parse_labels(text))
+
+    @classmethod
+    def from_wire(cls, wire: bytes, offset: int) -> tuple["Name", int]:
+        """Decode a (possibly compressed) name starting at ``offset``.
+
+        Returns the name and the offset just past its encoding in the
+        original stream (compression targets do not advance the cursor).
+        """
+        labels: list[bytes] = []
+        cursor = offset
+        end: int | None = None  # offset after the name in the original stream
+        seen_pointers: set[int] = set()
+        while True:
+            if cursor >= len(wire):
+                raise TruncatedMessageError("name runs past end of message")
+            length = wire[cursor]
+            if length == 0:
+                if end is None:
+                    end = cursor + 1
+                return cls(labels), end
+            if length & 0xC0 == 0xC0:
+                if cursor + 1 >= len(wire):
+                    raise TruncatedMessageError("truncated compression pointer")
+                target = ((length & 0x3F) << 8) | wire[cursor + 1]
+                if target >= cursor:
+                    raise BadPointerError(
+                        f"forward compression pointer {target} at {cursor}"
+                    )
+                if target in seen_pointers:
+                    raise CompressionLoopError(
+                        f"compression pointer loop at {target}"
+                    )
+                seen_pointers.add(target)
+                if end is None:
+                    end = cursor + 2
+                cursor = target
+            elif length & 0xC0:
+                raise BadPointerError(f"reserved label type 0x{length:02x}")
+            else:
+                if cursor + 1 + length > len(wire):
+                    raise TruncatedMessageError("label runs past end of message")
+                labels.append(wire[cursor + 1 : cursor + 1 + length])
+                cursor += 1 + length
+                if sum(len(lab) + 1 for lab in labels) + 1 > MAX_NAME_LENGTH:
+                    raise NameError_("decoded name exceeds 255 wire bytes")
+
+    # -- conversions ----------------------------------------------------
+
+    def to_text(self) -> str:
+        if not self._labels:
+            return "."
+        return ".".join(_escape_label(label) for label in self._labels) + "."
+
+    def to_wire(
+        self,
+        compress: dict["Name", int] | None = None,
+        offset: int = 0,
+    ) -> bytes:
+        """Encode to wire format.
+
+        When ``compress`` is given it maps already-emitted names to their
+        message offsets; suffixes found there are replaced by pointers,
+        and newly emitted suffixes at pointer-reachable offsets are added.
+        """
+        out = bytearray()
+        name = self
+        while name._labels:
+            if compress is not None:
+                target = compress.get(name)
+                if target is not None and target < 0x4000:
+                    out += bytes([0xC0 | (target >> 8), target & 0xFF])
+                    return bytes(out)
+                if offset + len(out) < 0x4000:
+                    compress[name] = offset + len(out)
+            label = name._labels[0]
+            out.append(len(label))
+            out += label
+            name = name.parent()
+        out.append(0)
+        return bytes(out)
+
+    # -- structure ------------------------------------------------------
+
+    @property
+    def labels(self) -> tuple[bytes, ...]:
+        return self._labels
+
+    def parent(self) -> "Name":
+        """The name with the leftmost label removed; root's parent is an error."""
+        if not self._labels:
+            raise NameError_("the root name has no parent")
+        return Name(self._labels[1:])
+
+    def child(self, label: str | bytes) -> "Name":
+        """Prepend one label."""
+        if isinstance(label, str):
+            parsed = _parse_labels(label)
+            if len(parsed) != 1:
+                raise NameError_(f"{label!r} is not a single label")
+            label = parsed[0]
+        return Name((label,) + self._labels)
+
+    def concatenate(self, suffix: "Name") -> "Name":
+        return Name(self._labels + suffix.labels)
+
+    def is_subdomain_of(self, other: "Name") -> bool:
+        """True when ``self`` equals ``other`` or lies below it."""
+        if len(other._folded) > len(self._folded):
+            return False
+        if not other._folded:
+            return True
+        return self._folded[-len(other._folded) :] == other._folded
+
+    def relativize(self, origin: "Name") -> tuple[bytes, ...]:
+        """Labels of ``self`` below ``origin``; raises if not a subdomain."""
+        if not self.is_subdomain_of(origin):
+            raise NameError_(f"{self} is not under {origin}")
+        count = len(self._labels) - len(origin.labels)
+        return self._labels[:count]
+
+    def is_root(self) -> bool:
+        return not self._labels
+
+    def wire_length(self) -> int:
+        """Uncompressed wire length in bytes."""
+        return sum(len(label) + 1 for label in self._labels) + 1
+
+    # -- dunder ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._labels)
+
+    def __iter__(self) -> Iterator[bytes]:
+        return iter(self._labels)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Name):
+            return NotImplemented
+        return self._folded == other._folded
+
+    def __lt__(self, other: "Name") -> bool:
+        # Canonical DNS ordering: compare label sequences right-to-left.
+        return self._folded[::-1] < other._folded[::-1]
+
+    def __le__(self, other: "Name") -> bool:
+        return self == other or self < other
+
+    def __gt__(self, other: "Name") -> bool:
+        return not self <= other
+
+    def __ge__(self, other: "Name") -> bool:
+        return not self < other
+
+    def __hash__(self) -> int:
+        return hash(self._folded)
+
+    def __str__(self) -> str:
+        return self.to_text()
+
+    def __repr__(self) -> str:
+        return f"Name({self.to_text()!r})"
+
+
+ROOT = Name(())

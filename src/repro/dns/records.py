@@ -1,0 +1,121 @@
+"""Resource records and RRsets."""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field, replace
+from typing import Iterator
+
+from .errors import TruncatedMessageError
+from .name import Name
+from .rdata import Rdata, parse_rdata
+from .types import RRClass, RRType
+
+
+@dataclass(frozen=True)
+class ResourceRecord:
+    """One resource record: owner name, type, class, TTL, and RDATA."""
+
+    name: Name
+    rrtype: RRType
+    rrclass: RRClass
+    ttl: int
+    rdata: Rdata
+
+    def to_wire(self, compress: dict[Name, int] | None = None, offset: int = 0) -> bytes:
+        out = bytearray(self.name.to_wire(compress, offset))
+        out += struct.pack("!HHI", int(self.rrtype), int(self.rrclass), self.ttl)
+        rdata_offset = offset + len(out) + 2  # after the RDLENGTH field
+        rdata = self.rdata.to_wire(compress, rdata_offset)
+        out += struct.pack("!H", len(rdata))
+        out += rdata
+        return bytes(out)
+
+    @classmethod
+    def from_wire(cls, wire: bytes, offset: int) -> tuple["ResourceRecord", int]:
+        name, cursor = Name.from_wire(wire, offset)
+        if cursor + 10 > len(wire):
+            raise TruncatedMessageError("record header truncated")
+        type_code, class_code, ttl, rdlength = struct.unpack_from("!HHIH", wire, cursor)
+        cursor += 10
+        if cursor + rdlength > len(wire):
+            raise TruncatedMessageError("rdata truncated")
+        rdata = parse_rdata(type_code, wire, cursor, rdlength)
+        cursor += rdlength
+        try:
+            rrtype = RRType(type_code)
+        except ValueError:
+            rrtype = type_code  # type: ignore[assignment]
+        try:
+            rrclass = RRClass(class_code)
+        except ValueError:
+            rrclass = class_code  # type: ignore[assignment]
+        return cls(name, rrtype, rrclass, ttl, rdata), cursor
+
+    def with_ttl(self, ttl: int) -> "ResourceRecord":
+        return replace(self, ttl=ttl)
+
+    def to_text(self) -> str:
+        rrtype = self.rrtype.to_text() if isinstance(self.rrtype, RRType) else f"TYPE{self.rrtype}"
+        rrclass = self.rrclass.to_text() if isinstance(self.rrclass, RRClass) else f"CLASS{self.rrclass}"
+        return f"{self.name.to_text()} {self.ttl} {rrclass} {rrtype} {self.rdata.to_text()}"
+
+
+@dataclass
+class RRset:
+    """All records sharing (name, type, class); the unit of DNS answers."""
+
+    name: Name
+    rrtype: RRType
+    rrclass: RRClass
+    ttl: int
+    rdatas: list[Rdata] = field(default_factory=list)
+
+    def add(self, rdata: Rdata, ttl: int | None = None) -> None:
+        """Add one RDATA; the RRset TTL is the minimum of member TTLs."""
+        if ttl is not None:
+            self.ttl = min(self.ttl, ttl) if self.rdatas else ttl
+        if rdata not in self.rdatas:
+            self.rdatas.append(rdata)
+
+    def records(self) -> list[ResourceRecord]:
+        return [
+            ResourceRecord(self.name, self.rrtype, self.rrclass, self.ttl, rdata)
+            for rdata in self.rdatas
+        ]
+
+    def __iter__(self) -> Iterator[Rdata]:
+        return iter(self.rdatas)
+
+    def __len__(self) -> int:
+        return len(self.rdatas)
+
+    def __bool__(self) -> bool:
+        return bool(self.rdatas)
+
+    @classmethod
+    def from_records(cls, records: list[ResourceRecord]) -> "RRset":
+        if not records:
+            raise ValueError("cannot build an RRset from zero records")
+        first = records[0]
+        rrset = cls(first.name, first.rrtype, first.rrclass, first.ttl)
+        for record in records:
+            if (record.name, record.rrtype, record.rrclass) != (
+                first.name, first.rrtype, first.rrclass,
+            ):
+                raise ValueError("records do not share (name, type, class)")
+            rrset.add(record.rdata, record.ttl)
+        return rrset
+
+
+def group_rrsets(records: list[ResourceRecord]) -> list[RRset]:
+    """Group a record list into RRsets, preserving first-seen order."""
+    groups: dict[tuple, RRset] = {}
+    for record in records:
+        key = (record.name, record.rrtype, record.rrclass)
+        rrset = groups.get(key)
+        if rrset is None:
+            rrset = RRset(record.name, record.rrtype, record.rrclass, record.ttl)
+            groups[key] = rrset
+        rrset.add(record.rdata, record.ttl)
+    return list(groups.values())

@@ -1,0 +1,90 @@
+"""Response Rate Limiting (RRL), as in BIND/NSD.
+
+Authoritatives are reflectors in DNS amplification attacks: an attacker
+spoofs a victim's address and the server amplifies small queries into
+large responses.  RRL bounds identical responses per client per second;
+over-limit responses are either dropped or "slipped" — answered with a
+truncated (TC) reply, which a *real* client will retry over TCP but a
+spoofed victim will ignore.  This is part of the DDoS story in the
+paper's §7 "Other Considerations".
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class RrlAction(enum.Enum):
+    """What to do with one response."""
+
+    SEND = "send"
+    SLIP = "slip"  # send a truncated, minimal response
+    DROP = "drop"
+
+
+@dataclass
+class _Bucket:
+    window_start: float
+    count: int = 0
+    slipped: int = 0
+
+
+@dataclass
+class ResponseRateLimiter:
+    """Fixed-window rate limiter keyed by (client network, response key).
+
+    Parameters
+    ----------
+    responses_per_second:
+        Identical responses allowed per key per window.
+    slip_ratio:
+        Over-limit responses get a TC "slip" every N-th time; others are
+        dropped.  ``slip_ratio=1`` slips everything, ``0`` drops all.
+    ipv4_prefix_len:
+        Clients are aggregated by network (attackers spread over a /24).
+    """
+
+    responses_per_second: int = 5
+    window_s: float = 1.0
+    slip_ratio: int = 2
+    ipv4_prefix_len: int = 24
+    _buckets: dict[tuple[str, str], _Bucket] = field(default_factory=dict)
+    dropped: int = 0
+    slipped: int = 0
+
+    def _client_network(self, client: str) -> str:
+        address = client.rsplit(":", 1)[0] if ":" in client and client.count(":") == 1 else client
+        if "." in address:
+            keep = max(1, self.ipv4_prefix_len // 8)
+            return ".".join(address.split(".")[:keep])
+        return address  # IPv6 or opaque: per-address
+
+    def check(self, client: str, response_key: str, now: float) -> RrlAction:
+        """Account one response; returns how to treat it."""
+        key = (self._client_network(client), response_key)
+        bucket = self._buckets.get(key)
+        if bucket is None or now - bucket.window_start >= self.window_s:
+            bucket = _Bucket(window_start=now)
+            self._buckets[key] = bucket
+        bucket.count += 1
+        if bucket.count <= self.responses_per_second:
+            return RrlAction.SEND
+        over = bucket.count - self.responses_per_second
+        if self.slip_ratio > 0 and over % self.slip_ratio == 0:
+            bucket.slipped += 1
+            self.slipped += 1
+            return RrlAction.SLIP
+        self.dropped += 1
+        return RrlAction.DROP
+
+    def prune(self, now: float) -> int:
+        """Drop stale buckets; returns how many were removed."""
+        stale = [
+            key
+            for key, bucket in self._buckets.items()
+            if now - bucket.window_start >= 2 * self.window_s
+        ]
+        for key in stale:
+            del self._buckets[key]
+        return len(stale)

@@ -1,0 +1,247 @@
+"""Authoritative name-server engine (the NSD role in the paper).
+
+:class:`AuthoritativeServer` is transport-agnostic: it maps a request
+:class:`Message` to a response :class:`Message`.  Transports (simulated
+network, real UDP) feed it bytes or messages.  It also keeps a query log,
+which plays the role of the paper's server-side packet captures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from .message import Message, Question
+from .name import Name
+from .rdata import TXT
+from .records import RRset
+from .types import MAX_UDP_PAYLOAD, Opcode, Rcode, RRClass, RRType
+from .zone import LookupStatus, Zone
+
+CHAOS_ID_SERVER = Name.from_text("id.server.")
+CHAOS_HOSTNAME_BIND = Name.from_text("hostname.bind.")
+
+
+@dataclass(frozen=True)
+class QueryLogEntry:
+    """One received query, as a server-side capture would record it."""
+
+    timestamp: float
+    client: str
+    qname: Name
+    qtype: RRType
+    rcode: Rcode
+
+
+@dataclass
+class ServerStats:
+    """Aggregate counters, mirroring an NSD statistics dump."""
+
+    queries: int = 0
+    responses: int = 0
+    nxdomain: int = 0
+    refused: int = 0
+    formerr: int = 0
+    notimp: int = 0
+    chaos: int = 0
+
+
+class AuthoritativeServer:
+    """Serves one or more zones authoritatively.
+
+    Parameters
+    ----------
+    server_id:
+        Identifier returned for CHAOS ``id.server.`` queries; the paper's
+        experiment identifies sites this way *and* via per-site TXT data.
+    zones:
+        Initial zones to load.
+    log_queries:
+        When true, every query is appended to :attr:`query_log`.
+    """
+
+    def __init__(
+        self,
+        server_id: str,
+        zones: Iterable[Zone] = (),
+        log_queries: bool = True,
+        rate_limiter=None,
+    ):
+        self.server_id = server_id
+        self._zones: dict[Name, Zone] = {}
+        self.stats = ServerStats()
+        self.query_log: list[QueryLogEntry] = []
+        self.log_queries = log_queries
+        #: optional :class:`repro.dns.rrl.ResponseRateLimiter`
+        self.rate_limiter = rate_limiter
+        for zone in zones:
+            self.add_zone(zone)
+
+    # -- zone management ---------------------------------------------------
+
+    def add_zone(self, zone: Zone) -> None:
+        self._zones[zone.origin] = zone
+
+    def remove_zone(self, origin: Name) -> None:
+        self._zones.pop(origin, None)
+
+    def find_zone(self, qname: Name) -> Zone | None:
+        """Longest-suffix zone match for a query name."""
+        best: Zone | None = None
+        for origin, zone in self._zones.items():
+            if qname.is_subdomain_of(origin):
+                if best is None or len(origin) > len(best.origin):
+                    best = zone
+        return best
+
+    # -- query processing ----------------------------------------------------
+
+    #: the largest EDNS payload this server will honor (NSD's default)
+    max_edns_payload = 4096
+
+    def handle_wire(
+        self, wire: bytes, client: str = "", now: float = 0.0
+    ) -> bytes | None:
+        """Decode, process, and encode; ``None`` for undecodable garbage.
+
+        Responses are capped at 512 bytes for plain-DNS clients and at
+        min(advertised, 4096) for EDNS clients; larger answers are
+        truncated with the TC bit set (the client then retries over TCP).
+        """
+        try:
+            query = Message.from_wire(wire)
+        except Exception:
+            self.stats.formerr += 1
+            return None
+        response = self.handle_query(query, client=client, now=now)
+        if self.rate_limiter is not None and response.questions:
+            from .rrl import RrlAction
+
+            question = response.questions[0]
+            response_key = f"{question.name}/{int(question.rrtype)}/{int(response.rcode)}"
+            action = self.rate_limiter.check(client, response_key, now)
+            if action is RrlAction.DROP:
+                return None
+            if action is RrlAction.SLIP:
+                slip = query.make_response()
+                slip.truncated = True
+                return slip.to_wire()
+        if query.edns_payload is not None:
+            max_size = min(query.edns_payload, self.max_edns_payload)
+            response.use_edns(self.max_edns_payload)
+            if query.nsid is not None:
+                # NSID (RFC 5001): identify this instance — the modern
+                # alternative to CHAOS id.server for catchment mapping.
+                response.edns_options.append(
+                    (Message.EDNS_NSID, self.server_id.encode())
+                )
+        else:
+            max_size = MAX_UDP_PAYLOAD
+        return response.to_wire(max_size=max_size)
+
+    def handle_wire_tcp(
+        self, wire: bytes, client: str = "", now: float = 0.0
+    ) -> bytes | None:
+        """TCP variant of :meth:`handle_wire`: no size cap, no TC bit.
+
+        TCP also carries zone transfers: AXFR questions are dispatched
+        to :mod:`repro.dns.axfr`.
+        """
+        try:
+            query = Message.from_wire(wire)
+        except Exception:
+            self.stats.formerr += 1
+            return None
+        if (
+            len(query.questions) == 1
+            and int(query.questions[0].rrtype) == 252  # AXFR
+        ):
+            from .axfr import handle_axfr
+
+            self.stats.queries += 1
+            self.stats.responses += 1
+            return handle_axfr(self, query).to_wire()
+        response = self.handle_query(query, client=client, now=now)
+        if query.edns_payload is not None:
+            response.use_edns(self.max_edns_payload)
+        return response.to_wire()
+
+    def handle_query(
+        self, query: Message, client: str = "", now: float = 0.0
+    ) -> Message:
+        """Produce the authoritative response for one query message."""
+        self.stats.queries += 1
+        response = query.make_response()
+
+        if query.opcode != Opcode.QUERY:
+            response.rcode = Rcode.NOTIMP
+            self.stats.notimp += 1
+            return self._finish(response, client, now)
+        if len(query.questions) != 1:
+            response.rcode = Rcode.FORMERR
+            self.stats.formerr += 1
+            return self._finish(response, client, now)
+
+        question = query.questions[0]
+        if question.rrclass == RRClass.CH:
+            self._answer_chaos(question, response)
+            return self._finish(response, client, now)
+        if question.rrclass != RRClass.IN:
+            response.rcode = Rcode.REFUSED
+            self.stats.refused += 1
+            return self._finish(response, client, now)
+
+        zone = self.find_zone(question.name)
+        if zone is None:
+            response.rcode = Rcode.REFUSED
+            self.stats.refused += 1
+            return self._finish(response, client, now)
+
+        result = zone.lookup(question.name, question.rrtype)
+        response.authoritative = result.status != LookupStatus.DELEGATION
+        if result.status == LookupStatus.NXDOMAIN:
+            response.rcode = Rcode.NXDOMAIN
+            self.stats.nxdomain += 1
+        self._add_rrsets(response.answers, result.answers)
+        self._add_rrsets(response.authorities, result.authority)
+        self._add_rrsets(response.additionals, result.additional)
+        return self._finish(response, client, now)
+
+    def _answer_chaos(self, question: Question, response: Message) -> None:
+        """CHAOS TXT id.server. / hostname.bind. identify this instance."""
+        self.stats.chaos += 1
+        if question.rrtype == RRType.TXT and question.name in (
+            CHAOS_ID_SERVER,
+            CHAOS_HOSTNAME_BIND,
+        ):
+            rrset = RRset(question.name, RRType.TXT, RRClass.CH, 0)
+            rrset.add(TXT.from_value(self.server_id))
+            self._add_rrsets(response.answers, [rrset])
+            response.authoritative = True
+        else:
+            response.rcode = Rcode.REFUSED
+
+    @staticmethod
+    def _add_rrsets(section: list, rrsets: Iterable[RRset]) -> None:
+        for rrset in rrsets:
+            section.extend(rrset.records())
+
+    def _finish(self, response: Message, client: str, now: float) -> Message:
+        self.stats.responses += 1
+        if self.log_queries and response.questions:
+            question = response.questions[0]
+            self.query_log.append(
+                QueryLogEntry(
+                    timestamp=now,
+                    client=client,
+                    qname=question.name,
+                    qtype=question.rrtype
+                    if isinstance(question.rrtype, RRType)
+                    else RRType.ANY,
+                    rcode=response.rcode,
+                )
+            )
+        return response
+
+    def clear_log(self) -> None:
+        self.query_log.clear()

@@ -1,0 +1,146 @@
+"""TCP transport for the authoritative engine (RFC 1035 §4.2.2).
+
+DNS-over-TCP frames each message with a 2-byte length prefix and is the
+fallback clients use when a UDP response comes back truncated.  The
+paper notes UDP carries >97 % of production DNS; TCP is here for
+substrate completeness and for the truncation-fallback path.
+"""
+
+from __future__ import annotations
+
+import socket
+import socketserver
+import struct
+import threading
+import time
+
+from .message import Message
+from .name import Name
+from .server import AuthoritativeServer
+from .types import RRClass, RRType
+from .udp import query_udp
+
+
+def read_tcp_message(sock: socket.socket) -> bytes | None:
+    """Read one length-prefixed DNS message; None on a clean close."""
+    prefix = _read_exact(sock, 2)
+    if prefix is None:
+        return None
+    (length,) = struct.unpack("!H", prefix)
+    return _read_exact(sock, length)
+
+
+def write_tcp_message(sock: socket.socket, wire: bytes) -> None:
+    sock.sendall(struct.pack("!H", len(wire)) + wire)
+
+
+def _read_exact(sock: socket.socket, count: int) -> bytes | None:
+    chunks = bytearray()
+    while len(chunks) < count:
+        chunk = sock.recv(count - len(chunks))
+        if not chunk:
+            return None
+        chunks += chunk
+    return bytes(chunks)
+
+
+class TcpAuthoritativeServer:
+    """Serve an :class:`AuthoritativeServer` over TCP.
+
+    Handles multiple queries per connection (pipelining) and runs in a
+    background thread; use as a context manager.
+    """
+
+    def __init__(self, engine: AuthoritativeServer, host: str = "127.0.0.1", port: int = 0):
+        self.engine = engine
+        outer = self
+
+        class Handler(socketserver.BaseRequestHandler):
+            def handle(self):
+                self.request.settimeout(5.0)
+                while True:
+                    try:
+                        wire = read_tcp_message(self.request)
+                    except (socket.timeout, OSError):
+                        return
+                    if wire is None:
+                        return
+                    client = "%s:%s" % self.client_address
+                    response = outer.engine.handle_wire_tcp(
+                        wire, client=client, now=time.time()
+                    )
+                    if response is None:
+                        return
+                    try:
+                        write_tcp_message(self.request, response)
+                    except OSError:
+                        return
+
+        class Server(socketserver.ThreadingTCPServer):
+            allow_reuse_address = True
+            daemon_threads = True
+
+        self._server = Server((host, port), Handler)
+        self.address: tuple[str, int] = self._server.server_address
+        self._thread: threading.Thread | None = None
+
+    def start(self) -> None:
+        self._thread = threading.Thread(
+            target=self._server.serve_forever, kwargs={"poll_interval": 0.05},
+            daemon=True,
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=2.0)
+            self._thread = None
+
+    def __enter__(self) -> "TcpAuthoritativeServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+def query_tcp(
+    address: tuple[str, int],
+    qname: Name | str,
+    qtype: RRType,
+    rrclass: RRClass = RRClass.IN,
+    timeout: float = 2.0,
+    msg_id: int = 1,
+) -> Message:
+    """Send one TCP query and read the response."""
+    query = Message.make_query(qname, qtype, rrclass, msg_id=msg_id)
+    with socket.create_connection(address, timeout=timeout) as sock:
+        write_tcp_message(sock, query.to_wire())
+        wire = read_tcp_message(sock)
+        if wire is None:
+            raise ConnectionError(f"no response from {address}")
+        return Message.from_wire(wire)
+
+
+def query_with_tcp_fallback(
+    udp_address: tuple[str, int],
+    tcp_address: tuple[str, int],
+    qname: Name | str,
+    qtype: RRType,
+    rrclass: RRClass = RRClass.IN,
+    timeout: float = 2.0,
+    msg_id: int = 1,
+) -> tuple[Message, bool]:
+    """UDP first; on a truncated (TC) response, retry over TCP.
+
+    Returns (response, used_tcp).
+    """
+    response = query_udp(udp_address, qname, qtype, rrclass, timeout, msg_id)
+    if not response.truncated:
+        return response, False
+    return (
+        query_tcp(tcp_address, qname, qtype, rrclass, timeout, msg_id),
+        True,
+    )

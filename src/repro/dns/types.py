@@ -1,0 +1,100 @@
+"""DNS protocol constants: RR types, classes, opcodes, and rcodes."""
+
+from __future__ import annotations
+
+import enum
+
+
+class RRType(enum.IntEnum):
+    """Resource record TYPE values (RFC 1035 §3.2.2 and successors)."""
+
+    A = 1
+    NS = 2
+    CNAME = 5
+    SOA = 6
+    PTR = 12
+    MX = 15
+    TXT = 16
+    AAAA = 28
+    SRV = 33
+    OPT = 41
+    DS = 43
+    RRSIG = 46
+    NSEC = 47
+    DNSKEY = 48
+    CAA = 257
+    ANY = 255
+
+    @classmethod
+    def from_text(cls, text: str) -> "RRType":
+        try:
+            return cls[text.upper()]
+        except KeyError:
+            if text.upper().startswith("TYPE"):
+                return cls(int(text[4:]))
+            raise ValueError(f"unknown RR type {text!r}") from None
+
+    def to_text(self) -> str:
+        return self.name
+
+
+class RRClass(enum.IntEnum):
+    """Resource record CLASS values."""
+
+    IN = 1
+    CH = 3
+    HS = 4
+    NONE = 254
+    ANY = 255
+
+    @classmethod
+    def from_text(cls, text: str) -> "RRClass":
+        try:
+            return cls[text.upper()]
+        except KeyError:
+            raise ValueError(f"unknown RR class {text!r}") from None
+
+    def to_text(self) -> str:
+        return self.name
+
+
+class Opcode(enum.IntEnum):
+    """Message OPCODE values."""
+
+    QUERY = 0
+    IQUERY = 1
+    STATUS = 2
+    NOTIFY = 4
+    UPDATE = 5
+
+
+class Rcode(enum.IntEnum):
+    """Response RCODE values."""
+
+    NOERROR = 0
+    FORMERR = 1
+    SERVFAIL = 2
+    NXDOMAIN = 3
+    NOTIMP = 4
+    REFUSED = 5
+    YXDOMAIN = 6
+    YXRRSET = 7
+    NXRRSET = 8
+    NOTAUTH = 9
+    NOTZONE = 10
+
+    def to_text(self) -> str:
+        return self.name
+
+
+# Header flag bit masks (16-bit flags word, RFC 1035 §4.1.1).
+FLAG_QR = 0x8000
+FLAG_AA = 0x0400
+FLAG_TC = 0x0200
+FLAG_RD = 0x0100
+FLAG_RA = 0x0080
+FLAG_AD = 0x0020
+FLAG_CD = 0x0010
+
+MAX_UDP_PAYLOAD = 512
+MAX_EDNS_PAYLOAD = 4096

@@ -1,0 +1,96 @@
+"""Real-socket UDP transport for the authoritative engine.
+
+Used by integration tests and the quickstart example to show the DNS
+substrate speaking actual wire format over the loopback interface.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+
+from .message import Message
+from .name import Name
+from .server import AuthoritativeServer
+from .types import RRClass, RRType
+
+
+class UdpAuthoritativeServer:
+    """Serve an :class:`AuthoritativeServer` over a real UDP socket.
+
+    Runs a background thread; use as a context manager::
+
+        with UdpAuthoritativeServer(engine, host="127.0.0.1") as server:
+            answer = query_udp(server.address, "example.nl.", RRType.TXT)
+    """
+
+    def __init__(self, engine: AuthoritativeServer, host: str = "127.0.0.1", port: int = 0):
+        self.engine = engine
+        self._sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+        self._sock.bind((host, port))
+        self._sock.settimeout(0.1)
+        self.address: tuple[str, int] = self._sock.getsockname()
+        self._running = False
+        self._thread: threading.Thread | None = None
+
+    def start(self) -> None:
+        self._running = True
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._running = False
+        if self._thread is not None:
+            self._thread.join(timeout=2.0)
+            self._thread = None
+        self._sock.close()
+
+    def _serve(self) -> None:
+        while self._running:
+            try:
+                wire, client = self._sock.recvfrom(65535)
+            except socket.timeout:
+                continue
+            except OSError:
+                break
+            response = self.engine.handle_wire(
+                wire, client=f"{client[0]}:{client[1]}", now=time.time()
+            )
+            if response is not None:
+                try:
+                    self._sock.sendto(response, client)
+                except OSError:
+                    break
+
+    def __enter__(self) -> "UdpAuthoritativeServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+def query_udp(
+    address: tuple[str, int],
+    qname: Name | str,
+    qtype: RRType,
+    rrclass: RRClass = RRClass.IN,
+    timeout: float = 2.0,
+    msg_id: int = 1,
+) -> Message:
+    """Send one UDP query and wait for the matching response."""
+    query = Message.make_query(qname, qtype, rrclass, msg_id=msg_id)
+    with socket.socket(socket.AF_INET, socket.SOCK_DGRAM) as sock:
+        sock.settimeout(timeout)
+        sock.sendto(query.to_wire(), address)
+        deadline = time.monotonic() + timeout
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise TimeoutError(f"no response from {address}")
+            sock.settimeout(remaining)
+            wire, _ = sock.recvfrom(65535)
+            response = Message.from_wire(wire)
+            if response.msg_id == msg_id:
+                return response

@@ -1,0 +1,143 @@
+"""Dynamic updates (RFC 2136) and the zone-poisoning angle.
+
+The paper's related work (Korczyński et al. [13]) found second-level
+domains whose authoritatives accept dynamic updates from anyone — "zone
+poisoning".  This module implements the UPDATE opcode for the
+authoritative engine with an explicit ACL, so both the legitimate use
+and the misconfiguration are testable.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+from dataclasses import dataclass, field
+
+from .message import Message
+from .name import Name
+from .records import ResourceRecord
+from .server import AuthoritativeServer
+from .types import Opcode, Rcode, RRClass, RRType
+from .zone import Zone
+
+
+@dataclass
+class UpdatePolicy:
+    """Who may update which zones.
+
+    ``allow_from`` lists source networks; an empty list denies everyone
+    (the safe default).  The open-resolver misconfiguration studied in
+    [13] is ``allow_any=True``.
+    """
+
+    allow_from: list[str] = field(default_factory=list)
+    allow_any: bool = False
+
+    def permits(self, client: str) -> bool:
+        if self.allow_any:
+            return True
+        address = client.rsplit(":", 1)[0] if client.count(":") == 1 else client
+        try:
+            source = ipaddress.ip_address(address)
+        except ValueError:
+            return False
+        for network in self.allow_from:
+            if source in ipaddress.ip_network(network):
+                return True
+        return False
+
+
+class UpdateHandler:
+    """Applies RFC 2136 update sections to an engine's zones."""
+
+    def __init__(self, engine: AuthoritativeServer, policy: UpdatePolicy | None = None):
+        self.engine = engine
+        self.policy = policy if policy is not None else UpdatePolicy()
+        self.applied = 0
+        self.refused = 0
+
+    def handle(self, update: Message, client: str = "") -> Message:
+        """Process one UPDATE message; returns the response."""
+        response = update.make_response()
+        if update.opcode != Opcode.UPDATE or len(update.questions) != 1:
+            response.rcode = Rcode.FORMERR
+            return response
+        if not self.policy.permits(client):
+            self.refused += 1
+            response.rcode = Rcode.REFUSED
+            return response
+        zone_name = update.questions[0].name
+        zone = self.engine.find_zone(zone_name)
+        if zone is None or zone.origin != zone_name:
+            response.rcode = Rcode.NOTAUTH
+            return response
+        # RFC 2136 carries updates in the authority section.
+        try:
+            for record in update.authorities:
+                self._apply(zone, record)
+        except ValueError:
+            response.rcode = Rcode.FORMERR
+            return response
+        self.applied += 1
+        return response
+
+    def _apply(self, zone: Zone, record: ResourceRecord) -> None:
+        """One update RR: class IN adds; ANY deletes an RRset; NONE
+        deletes one RR."""
+        if record.rrclass == RRClass.IN:
+            if not record.name.is_subdomain_of(zone.origin):
+                raise ValueError("out of zone")
+            zone.add_record(record)
+        elif record.rrclass == RRClass.ANY:
+            rrset = zone.get_rrset(record.name, record.rrtype)
+            if rrset is not None:
+                rrset.rdatas.clear()
+        elif record.rrclass == RRClass.NONE:
+            rrset = zone.get_rrset(record.name, record.rrtype)
+            if rrset is not None and record.rdata in rrset.rdatas:
+                rrset.rdatas.remove(record.rdata)
+        else:
+            raise ValueError(f"bad update class {record.rrclass}")
+
+
+def make_update(
+    zone: Name | str,
+    additions: list[ResourceRecord] = (),
+    deletions: list[tuple[Name, RRType]] = (),
+    msg_id: int = 1,
+) -> Message:
+    """Build an RFC 2136 UPDATE message."""
+    from .message import Question
+
+    if isinstance(zone, str):
+        zone = Name.from_text(zone)
+    update = Message(msg_id=msg_id, opcode=Opcode.UPDATE)
+    update.questions.append(Question(zone, RRType.SOA, RRClass.IN))
+    for record in additions:
+        update.authorities.append(record)
+    for name, rrtype in deletions:
+        from .rdata import GenericRdata
+
+        update.authorities.append(
+            ResourceRecord(name, rrtype, RRClass.ANY, 0, GenericRdata(int(rrtype), b""))
+        )
+    return update
+
+
+def attach_update_handling(
+    engine: AuthoritativeServer, policy: UpdatePolicy
+) -> UpdateHandler:
+    """Route UPDATE-opcode messages on the engine through a handler.
+
+    Wraps ``engine.handle_query`` so the wire paths (UDP/TCP) pick up
+    update support transparently.
+    """
+    handler = UpdateHandler(engine, policy)
+    original = engine.handle_query
+
+    def dispatch(query: Message, client: str = "", now: float = 0.0) -> Message:
+        if query.opcode == Opcode.UPDATE:
+            return handler.handle(query, client=client)
+        return original(query, client=client, now=now)
+
+    engine.handle_query = dispatch  # type: ignore[method-assign]
+    return handler

@@ -1,0 +1,217 @@
+"""Zone data model and authoritative lookup logic.
+
+A :class:`Zone` stores RRsets indexed by (owner name, type) and answers
+the classic authoritative questions: exact match, CNAME chase, delegation
+(referral), wildcard synthesis, NXDOMAIN vs NODATA.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from .errors import ZoneError
+from .name import Name
+from .rdata import CNAME, NS, SOA, Rdata
+from .records import ResourceRecord, RRset
+from .types import RRClass, RRType
+
+WILDCARD_LABEL = b"*"
+
+
+class LookupStatus(enum.Enum):
+    """Outcome category of a zone lookup."""
+
+    SUCCESS = "success"          # answer RRset(s) found
+    CNAME = "cname"              # alias found; answer holds the CNAME chain
+    DELEGATION = "delegation"    # below a zone cut; authority holds NS
+    NODATA = "nodata"            # name exists, type does not
+    NXDOMAIN = "nxdomain"        # name does not exist
+
+
+@dataclass
+class LookupResult:
+    """Outcome of :meth:`Zone.lookup`."""
+
+    status: LookupStatus
+    answers: list[RRset] = field(default_factory=list)
+    authority: list[RRset] = field(default_factory=list)
+    additional: list[RRset] = field(default_factory=list)
+
+
+class Zone:
+    """An authoritative zone."""
+
+    def __init__(self, origin: Name | str, rrclass: RRClass = RRClass.IN):
+        if isinstance(origin, str):
+            origin = Name.from_text(origin)
+        self.origin = origin
+        self.rrclass = rrclass
+        self._rrsets: dict[tuple[Name, RRType], RRset] = {}
+        self._names: set[Name] = set()
+
+    # -- mutation ---------------------------------------------------------
+
+    def add_record(self, record: ResourceRecord) -> None:
+        if not record.name.is_subdomain_of(self.origin):
+            raise ZoneError(f"{record.name} is out of zone {self.origin}")
+        key = (record.name, record.rrtype)
+        rrset = self._rrsets.get(key)
+        if rrset is None:
+            rrset = RRset(record.name, record.rrtype, record.rrclass, record.ttl)
+            self._rrsets[key] = rrset
+        rrset.add(record.rdata, record.ttl)
+        # Record every ancestor as an existing (possibly empty non-terminal)
+        # name so NODATA vs NXDOMAIN is decided correctly.
+        name = record.name
+        while True:
+            self._names.add(name)
+            if name == self.origin:
+                break
+            name = name.parent()
+
+    def add(
+        self,
+        name: Name | str,
+        rrtype: RRType,
+        rdata: Rdata,
+        ttl: int = 3600,
+    ) -> None:
+        """Convenience wrapper around :meth:`add_record`."""
+        if isinstance(name, str):
+            name = Name.from_text(name)
+        self.add_record(ResourceRecord(name, rrtype, self.rrclass, ttl, rdata))
+
+    # -- accessors ----------------------------------------------------------
+
+    def get_rrset(self, name: Name, rrtype: RRType) -> RRset | None:
+        return self._rrsets.get((name, rrtype))
+
+    def rrsets(self) -> list[RRset]:
+        return list(self._rrsets.values())
+
+    @property
+    def soa(self) -> RRset | None:
+        return self._rrsets.get((self.origin, RRType.SOA))
+
+    def validate(self) -> None:
+        """Check minimal invariants: one SOA at apex, NS at apex."""
+        soa = self.soa
+        if soa is None or len(soa) != 1:
+            raise ZoneError(f"zone {self.origin} needs exactly one SOA at its apex")
+        if (self.origin, RRType.NS) not in self._rrsets:
+            raise ZoneError(f"zone {self.origin} needs NS records at its apex")
+
+    def soa_negative_ttl(self) -> int:
+        """Negative-caching TTL: min(SOA TTL, SOA MINIMUM), RFC 2308."""
+        soa = self.soa
+        if soa is None:
+            return 0
+        minimum = soa.rdatas[0].minimum if isinstance(soa.rdatas[0], SOA) else 0
+        return min(soa.ttl, minimum)
+
+    # -- lookup -------------------------------------------------------------
+
+    def _find_zone_cut(self, qname: Name) -> Name | None:
+        """Deepest delegation point strictly between origin and qname, if any."""
+        # Walk down from just below the origin toward the qname; the first
+        # name with NS records is the cut (NS below the apex delegates).
+        relative = qname.relativize(self.origin)
+        name = self.origin
+        for label in reversed(relative):
+            name = name.child(label)
+            if (name, RRType.NS) in self._rrsets:
+                return name
+        return None
+
+    def lookup(self, qname: Name, qtype: RRType) -> LookupResult:
+        """Authoritatively resolve ``qname``/``qtype`` within this zone."""
+        if not qname.is_subdomain_of(self.origin):
+            return LookupResult(LookupStatus.NXDOMAIN)
+
+        cut = self._find_zone_cut(qname)
+        if cut is not None:
+            ns_rrset = self._rrsets[(cut, RRType.NS)]
+            result = LookupResult(LookupStatus.DELEGATION, authority=[ns_rrset])
+            result.additional = self._glue_for(ns_rrset)
+            return result
+
+        exact_any = qname in self._names
+        if exact_any:
+            rrset = self._rrsets.get((qname, qtype))
+            if rrset:
+                return LookupResult(LookupStatus.SUCCESS, answers=[rrset])
+            cname = self._rrsets.get((qname, RRType.CNAME))
+            if cname and qtype != RRType.CNAME:
+                return self._chase_cname(cname, qtype)
+            if qtype == RRType.ANY:
+                answers = [
+                    rs for (name, _), rs in self._rrsets.items() if name == qname
+                ]
+                if answers:
+                    return LookupResult(LookupStatus.SUCCESS, answers=answers)
+            return self._negative(LookupStatus.NODATA)
+
+        wildcard_result = self._try_wildcard(qname, qtype)
+        if wildcard_result is not None:
+            return wildcard_result
+        return self._negative(LookupStatus.NXDOMAIN)
+
+    def _chase_cname(self, cname_rrset: RRset, qtype: RRType) -> LookupResult:
+        """Follow an in-zone CNAME chain, collecting the records crossed."""
+        answers = [cname_rrset]
+        seen: set[Name] = {cname_rrset.name}
+        target = cname_rrset.rdatas[0]
+        assert isinstance(target, CNAME)
+        current = target.target
+        while True:
+            if current in seen or not current.is_subdomain_of(self.origin):
+                break
+            seen.add(current)
+            final = self._rrsets.get((current, qtype))
+            if final:
+                answers.append(final)
+                break
+            next_cname = self._rrsets.get((current, RRType.CNAME))
+            if not next_cname:
+                break
+            answers.append(next_cname)
+            rdata = next_cname.rdatas[0]
+            assert isinstance(rdata, CNAME)
+            current = rdata.target
+        return LookupResult(LookupStatus.CNAME, answers=answers)
+
+    def _try_wildcard(self, qname: Name, qtype: RRType) -> LookupResult | None:
+        """RFC 1034 §4.3.3 wildcard synthesis."""
+        relative = qname.relativize(self.origin)
+        # The closest encloser walk: replace leading labels with "*".
+        for skip in range(1, len(relative) + 1):
+            encloser_labels = relative[skip:]
+            encloser = Name(encloser_labels + self.origin.labels)
+            wildcard = encloser.child(WILDCARD_LABEL)
+            if encloser in self._names and skip > 0:
+                rrset = self._rrsets.get((wildcard, qtype))
+                if rrset:
+                    synthesized = RRset(qname, rrset.rrtype, rrset.rrclass, rrset.ttl)
+                    for rdata in rrset:
+                        synthesized.add(rdata)
+                    return LookupResult(LookupStatus.SUCCESS, answers=[synthesized])
+                if wildcard in self._names:
+                    return self._negative(LookupStatus.NODATA)
+                return None
+        return None
+
+    def _negative(self, status: LookupStatus) -> LookupResult:
+        authority = [self.soa] if self.soa else []
+        return LookupResult(status, authority=authority)
+
+    def _glue_for(self, ns_rrset: RRset) -> list[RRset]:
+        glue: list[RRset] = []
+        for rdata in ns_rrset:
+            if not isinstance(rdata, NS):
+                continue
+            for addr_type in (RRType.A, RRType.AAAA):
+                addr = self._rrsets.get((rdata.target, addr_type))
+                if addr:
+                    glue.append(addr)
+        return glue

@@ -1,0 +1,339 @@
+"""Master-file (zone file) parsing and serialization, RFC 1035 §5.
+
+Supports ``$ORIGIN``, ``$TTL``, multi-line parentheses, quoted strings,
+comments, inherited owner names and TTLs, and relative names.
+"""
+
+from __future__ import annotations
+
+from .errors import ZoneFileSyntaxError
+from .name import Name
+from .rdata import rdata_from_text
+from .records import ResourceRecord
+from .types import RRClass, RRType
+from .zone import Zone
+
+
+def _tokenize(text: str) -> list[tuple[int, list[str], bool]]:
+    """Split zone-file text into logical lines of tokens.
+
+    Returns (line number, tokens, owner_inherited) triples, where
+    ``owner_inherited`` is true when the physical line began with
+    whitespace (RFC 1035: the owner is the last stated owner).
+    """
+    logical: list[tuple[int, list[str], bool]] = []
+    tokens: list[str] = []
+    depth = 0
+    start_line = 1
+    owner_inherited = False
+
+    lines = text.splitlines()
+    for lineno, line in enumerate(lines, start=1):
+        if depth == 0:
+            if not line.strip() or line.lstrip().startswith(";"):
+                continue
+            start_line = lineno
+            owner_inherited = line[0] in " \t"
+            tokens = []
+        i = 0
+        n = len(line)
+        while i < n:
+            char = line[i]
+            if char == ";":
+                break
+            if char in " \t":
+                i += 1
+                continue
+            if char == "(":
+                depth += 1
+                i += 1
+                continue
+            if char == ")":
+                if depth == 0:
+                    raise ZoneFileSyntaxError("unbalanced ')'", lineno)
+                depth -= 1
+                i += 1
+                continue
+            if char == '"':
+                j = i + 1
+                out = []
+                while j < n:
+                    if line[j] == "\\" and j + 1 < n:
+                        out.append(line[j : j + 2])
+                        j += 2
+                        continue
+                    if line[j] == '"':
+                        break
+                    out.append(line[j])
+                    j += 1
+                if j >= n:
+                    raise ZoneFileSyntaxError("unterminated string", lineno)
+                tokens.append('"' + "".join(out) + '"')
+                i = j + 1
+                continue
+            j = i
+            while j < n and line[j] not in ' \t;()"':
+                j += 1
+            tokens.append(line[i:j])
+            i = j
+        if depth == 0 and tokens:
+            logical.append((start_line, tokens, owner_inherited))
+            tokens = []
+    if depth != 0:
+        raise ZoneFileSyntaxError("unbalanced '(' at end of file", len(lines))
+    return logical
+
+
+def _is_ttl(token: str) -> bool:
+    return bool(token) and token[0].isdigit()
+
+
+def _parse_ttl(token: str, lineno: int) -> int:
+    """Parse a TTL, accepting unit suffixes (s, m, h, d, w)."""
+    units = {"s": 1, "m": 60, "h": 3600, "d": 86400, "w": 604800}
+    token = token.lower()
+    if token[-1] in units:
+        factor = units[token[-1]]
+        digits = token[:-1]
+    else:
+        factor = 1
+        digits = token
+    if not digits.isdigit():
+        raise ZoneFileSyntaxError(f"bad TTL {token!r}", lineno)
+    return int(digits) * factor
+
+
+def _is_class(token: str) -> bool:
+    try:
+        RRClass.from_text(token)
+        return True
+    except ValueError:
+        return False
+
+
+def _is_type(token: str) -> bool:
+    try:
+        RRType.from_text(token)
+        return True
+    except ValueError:
+        return False
+
+
+def _expand_generate_template(template: str, value: int, lineno: int) -> str:
+    """Substitute ``$`` and ``${offset[,width[,radix]]}`` (RFC-less BIND
+    $GENERATE syntax) with ``value``."""
+    out: list[str] = []
+    i = 0
+    n = len(template)
+    while i < n:
+        char = template[i]
+        if char != "$":
+            out.append(char)
+            i += 1
+            continue
+        if i + 1 < n and template[i + 1] == "$":
+            out.append("$")
+            i += 2
+            continue
+        if i + 1 < n and template[i + 1] == "{":
+            end = template.find("}", i)
+            if end == -1:
+                raise ZoneFileSyntaxError("unterminated ${...} in $GENERATE", lineno)
+            spec = template[i + 2 : end].split(",")
+            try:
+                offset = int(spec[0]) if spec[0] else 0
+                width = int(spec[1]) if len(spec) > 1 and spec[1] else 0
+                radix = spec[2] if len(spec) > 2 and spec[2] else "d"
+            except ValueError:
+                raise ZoneFileSyntaxError(f"bad ${{...}} spec {spec!r}", lineno)
+            formats = {"d": "d", "x": "x", "X": "X", "o": "o"}
+            if radix not in formats:
+                raise ZoneFileSyntaxError(f"bad $GENERATE radix {radix!r}", lineno)
+            out.append(format(value + offset, f"0{width}{formats[radix]}"))
+            i = end + 1
+        else:
+            out.append(str(value))
+            i += 1
+    return "".join(out)
+
+
+class _ZoneParser:
+    """Stateful master-file parser (origin, default TTL, last owner)."""
+
+    def __init__(self, zone: Zone, origin: Name, include_loader=None):
+        self.zone = zone
+        self.current_origin = origin
+        self.default_ttl: int | None = None
+        self.last_owner: Name | None = None
+        self.include_loader = include_loader
+        self._include_depth = 0
+
+    def parse(self, text: str) -> None:
+        for lineno, tokens, owner_inherited in _tokenize(text):
+            self._handle_line(lineno, tokens, owner_inherited)
+
+    # -- directives ---------------------------------------------------------
+
+    def _handle_line(self, lineno, tokens, owner_inherited) -> None:
+        directive = tokens[0].upper()
+        if directive == "$ORIGIN":
+            if len(tokens) != 2:
+                raise ZoneFileSyntaxError("$ORIGIN needs one argument", lineno)
+            self.current_origin = Name.from_text(tokens[1])
+            return
+        if directive == "$TTL":
+            if len(tokens) != 2:
+                raise ZoneFileSyntaxError("$TTL needs one argument", lineno)
+            self.default_ttl = _parse_ttl(tokens[1], lineno)
+            return
+        if directive == "$GENERATE":
+            self._handle_generate(lineno, tokens)
+            return
+        if directive == "$INCLUDE":
+            self._handle_include(lineno, tokens)
+            return
+        if directive.startswith("$"):
+            raise ZoneFileSyntaxError(f"unsupported directive {tokens[0]}", lineno)
+        self._handle_record(lineno, tokens, owner_inherited)
+
+    def _handle_generate(self, lineno, tokens) -> None:
+        """``$GENERATE start-stop[/step] lhs [ttl] [class] type rhs``."""
+        if len(tokens) < 4:
+            raise ZoneFileSyntaxError("$GENERATE needs range, lhs, type, rhs", lineno)
+        range_token = tokens[1]
+        step = 1
+        if "/" in range_token:
+            range_token, step_token = range_token.split("/", 1)
+            if not step_token.isdigit() or int(step_token) < 1:
+                raise ZoneFileSyntaxError(f"bad $GENERATE step {step_token!r}", lineno)
+            step = int(step_token)
+        if "-" not in range_token:
+            raise ZoneFileSyntaxError(f"bad $GENERATE range {range_token!r}", lineno)
+        start_token, stop_token = range_token.split("-", 1)
+        if not (start_token.isdigit() and stop_token.isdigit()):
+            raise ZoneFileSyntaxError(f"bad $GENERATE range {range_token!r}", lineno)
+        start, stop = int(start_token), int(stop_token)
+        if stop < start:
+            raise ZoneFileSyntaxError("$GENERATE stop before start", lineno)
+        if (stop - start) // step + 1 > 65536:
+            raise ZoneFileSyntaxError("$GENERATE range too large", lineno)
+        body = tokens[2:]
+        for value in range(start, stop + 1, step):
+            expanded = [
+                _expand_generate_template(token, value, lineno) for token in body
+            ]
+            self._handle_record(lineno, expanded, owner_inherited=False)
+
+    def _handle_include(self, lineno, tokens) -> None:
+        if self.include_loader is None:
+            raise ZoneFileSyntaxError(
+                "$INCLUDE needs an include loader (use parse_zone_file)", lineno
+            )
+        if len(tokens) not in (2, 3):
+            raise ZoneFileSyntaxError("$INCLUDE needs a filename", lineno)
+        if self._include_depth >= 8:
+            raise ZoneFileSyntaxError("$INCLUDE nesting too deep", lineno)
+        saved_origin = self.current_origin
+        if len(tokens) == 3:
+            self.current_origin = Name.from_text(tokens[2])
+        self._include_depth += 1
+        try:
+            self.parse(self.include_loader(tokens[1]))
+        finally:
+            self._include_depth -= 1
+            self.current_origin = saved_origin
+
+    # -- records ---------------------------------------------------------------
+
+    def _handle_record(self, lineno, tokens, owner_inherited) -> None:
+        if owner_inherited:
+            owner = self.last_owner
+            rest = tokens
+        else:
+            token = tokens[0]
+            if token == "@":
+                owner = self.current_origin
+            elif token.endswith("."):
+                owner = Name.from_text(token)
+            else:
+                owner = Name.from_text(token).concatenate(self.current_origin)
+            rest = tokens[1:]
+        if owner is None:
+            raise ZoneFileSyntaxError("record without owner name", lineno)
+        self.last_owner = owner
+
+        ttl: int | None = None
+        rrclass = RRClass.IN
+        # TTL and class may appear in either order before the type.
+        while rest:
+            if _is_ttl(rest[0]) and ttl is None:
+                ttl = _parse_ttl(rest[0], lineno)
+                rest = rest[1:]
+            elif _is_class(rest[0]):
+                rrclass = RRClass.from_text(rest[0])
+                rest = rest[1:]
+            else:
+                break
+        if not rest:
+            raise ZoneFileSyntaxError("record has no type", lineno)
+        if not _is_type(rest[0]):
+            raise ZoneFileSyntaxError(f"unknown RR type {rest[0]!r}", lineno)
+        rrtype = RRType.from_text(rest[0])
+        rdata_tokens = rest[1:]
+        if ttl is None:
+            ttl = self.default_ttl
+        if ttl is None:
+            raise ZoneFileSyntaxError("no TTL and no $TTL default", lineno)
+
+        try:
+            rdata = rdata_from_text(rrtype, rdata_tokens, self.current_origin)
+        except (ValueError, IndexError) as exc:
+            raise ZoneFileSyntaxError(f"bad {rrtype.to_text()} rdata: {exc}", lineno)
+        self.zone.add_record(ResourceRecord(owner, rrtype, rrclass, ttl, rdata))
+
+
+def parse_zone_text(
+    text: str, origin: Name | str, include_loader=None
+) -> Zone:
+    """Parse master-file text into a :class:`Zone` rooted at ``origin``.
+
+    ``include_loader`` maps an ``$INCLUDE`` filename to its text; without
+    one, ``$INCLUDE`` is an error (use :func:`parse_zone_file` for real
+    files).
+    """
+    if isinstance(origin, str):
+        origin = Name.from_text(origin)
+    zone = Zone(origin)
+    parser = _ZoneParser(zone, origin, include_loader=include_loader)
+    parser.parse(text)
+    return zone
+
+
+def parse_zone_file(path, origin: Name | str) -> Zone:
+    """Parse a master file from disk; ``$INCLUDE`` paths resolve relative
+    to the including file's directory."""
+    from pathlib import Path
+
+    path = Path(path)
+    base = path.parent
+
+    def loader(name: str) -> str:
+        candidate = Path(name)
+        if not candidate.is_absolute():
+            candidate = base / candidate
+        return candidate.read_text()
+
+    return parse_zone_text(path.read_text(), origin, include_loader=loader)
+
+
+def zone_to_text(zone: Zone) -> str:
+    """Serialize a zone back to master-file text (SOA first)."""
+    lines = [f"$ORIGIN {zone.origin.to_text()}"]
+    rrsets = sorted(
+        zone.rrsets(),
+        key=lambda rs: (rs.rrtype != RRType.SOA, rs.name, int(rs.rrtype)),
+    )
+    for rrset in rrsets:
+        for record in rrset.records():
+            lines.append(record.to_text())
+    return "\n".join(lines) + "\n"

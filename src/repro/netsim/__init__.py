@@ -1,0 +1,42 @@
+"""Network simulation substrate: virtual time, geography, latency, anycast."""
+
+from .addressing import Ipv4Allocator, Ipv6Allocator
+from .anycast import AnycastGroup, AnycastSite
+from .clock import SimClock
+from .events import EventScheduler
+from .geo import (
+    ATLAS_CONTINENT_WEIGHTS,
+    DATACENTERS,
+    PROBE_CITIES,
+    Continent,
+    GeoPoint,
+    Location,
+    cities_by_continent,
+    great_circle_km,
+)
+from .latency import FIBER_KM_PER_SECOND, LatencyModel, LatencyParameters
+from .network import DeliveryError, RoundTrip, SimNetwork, UnicastHost
+
+__all__ = [
+    "ATLAS_CONTINENT_WEIGHTS",
+    "AnycastGroup",
+    "AnycastSite",
+    "Continent",
+    "DATACENTERS",
+    "DeliveryError",
+    "EventScheduler",
+    "FIBER_KM_PER_SECOND",
+    "GeoPoint",
+    "Ipv4Allocator",
+    "Ipv6Allocator",
+    "LatencyModel",
+    "LatencyParameters",
+    "Location",
+    "PROBE_CITIES",
+    "RoundTrip",
+    "SimClock",
+    "SimNetwork",
+    "UnicastHost",
+    "cities_by_continent",
+    "great_circle_km",
+]

@@ -1,0 +1,62 @@
+"""IPv4/IPv6 address allocation for simulated hosts.
+
+Allocators hand out documentation-range addresses (TEST-NET and 2001:db8)
+first, then fall back to sequentially carved space, so simulated traces
+look plausible and never collide.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+
+
+class Ipv4Allocator:
+    """Sequential allocator over one or more IPv4 networks."""
+
+    def __init__(self, networks: list[str] | None = None):
+        if networks is None:
+            networks = ["10.0.0.0/8"]
+        self._networks = [ipaddress.IPv4Network(net) for net in networks]
+        self._net_index = 0
+        self._offset = 1  # skip the network address
+        self._allocated: set[str] = set()
+
+    def allocate(self) -> str:
+        while self._net_index < len(self._networks):
+            network = self._networks[self._net_index]
+            if self._offset < network.num_addresses - 1:
+                address = str(network[self._offset])
+                self._offset += 1
+                self._allocated.add(address)
+                return address
+            self._net_index += 1
+            self._offset = 1
+        raise RuntimeError("address space exhausted")
+
+    def allocate_many(self, count: int) -> list[str]:
+        return [self.allocate() for _ in range(count)]
+
+    @property
+    def allocated(self) -> frozenset[str]:
+        return frozenset(self._allocated)
+
+
+class Ipv6Allocator:
+    """Sequential allocator over an IPv6 prefix."""
+
+    def __init__(self, network: str = "2001:db8::/32"):
+        self._network = ipaddress.IPv6Network(network)
+        self._offset = 1
+        self._allocated: set[str] = set()
+
+    def allocate(self) -> str:
+        if self._offset >= self._network.num_addresses - 1:
+            raise RuntimeError("address space exhausted")
+        address = str(self._network[self._offset])
+        self._offset += 1
+        self._allocated.add(address)
+        return address
+
+    @property
+    def allocated(self) -> frozenset[str]:
+        return frozenset(self._allocated)

@@ -1,0 +1,37 @@
+"""Virtual time for the simulator.
+
+All components share one :class:`SimClock`; nothing in the simulation
+reads wall-clock time, which keeps campaigns deterministic and fast.
+"""
+
+from __future__ import annotations
+
+
+class SimClock:
+    """A monotonically advancing virtual clock, in seconds."""
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Move time forward; negative steps are a programming error."""
+        if seconds < 0:
+            raise ValueError(f"cannot advance clock by {seconds}")
+        self._now += seconds
+        return self._now
+
+    def advance_to(self, timestamp: float) -> float:
+        """Jump to an absolute time, which must not be in the past."""
+        if timestamp < self._now:
+            raise ValueError(
+                f"cannot move clock backwards from {self._now} to {timestamp}"
+            )
+        self._now = timestamp
+        return self._now
+
+    def __repr__(self) -> str:
+        return f"SimClock(now={self._now:.6f})"

@@ -1,0 +1,97 @@
+"""A small discrete-event engine driving the shared :class:`SimClock`."""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+from .clock import SimClock
+
+
+@dataclass(order=True)
+class _ScheduledEvent:
+    time: float
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class EventScheduler:
+    """Priority-queue event loop over virtual time.
+
+    Events scheduled for the same instant run in scheduling order, which
+    keeps campaign runs reproducible.
+    """
+
+    def __init__(self, clock: SimClock | None = None):
+        self.clock = clock if clock is not None else SimClock()
+        self._queue: list[_ScheduledEvent] = []
+        self._counter = itertools.count()
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        return self.clock.now
+
+    @property
+    def pending(self) -> int:
+        return sum(1 for event in self._queue if not event.cancelled)
+
+    @property
+    def processed(self) -> int:
+        return self._processed
+
+    def schedule_at(self, timestamp: float, callback: Callable[[], None]) -> _ScheduledEvent:
+        """Run ``callback`` at an absolute virtual time."""
+        if timestamp < self.clock.now:
+            raise ValueError(
+                f"cannot schedule at {timestamp} before now {self.clock.now}"
+            )
+        event = _ScheduledEvent(timestamp, next(self._counter), callback)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_in(self, delay: float, callback: Callable[[], None]) -> _ScheduledEvent:
+        """Run ``callback`` after a relative delay."""
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        return self.schedule_at(self.clock.now + delay, callback)
+
+    def cancel(self, event: _ScheduledEvent) -> None:
+        event.cancelled = True
+
+    def step(self) -> bool:
+        """Process the next event; returns False when the queue is empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self.clock.advance_to(event.time)
+            event.callback()
+            self._processed += 1
+            return True
+        return False
+
+    def run_until(self, timestamp: float) -> None:
+        """Process every event with time <= ``timestamp``, then jump there."""
+        while self._queue:
+            head = self._queue[0]
+            if head.cancelled:
+                heapq.heappop(self._queue)
+                continue
+            if head.time > timestamp:
+                break
+            self.step()
+        if timestamp > self.clock.now:
+            self.clock.advance_to(timestamp)
+
+    def run(self, max_events: int | None = None) -> int:
+        """Drain the queue; returns the number of events processed."""
+        count = 0
+        while self.step():
+            count += 1
+            if max_events is not None and count >= max_events:
+                break
+        return count

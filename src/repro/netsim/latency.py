@@ -1,0 +1,75 @@
+"""Latency model: geographic distance → round-trip time.
+
+The paper's analysis is driven by the *relative* RTTs between vantage
+points and datacenters (e.g. a VP in Europe sees FRA at ~40 ms and SYD at
+~300 ms).  We model RTT as
+
+    rtt = 2 * (distance * inflation) / fiber_speed + access + jitter
+
+with fiber propagation at ~2/3 c, a path-inflation factor for the
+indirectness of real routes, a fixed last-mile access delay, and
+multiplicative lognormal jitter.  Defaults are calibrated so the medians
+in the paper's Figure 3/Table 2 land in the right bands.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+from .geo import GeoPoint, great_circle_km
+
+# Speed of light in fiber, km per second (~0.67 c).
+FIBER_KM_PER_SECOND = 200_000.0
+
+
+@dataclass(frozen=True)
+class LatencyParameters:
+    """Tunable knobs of the latency model."""
+
+    path_inflation: float = 2.0     # real paths are longer than geodesics
+    access_delay_ms: float = 20.0   # last-mile + processing, both ends total
+    jitter_sigma: float = 0.08      # lognormal sigma on the multiplier
+    loss_rate: float = 0.005        # per-round-trip loss probability
+    min_rtt_ms: float = 1.0
+    #: stable per-(client, destination) routing diversity: the same two
+    #: endpoints see different paths depending on their providers.  A
+    #: lognormal multiplier with this sigma, fixed per pair (see
+    #: SimNetwork), creates the >=50 ms RTT gaps between geographically
+    #: equidistant sites that the paper's Figure 4 gate relies on.
+    path_diversity_sigma: float = 0.22
+
+
+class LatencyModel:
+    """Computes base and sampled RTTs between two points.
+
+    The *base* RTT for a pair is deterministic; individual samples add
+    jitter and may be lost.  A seeded RNG keeps runs reproducible.
+    """
+
+    def __init__(
+        self,
+        params: LatencyParameters | None = None,
+        rng: random.Random | None = None,
+    ):
+        self.params = params if params is not None else LatencyParameters()
+        self.rng = rng if rng is not None else random.Random(0)
+
+    def base_rtt_ms(self, a: GeoPoint, b: GeoPoint) -> float:
+        """Deterministic RTT for the pair, without jitter."""
+        distance = great_circle_km(a, b) * self.params.path_inflation
+        propagation_ms = 2.0 * distance / FIBER_KM_PER_SECOND * 1000.0
+        return max(
+            self.params.min_rtt_ms, propagation_ms + self.params.access_delay_ms
+        )
+
+    def sample_rtt_ms(self, a: GeoPoint, b: GeoPoint) -> float:
+        """One RTT observation with multiplicative lognormal jitter."""
+        base = self.base_rtt_ms(a, b)
+        multiplier = math.exp(self.rng.gauss(0.0, self.params.jitter_sigma))
+        return base * multiplier
+
+    def is_lost(self) -> bool:
+        """Whether one query/response round trip is lost."""
+        return self.rng.random() < self.params.loss_rate

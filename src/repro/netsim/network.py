@@ -1,0 +1,165 @@
+"""The simulated Internet: hosts, anycast services, and round trips.
+
+A host is (address, location, datagram handler).  The network computes
+the RTT for each query/response exchange from the latency model, applies
+loss, and — for anycast destinations — routes via the client's stable
+catchment.  Handlers run instantaneously in virtual time, like the
+paper's NSD instances whose processing time is negligible next to RTT.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from dataclasses import dataclass
+
+from .anycast import AnycastGroup, AnycastSite, DatagramHandler
+from .clock import SimClock
+from .geo import Location
+from .latency import LatencyModel
+
+
+def _path_diversity_multiplier(client_key: str, dst_address: str, sigma: float) -> float:
+    """Stable lognormal multiplier for one (client, destination) pair."""
+    if sigma <= 0.0:
+        return 1.0
+    digest = hashlib.sha256(f"{client_key}|{dst_address}|path".encode()).digest()
+    uniform = (int.from_bytes(digest[:8], "big") + 0.5) / 2**64
+    # Inverse-CDF of the standard normal via the probit approximation
+    # (Acklam's rational fit is overkill; erfinv is exact and available).
+    z = math.sqrt(2.0) * _erfinv(2.0 * uniform - 1.0)
+    return math.exp(sigma * z)
+
+
+def _erfinv(x: float) -> float:
+    """Inverse error function (Winitzki's approximation, <2e-3 rel err)."""
+    a = 0.147
+    sign = 1.0 if x >= 0 else -1.0
+    ln_term = math.log(1.0 - x * x)
+    first = 2.0 / (math.pi * a) + ln_term / 2.0
+    return sign * math.sqrt(math.sqrt(first * first - ln_term / a) - first)
+
+
+@dataclass
+class UnicastHost:
+    """A host reachable at one unicast address."""
+
+    address: str
+    location: Location
+    handler: DatagramHandler
+
+
+@dataclass
+class RoundTrip:
+    """Outcome of one query/response exchange."""
+
+    response: bytes | None     # None when lost or unanswered
+    rtt_ms: float | None       # None when lost
+    lost: bool
+    served_by: str             # site/host code that answered ("" when lost)
+
+
+class DeliveryError(Exception):
+    """The destination address is not registered in the simulation."""
+
+
+class SimNetwork:
+    """Registry of hosts plus the query/response transport."""
+
+    def __init__(self, latency: LatencyModel | None = None, clock: SimClock | None = None):
+        self.latency = latency if latency is not None else LatencyModel()
+        self.clock = clock if clock is not None else SimClock()
+        self._unicast: dict[str, UnicastHost] = {}
+        self._anycast: dict[str, AnycastGroup] = {}
+
+    # -- registration -----------------------------------------------------
+
+    def register_host(
+        self, address: str, location: Location, handler: DatagramHandler
+    ) -> UnicastHost:
+        if address in self._unicast or address in self._anycast:
+            raise ValueError(f"address {address} already registered")
+        host = UnicastHost(address, location, handler)
+        self._unicast[address] = host
+        return host
+
+    def register_anycast(self, group: AnycastGroup) -> None:
+        if group.address in self._unicast or group.address in self._anycast:
+            raise ValueError(f"address {group.address} already registered")
+        self._anycast[group.address] = group
+
+    def unregister(self, address: str) -> None:
+        self._unicast.pop(address, None)
+        self._anycast.pop(address, None)
+
+    def knows(self, address: str) -> bool:
+        return address in self._unicast or address in self._anycast
+
+    @property
+    def addresses(self) -> list[str]:
+        return list(self._unicast) + list(self._anycast)
+
+    # -- routing ------------------------------------------------------------
+
+    def route(
+        self, client_location: Location, client_key: str, address: str
+    ) -> tuple[Location, DatagramHandler, str]:
+        """Resolve a destination address to (site location, handler, code)."""
+        host = self._unicast.get(address)
+        if host is not None:
+            return host.location, host.handler, host.location.code
+        group = self._anycast.get(address)
+        if group is not None:
+            site = group.catchment(client_location, client_key, self.latency)
+            return site.location, site.handler, site.code
+        raise DeliveryError(f"no host at {address}")
+
+    # -- transport ------------------------------------------------------------
+
+    def round_trip(
+        self,
+        client_location: Location,
+        client_address: str,
+        dst_address: str,
+        payload: bytes,
+    ) -> RoundTrip:
+        """One query/response exchange from a client to a service address.
+
+        Loss applies to the whole round trip; the caller decides whether
+        and when to retry (resolvers time out and retry or move on).
+        """
+        site_location, handler, code = self.route(
+            client_location, client_address, dst_address
+        )
+        if self.latency.is_lost():
+            return RoundTrip(response=None, rtt_ms=None, lost=True, served_by="")
+        rtt_ms = self.latency.sample_rtt_ms(
+            client_location.point, site_location.point
+        ) * _path_diversity_multiplier(
+            client_address, dst_address, self.latency.params.path_diversity_sigma
+        )
+        response = handler(payload, client_address, self.clock.now)
+        if response is None:
+            return RoundTrip(response=None, rtt_ms=rtt_ms, lost=False, served_by=code)
+        return RoundTrip(response=response, rtt_ms=rtt_ms, lost=False, served_by=code)
+
+    def base_rtt_ms(
+        self, client_location: Location, client_key: str, dst_address: str
+    ) -> float:
+        """Deterministic RTT from a client to a service address."""
+        site_location, _, _ = self.route(client_location, client_key, dst_address)
+        return self.latency.base_rtt_ms(
+            client_location.point, site_location.point
+        ) * _path_diversity_multiplier(
+            client_key, dst_address, self.latency.params.path_diversity_sigma
+        )
+
+
+__all__ = [
+    "AnycastGroup",
+    "AnycastSite",
+    "DeliveryError",
+    "RoundTrip",
+    "SimNetwork",
+    "UnicastHost",
+]

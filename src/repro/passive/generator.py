@@ -1,0 +1,200 @@
+"""Synthetic production-traffic generator behind the Figure 7 analyses.
+
+Simulates a population of long-running recursive resolvers querying a
+fixed server set (root letters or TLD NSes).  Each recursive reuses the
+*same* selection and infrastructure-cache code as the testbed
+experiments; what differs from §3.1 is exactly what differs in the
+paper's passive data: caches are warm (a warm-up phase precedes the
+capture window), query rates are the recursives' own (heavy-tailed), and
+only a subset of servers is observed.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+
+from ..netsim.anycast import AnycastGroup, AnycastSite
+from ..netsim.geo import ATLAS_CONTINENT_WEIGHTS, Continent, Location, cities_by_continent
+from ..netsim.latency import LatencyModel
+from ..resolvers.infracache import InfrastructureCache
+from ..resolvers.population import INFRA_TTL_S, ResolverPopulation
+from .trace import Trace, TraceRecord
+
+
+@dataclass(frozen=True)
+class ServerSet:
+    """The authoritative set of a production zone (e.g. the 13 root letters)."""
+
+    zone: str
+    sites_by_server: dict[str, tuple[Location, ...]]  # server_id -> its sites
+    observed: tuple[str, ...]                          # servers with captures
+
+    def __post_init__(self):
+        missing = set(self.observed) - set(self.sites_by_server)
+        if missing:
+            raise ValueError(f"observed servers not in set: {sorted(missing)}")
+
+    @property
+    def server_ids(self) -> list[str]:
+        return list(self.sites_by_server)
+
+
+@dataclass
+class GeneratorConfig:
+    """Knobs of the synthetic capture."""
+
+    num_recursives: int = 400
+    warmup_s: float = 1800.0
+    capture_s: float = 3600.0
+    mean_queries_per_hour: float = 250.0
+    rate_sigma: float = 1.0          # lognormal sigma of per-recursive rates
+    seed: int = 0
+    resolver_mix: dict[str, float] | None = None
+    selector_overrides: dict[str, dict] | None = None
+    continent_weights: dict[Continent, float] | None = None
+    #: lognormal sigma of stable per-(recursive, server) path diversity:
+    #: BGP peering makes the same anycast service fast for one network
+    #: and slow for its neighbor.  0 disables.
+    peering_sigma: float = 0.0
+    #: probability that any given anycast *site* of an observed server is
+    #: part of the capture.  DITL never covers every instance of every
+    #: letter; queries landing on uncaptured sites are invisible.
+    capture_coverage: float = 1.0
+    #: diurnal traffic modulation: per-recursive query rates scale with
+    #: local time of day (amplitude 0 disables).  The paper argues (§3.1)
+    #: that selection is unlikely to be affected by diurnal factors — a
+    #: testable claim here.
+    diurnal_amplitude: float = 0.0
+    #: UTC hour at which the capture window starts (paper: 12:00 UTC).
+    capture_utc_hour: float = 12.0
+
+
+class PassiveTraceGenerator:
+    """Produces a :class:`Trace` for one :class:`ServerSet`."""
+
+    def __init__(self, servers: ServerSet, config: GeneratorConfig | None = None):
+        self.servers = servers
+        self.config = config if config is not None else GeneratorConfig()
+        root = random.Random(self.config.seed)
+        self.rng = random.Random(root.randrange(2**63))
+        self.latency = LatencyModel(rng=random.Random(root.randrange(2**63)))
+        self.population = ResolverPopulation(
+            self.config.resolver_mix,
+            rng=random.Random(root.randrange(2**63)),
+            selector_overrides=self.config.selector_overrides,
+        )
+        self._groups: dict[str, AnycastGroup] = {
+            server_id: self._make_group(server_id, sites)
+            for server_id, sites in servers.sites_by_server.items()
+        }
+        capture_rng = random.Random(root.randrange(2**63))
+        self._captured_sites: dict[str, set[str]] = {}
+        for server_id, sites in servers.sites_by_server.items():
+            captured = {
+                site.code
+                for site in sites
+                if capture_rng.random() < self.config.capture_coverage
+            }
+            if not captured:  # a capture of a server covers at least one site
+                captured = {capture_rng.choice(sites).code}
+            self._captured_sites[server_id] = captured
+
+    def _make_group(
+        self, server_id: str, sites: tuple[Location, ...]
+    ) -> AnycastGroup:
+        group = AnycastGroup(f"{self.servers.zone}-{server_id}")
+        for site in sites:
+            group.add_site(AnycastSite(site.code, site, lambda *a: None))
+        return group
+
+    def _recursive_location(self) -> Location:
+        weights = dict(
+            ATLAS_CONTINENT_WEIGHTS
+            if self.config.continent_weights is None
+            else self.config.continent_weights
+        )
+        continents = list(weights)
+        continent = self.rng.choices(
+            continents, weights=[weights[c] for c in continents], k=1
+        )[0]
+        return self.rng.choice(cities_by_continent(continent))
+
+    def _base_rtts(self, location: Location, client_key: str) -> dict[str, float]:
+        """Deterministic RTT per server via its anycast catchment, with
+        stable per-(recursive, server) peering diversity on top."""
+        rtts = {}
+        for server_id, group in self._groups.items():
+            site = group.catchment(location, client_key, self.latency)
+            rtt = self.latency.base_rtt_ms(location.point, site.location.point)
+            if self.config.peering_sigma > 0.0:
+                draw = random.Random(f"{client_key}|{server_id}|peering")
+                rtt *= math.exp(draw.gauss(0.0, self.config.peering_sigma))
+            rtts[server_id] = rtt
+        return rtts
+
+    def generate(self) -> Trace:
+        """Run warm-up plus capture; the trace covers observed servers only."""
+        config = self.config
+        server_ids = self.servers.server_ids
+        records: list[TraceRecord] = []
+        observed = set(self.servers.observed)
+
+        for index in range(config.num_recursives):
+            address = f"198.18.{index // 250}.{index % 250 + 1}"
+            location = self._recursive_location()
+            sample = self.population.sample()
+            selector = sample.selector
+            cache = InfrastructureCache(
+                ttl_s=INFRA_TTL_S.get(sample.impl_name, 600.0)
+            )
+            rtts = self._base_rtts(location, address)
+            # Whether this recursive's queries to a server are captured
+            # depends on which site its (stable) catchment lands on.
+            visible = {
+                server_id: self._groups[server_id]
+                .catchment(location, address, self.latency)
+                .code
+                in self._captured_sites[server_id]
+                for server_id in server_ids
+            }
+            rate_per_s = (
+                config.mean_queries_per_hour
+                * math.exp(self.rng.gauss(0.0, config.rate_sigma))
+                / 3600.0
+            )
+            if config.diurnal_amplitude > 0.0:
+                # Local time from longitude; traffic peaks mid-afternoon.
+                local_hour = (
+                    config.capture_utc_hour + location.point.lon / 15.0
+                ) % 24.0
+                modulation = 1.0 + config.diurnal_amplitude * math.sin(
+                    2.0 * math.pi * (local_hour - 9.0) / 24.0
+                )
+                rate_per_s *= max(0.05, modulation)
+            now = -config.warmup_s
+            end = config.capture_s
+            while now < end:
+                now += self.rng.expovariate(rate_per_s) if rate_per_s > 0 else end
+                if now >= end:
+                    break
+                choice = selector.select(server_ids, cache, now)
+                if self.latency.is_lost():
+                    selector.on_timeout(choice, server_ids, cache, now)
+                    continue
+                rtt = rtts[choice] * math.exp(
+                    self.rng.gauss(0.0, self.latency.params.jitter_sigma)
+                )
+                selector.on_response(choice, rtt, server_ids, cache, now)
+                if now >= 0.0 and choice in observed and visible[choice]:
+                    records.append(
+                        TraceRecord(
+                            timestamp=now,
+                            recursive=address,
+                            server_id=choice,
+                            qname=f"q{len(records)}.{self.servers.zone}",
+                        )
+                    )
+        records.sort(key=lambda record: record.timestamp)
+        return Trace(observed_servers=self.servers.observed, records=records)

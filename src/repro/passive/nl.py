@@ -1,0 +1,65 @@
+""".nl ccTLD traffic synthesis (§3.2, Figure 7 bottom).
+
+At the time of the paper, .nl ran 8 authoritatives: 5 unicast in the
+Netherlands plus 3 anycast services with sites around the world; the
+ENTRADA capture covers 4 of the 8.  TLD clients are the general resolver
+population (unlike Root-busy farms), so the default mix applies — which
+is why the paper sees the majority of recursives querying *all* observed
+.nl authoritatives, with fewer single-NS recursives than at the Root.
+"""
+
+from __future__ import annotations
+
+from ..netsim.geo import PROBE_CITIES, Location
+from .generator import GeneratorConfig, PassiveTraceGenerator, ServerSet
+from .trace import Trace
+
+
+def _cities(*codes: str) -> tuple[Location, ...]:
+    return tuple(PROBE_CITIES[code] for code in codes)
+
+
+#: 5 unicast NSes in the Netherlands + 3 global anycast services.
+NL_SERVER_SITES: dict[str, tuple[Location, ...]] = {
+    "ns1.dns.nl": _cities("AMS"),
+    "ns2.dns.nl": _cities("AMS"),
+    "ns3.dns.nl": _cities("AMS"),
+    "ns4.dns.nl": _cities("AMS"),
+    "ns5.dns.nl": _cities("AMS"),
+    "anyc1.dns.nl": _cities("AMS", "LON", "NYC", "TYO", "SYDC", "SAO", "JNB"),
+    "anyc2.dns.nl": _cities("FRAC", "MIA", "SIN", "SCL", "SEA", "DXB"),
+    "anyc3.dns.nl": _cities("LON", "CHI", "HKG", "BUE", "CAI", "MEL"),
+}
+
+#: The ENTRADA capture the paper uses covers 4 of the 8 authoritatives
+#: (two unicast, two anycast here).
+NL_OBSERVED: tuple[str, ...] = (
+    "ns1.dns.nl",
+    "ns3.dns.nl",
+    "anyc1.dns.nl",
+    "anyc2.dns.nl",
+)
+
+
+def nl_server_set() -> ServerSet:
+    return ServerSet(
+        zone="nl",
+        sites_by_server=dict(NL_SERVER_SITES),
+        observed=NL_OBSERVED,
+    )
+
+
+def generate_nl_trace(
+    num_recursives: int = 400,
+    seed: int = 0,
+    mean_queries_per_hour: float = 400.0,
+    **config_overrides,
+) -> Trace:
+    """A one-hour .nl capture over the 4 observed authoritatives."""
+    config = GeneratorConfig(
+        num_recursives=num_recursives,
+        seed=seed,
+        mean_queries_per_hour=mean_queries_per_hour,
+        **config_overrides,
+    )
+    return PassiveTraceGenerator(nl_server_set(), config).generate()

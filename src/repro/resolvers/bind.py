@@ -1,0 +1,61 @@
+"""BIND-style selection: smoothed RTT with decay of unused servers.
+
+BIND 9 keeps an SRTT per server in its address database (ADB) and sends
+each query to the server with the lowest SRTT.  Two details keep it from
+locking on forever: servers it has never tried get a small random SRTT so
+they are probed early, and every time a server is *not* chosen its SRTT
+is multiplicatively decayed, so a neglected server eventually looks
+attractive again.  Entries age out of the ADB after ~10 minutes [3].
+"""
+
+from __future__ import annotations
+
+from .base import ServerSelector
+from .infracache import InfrastructureCache
+
+
+class BindSelector(ServerSelector):
+    """Lowest-SRTT selection with 0.98 decay of the unchosen (BIND 9)."""
+
+    name = "bind"
+
+    #: fresh servers draw an SRTT in [0, untried_max_ms) so they win once
+    untried_max_ms = 10.0
+    #: EWMA weight of a new sample
+    alpha = 0.3
+
+    def __init__(self, rng=None, decay_factor: float = 0.98):
+        super().__init__(rng)
+        #: multiplicative decay applied to servers that were not selected
+        self.decay_factor = decay_factor
+
+    def select(
+        self, addresses: list[str], cache: InfrastructureCache, now: float
+    ) -> str:
+        best_address: str | None = None
+        best_srtt = float("inf")
+        for address in addresses:
+            srtt = cache.srtt(address, now)
+            if srtt is None:
+                stale = cache.stale_entry(address, now)
+                if stale is not None:
+                    # ADB entry expired, but the implementation retains
+                    # latency history — the behavior behind the paper's
+                    # §4.4 finding that preferences outlive the timeout.
+                    srtt = stale.srtt_ms
+                else:
+                    # Never tried: seed a small random SRTT so the server
+                    # is probed ahead of everything already measured.
+                    srtt = self.rng.uniform(0.0, self.untried_max_ms)
+                cache.observe_rtt(address, srtt, now, alpha=1.0)
+            if srtt < best_srtt:
+                best_srtt = srtt
+                best_address = address
+        assert best_address is not None
+        for address in addresses:
+            if address != best_address:
+                cache.decay(address, now, self.decay_factor)
+        return best_address
+
+    def on_response(self, address, rtt_ms, addresses, cache, now) -> None:
+        cache.observe_rtt(address, rtt_ms, now, alpha=self.alpha)

@@ -1,0 +1,113 @@
+"""Infrastructure cache: per-authoritative latency bookkeeping (§2).
+
+Recursive resolvers remember, per authoritative *address*, a smoothed
+round-trip time (SRTT).  BIND keeps entries for about 10 minutes,
+Unbound for about 15; entries that expire are forgotten and the server
+looks new again.  The paper's §4.4 measures exactly this expiry
+behavior, so the cache models per-entry TTL explicitly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class InfraEntry:
+    """Latency state for one authoritative server address."""
+
+    srtt_ms: float
+    updated_at: float
+    expires_at: float
+    samples: int = 0
+    timeouts: int = 0
+
+
+@dataclass
+class InfrastructureCache:
+    """SRTT store with per-entry expiry.
+
+    Parameters
+    ----------
+    ttl_s:
+        Entry lifetime from the last update.  BIND's ADB uses ~600 s,
+        Unbound ~900 s.
+    """
+
+    ttl_s: float = 600.0
+    _entries: dict[str, InfraEntry] = field(default_factory=dict)
+
+    def get(self, address: str, now: float) -> InfraEntry | None:
+        """The live entry for an address, or None if absent/expired.
+
+        Expired entries are not returned but are retained as *stale*
+        hints (see :meth:`stale_entry`): the paper's §4.4 observes that
+        preferences survive the documented cache timeouts, which real
+        implementations achieve by not fully discarding latency history.
+        """
+        entry = self._entries.get(address)
+        if entry is None:
+            return None
+        if now >= entry.expires_at:
+            return None
+        return entry
+
+    def stale_entry(self, address: str, now: float) -> InfraEntry | None:
+        """The last known entry even if expired (None if never observed)."""
+        return self._entries.get(address)
+
+    def srtt(self, address: str, now: float) -> float | None:
+        entry = self.get(address, now)
+        return entry.srtt_ms if entry is not None else None
+
+    def observe_rtt(
+        self, address: str, rtt_ms: float, now: float, alpha: float = 0.3
+    ) -> InfraEntry:
+        """Fold one RTT sample into the SRTT: new = α·sample + (1-α)·old."""
+        entry = self.get(address, now)
+        if entry is None:
+            entry = InfraEntry(
+                srtt_ms=rtt_ms, updated_at=now, expires_at=now + self.ttl_s, samples=1
+            )
+            self._entries[address] = entry
+            return entry
+        entry.srtt_ms = alpha * rtt_ms + (1.0 - alpha) * entry.srtt_ms
+        entry.updated_at = now
+        entry.expires_at = now + self.ttl_s
+        entry.samples += 1
+        return entry
+
+    def observe_timeout(
+        self, address: str, now: float, floor_ms: float = 400.0
+    ) -> InfraEntry:
+        """Penalize a timed-out server: double its SRTT (with a floor)."""
+        entry = self.get(address, now)
+        if entry is None:
+            entry = InfraEntry(
+                srtt_ms=floor_ms, updated_at=now, expires_at=now + self.ttl_s
+            )
+            self._entries[address] = entry
+        else:
+            entry.srtt_ms = max(entry.srtt_ms * 2.0, floor_ms)
+            entry.updated_at = now
+            entry.expires_at = now + self.ttl_s
+        entry.timeouts += 1
+        return entry
+
+    def decay(self, address: str, now: float, factor: float = 0.98) -> None:
+        """Decay an (unselected) server's SRTT so it gets re-probed (BIND)."""
+        entry = self.get(address, now)
+        if entry is not None:
+            entry.srtt_ms *= factor
+
+    def forget(self, address: str) -> None:
+        self._entries.pop(address, None)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def known_addresses(self, now: float) -> list[str]:
+        return [addr for addr in list(self._entries) if self.get(addr, now)]
+
+    def __len__(self) -> int:
+        return len(self._entries)

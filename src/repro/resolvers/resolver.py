@@ -1,0 +1,351 @@
+"""The recursive resolver: iterative resolution over the simulated network.
+
+A :class:`RecursiveResolver` owns a record cache, an infrastructure
+cache, and a :class:`~repro.resolvers.base.ServerSelector`.  It resolves
+names by walking referrals from the deepest zone it knows servers for
+(root hints and/or stub zones), exactly like the recursives between the
+paper's vantage points and its authoritatives.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..dns.message import Message
+from ..dns.name import Name
+from ..dns.rdata import TXT
+from ..dns.records import ResourceRecord
+from ..dns.types import Rcode, RRClass, RRType
+
+CHAOS_SELF_NAMES = (
+    Name.from_text("id.server."),
+    Name.from_text("hostname.bind."),
+)
+from ..netsim.geo import Location
+from ..netsim.network import SimNetwork
+from .base import ServerSelector
+from .infracache import InfrastructureCache
+from .rrcache import RecordCache
+
+MAX_REFERRALS = 16
+
+
+@dataclass(frozen=True)
+class ExchangeRecord:
+    """One query/response exchange with an authoritative."""
+
+    address: str
+    rtt_ms: float | None
+    lost: bool
+    served_by: str
+
+
+@dataclass
+class ResolutionResult:
+    """Outcome of one recursive resolution."""
+
+    qname: Name
+    qtype: RRType
+    rcode: Rcode | None = None
+    answers: list[ResourceRecord] = field(default_factory=list)
+    served_by: str = ""          # site code of the final answering server
+    final_address: str = ""      # service address the final answer came from
+    rtt_ms: float | None = None  # RTT of the final exchange
+    exchanges: list[ExchangeRecord] = field(default_factory=list)
+    from_cache: bool = False
+
+    @property
+    def succeeded(self) -> bool:
+        return self.rcode == Rcode.NOERROR and bool(self.answers)
+
+    def txt_value(self) -> str | None:
+        """The first TXT string in the answer — the paper's site marker."""
+        for record in self.answers:
+            value = getattr(record.rdata, "value", None)
+            if value is not None:
+                return value
+        return None
+
+
+class RecursiveResolver:
+    """A recursive resolver attached to the simulated network."""
+
+    def __init__(
+        self,
+        address: str,
+        location: Location,
+        network: SimNetwork,
+        selector: ServerSelector,
+        infra_ttl_s: float = 600.0,
+        timeout_ms: float = 800.0,
+        max_retries: int = 3,
+        rng: random.Random | None = None,
+        qname_minimization: bool = False,
+        case_randomization: bool = False,
+    ):
+        self.address = address
+        self.location = location
+        self.network = network
+        self.selector = selector
+        self.infra_cache = InfrastructureCache(ttl_s=infra_ttl_s)
+        self.record_cache = RecordCache()
+        self.timeout_ms = timeout_ms
+        self.max_retries = max_retries
+        self.rng = rng if rng is not None else random.Random(hash(address) & 0xFFFF)
+        #: zone origin -> authoritative service addresses
+        self.stub_zones: dict[Name, list[str]] = {}
+        self.queries_sent = 0
+        #: RFC 7816: leak only one label per zone cut while walking down
+        self.qname_minimization = qname_minimization
+        #: DNS-0x20: randomize qname case and verify the echo (anti-spoof)
+        self.case_randomization = case_randomization
+        self.spoofs_rejected = 0
+
+    # -- configuration -----------------------------------------------------
+
+    def add_stub_zone(self, origin: Name | str, addresses: list[str]) -> None:
+        """Teach the resolver the NS addresses of a zone (like cached NS)."""
+        if isinstance(origin, str):
+            origin = Name.from_text(origin)
+        self.stub_zones[origin] = list(addresses)
+
+    def set_root_hints(self, addresses: list[str]) -> None:
+        from ..dns.name import ROOT
+
+        self.stub_zones[ROOT] = list(addresses)
+
+    def _deepest_known_zone(self, qname: Name) -> tuple[Name, list[str]] | None:
+        best: tuple[Name, list[str]] | None = None
+        for origin, addresses in self.stub_zones.items():
+            if qname.is_subdomain_of(origin):
+                if best is None or len(origin) > len(best[0]):
+                    best = (origin, addresses)
+        return best
+
+    # -- resolution -----------------------------------------------------------
+
+    def resolve(
+        self,
+        qname: Name | str,
+        qtype: RRType,
+        rrclass: RRClass = RRClass.IN,
+    ) -> ResolutionResult:
+        """Resolve a name, using caches, selection, retries, and referrals.
+
+        CHAOS-class identification queries (``id.server.``,
+        ``hostname.bind.``) are answered by the recursive itself and
+        never forwarded — the §3.1 pitfall that makes CHAOS useless for
+        catchment mapping through recursives.
+        """
+        if isinstance(qname, str):
+            qname = Name.from_text(qname)
+        now = self.network.clock.now
+        result = ResolutionResult(qname=qname, qtype=qtype)
+
+        if rrclass == RRClass.CH:
+            if qtype == RRType.TXT and qname in CHAOS_SELF_NAMES:
+                result.rcode = Rcode.NOERROR
+                result.answers = [
+                    ResourceRecord(
+                        qname, RRType.TXT, RRClass.CH, 0,
+                        TXT.from_value(f"resolver-{self.address}"),
+                    )
+                ]
+                result.served_by = f"resolver-{self.address}"
+            else:
+                result.rcode = Rcode.REFUSED
+            return result
+
+        cached = self.record_cache.get(qname, qtype, now)
+        if cached is not None:
+            result.rcode = Rcode.NOERROR
+            result.answers = list(cached.records)
+            result.from_cache = True
+            return result
+        negative = self.record_cache.get_negative(qname, qtype, now)
+        if negative is not None:
+            result.rcode = Rcode.NXDOMAIN if negative.nxdomain else Rcode.NOERROR
+            result.from_cache = True
+            return result
+
+        start = self._deepest_known_zone(qname)
+        if start is None:
+            result.rcode = Rcode.SERVFAIL
+            return result
+        current_zone, addresses = start[0], list(start[1])
+
+        for _ in range(MAX_REFERRALS):
+            send_name, send_type = self._minimized_question(
+                qname, qtype, current_zone
+            )
+            response = self._query_with_retries(
+                send_name, send_type, addresses, result
+            )
+            if response is None:
+                result.rcode = Rcode.SERVFAIL
+                return result
+            message, address, served_by, rtt_ms = response
+            if message.rcode == Rcode.NXDOMAIN:
+                self._cache_negative(message, send_name, send_type, nxdomain=True)
+                self._finalize(result, message, address, served_by, rtt_ms)
+                result.rcode = Rcode.NXDOMAIN
+                return result
+            if message.rcode != Rcode.NOERROR:
+                result.rcode = message.rcode
+                self._finalize(result, message, address, served_by, rtt_ms)
+                return result
+            referral = self._referral_addresses(message)
+            if referral and not message.answers:
+                addresses = referral
+                cut = self._referral_cut(message)
+                if cut is not None:
+                    current_zone = cut
+                continue
+            if send_name != qname:
+                # Minimized probe: the intermediate name exists (NOERROR),
+                # so descend one label and keep asking the same servers.
+                current_zone = send_name
+                continue
+            if message.answers:
+                self.record_cache.put(
+                    qname, qtype, list(message.answers), self.network.clock.now
+                )
+                self._finalize(result, message, address, served_by, rtt_ms)
+                return result
+            # NODATA: name exists but not this type.
+            self._cache_negative(message, qname, qtype, nxdomain=False)
+            self._finalize(result, message, address, served_by, rtt_ms)
+            return result
+        result.rcode = Rcode.SERVFAIL
+        return result
+
+    def _minimized_question(
+        self, qname: Name, qtype: RRType, current_zone: Name
+    ) -> tuple[Name, RRType]:
+        """RFC 7816: expose one label below the current zone, type NS."""
+        if not self.qname_minimization:
+            return qname, qtype
+        if not qname.is_subdomain_of(current_zone) or qname == current_zone:
+            return qname, qtype
+        relative = qname.relativize(current_zone)
+        if len(relative) <= 1:
+            return qname, qtype
+        child = current_zone.child(relative[-1])
+        return child, RRType.NS
+
+    # -- internals ---------------------------------------------------------------
+
+    def _query_with_retries(
+        self,
+        qname: Name,
+        qtype: RRType,
+        addresses: list[str],
+        result: ResolutionResult,
+    ) -> tuple[Message, str, str, float] | None:
+        now = self.network.clock.now
+        for _ in range(self.max_retries + 1):
+            address = self.selector.select(addresses, self.infra_cache, now)
+            send_name = (
+                self._randomize_case(qname) if self.case_randomization else qname
+            )
+            query = Message.make_query(
+                send_name, qtype, msg_id=self.rng.randrange(0x10000),
+                recursion_desired=False,
+            )
+            self.queries_sent += 1
+            try:
+                trip = self.network.round_trip(
+                    self.location, self.address, address, query.to_wire()
+                )
+            except Exception:
+                # Host gone (withdrawn mid-measurement): a timeout to us.
+                result.exchanges.append(ExchangeRecord(address, None, True, ""))
+                self.selector.on_timeout(address, addresses, self.infra_cache, now)
+                continue
+            if trip.lost or trip.response is None:
+                result.exchanges.append(
+                    ExchangeRecord(address, None, True, "")
+                )
+                self.selector.on_timeout(address, addresses, self.infra_cache, now)
+                continue
+            try:
+                message = Message.from_wire(trip.response)
+            except Exception:
+                self.selector.on_timeout(address, addresses, self.infra_cache, now)
+                continue
+            if message.msg_id != query.msg_id:
+                continue  # spoofed/mismatched: ignore, treat as failure
+            if self.case_randomization and message.questions:
+                echoed = message.questions[0].name.labels
+                if echoed != send_name.labels:
+                    # Case mismatch: off-path spoof; discard the response.
+                    self.spoofs_rejected += 1
+                    continue
+            result.exchanges.append(
+                ExchangeRecord(address, trip.rtt_ms, False, trip.served_by)
+            )
+            self.selector.on_response(
+                address, trip.rtt_ms, addresses, self.infra_cache, now
+            )
+            return message, address, trip.served_by, trip.rtt_ms
+        return None
+
+    def _referral_cut(self, message: Message) -> Name | None:
+        """The delegation point named by a referral's authority NS set."""
+        for record in message.authorities:
+            if record.rrtype == RRType.NS:
+                return record.name
+        return None
+
+    def _randomize_case(self, name: Name) -> Name:
+        """DNS-0x20: flip each ASCII letter's case with probability 1/2."""
+        labels = []
+        for label in name.labels:
+            out = bytearray()
+            for byte in label:
+                if (0x41 <= byte <= 0x5A or 0x61 <= byte <= 0x7A) and (
+                    self.rng.random() < 0.5
+                ):
+                    byte ^= 0x20
+                out.append(byte)
+            labels.append(bytes(out))
+        return Name(labels)
+
+    def _referral_addresses(self, message: Message) -> list[str]:
+        """Glue addresses from a referral response that we can route to."""
+        addresses = []
+        for record in message.additionals:
+            if record.rrtype in (RRType.A, RRType.AAAA):
+                address = record.rdata.address
+                if self.network.knows(address):
+                    addresses.append(address)
+        return addresses
+
+    def _cache_negative(
+        self, message: Message, qname: Name, qtype: RRType, nxdomain: bool
+    ) -> None:
+        ttl = 0
+        for record in message.authorities:
+            if record.rrtype == RRType.SOA:
+                minimum = getattr(record.rdata, "minimum", 0)
+                ttl = min(record.ttl, minimum)
+                break
+        if ttl > 0:
+            self.record_cache.put_negative(
+                qname, qtype, nxdomain, ttl, self.network.clock.now
+            )
+
+    @staticmethod
+    def _finalize(
+        result: ResolutionResult,
+        message: Message,
+        address: str,
+        served_by: str,
+        rtt_ms: float,
+    ) -> None:
+        result.rcode = message.rcode
+        result.answers = list(message.answers)
+        result.final_address = address
+        result.served_by = served_by
+        result.rtt_ms = rtt_ms

@@ -1,0 +1,94 @@
+"""Record cache with TTL expiry, including negative caching (RFC 2308).
+
+The paper defeats this cache with unique labels and a 5-second TTL; the
+passive-trace generators rely on it to reproduce warm-cache behavior.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..dns.name import Name
+from ..dns.records import ResourceRecord
+from ..dns.types import RRType
+
+
+@dataclass
+class CacheEntry:
+    """Positive entry: the records and when they expire."""
+
+    records: list[ResourceRecord]
+    expires_at: float
+
+
+@dataclass
+class NegativeEntry:
+    """Negative entry: NXDOMAIN or NODATA, per RFC 2308."""
+
+    nxdomain: bool
+    expires_at: float
+
+
+@dataclass
+class RecordCache:
+    """TTL-driven cache of positive and negative answers."""
+
+    max_entries: int = 100_000
+    _positive: dict[tuple[Name, RRType], CacheEntry] = field(default_factory=dict)
+    _negative: dict[tuple[Name, RRType], NegativeEntry] = field(default_factory=dict)
+    hits: int = 0
+    misses: int = 0
+
+    def get(self, name: Name, rrtype: RRType, now: float) -> CacheEntry | None:
+        entry = self._positive.get((name, rrtype))
+        if entry is None:
+            self.misses += 1
+            return None
+        if now >= entry.expires_at:
+            del self._positive[(name, rrtype)]
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry
+
+    def get_negative(self, name: Name, rrtype: RRType, now: float) -> NegativeEntry | None:
+        entry = self._negative.get((name, rrtype))
+        if entry is None:
+            return None
+        if now >= entry.expires_at:
+            del self._negative[(name, rrtype)]
+            return None
+        return entry
+
+    def put(
+        self, name: Name, rrtype: RRType, records: list[ResourceRecord], now: float
+    ) -> None:
+        """Cache a positive answer for min(record TTLs) seconds."""
+        if not records:
+            return
+        if len(self._positive) >= self.max_entries:
+            self._evict(now)
+        ttl = min(record.ttl for record in records)
+        self._positive[(name, rrtype)] = CacheEntry(records, now + ttl)
+        self._negative.pop((name, rrtype), None)
+
+    def put_negative(
+        self, name: Name, rrtype: RRType, nxdomain: bool, ttl: int, now: float
+    ) -> None:
+        self._negative[(name, rrtype)] = NegativeEntry(nxdomain, now + ttl)
+
+    def _evict(self, now: float) -> None:
+        """Drop expired entries; if still full, drop the oldest-expiring."""
+        expired = [key for key, entry in self._positive.items() if now >= entry.expires_at]
+        for key in expired:
+            del self._positive[key]
+        while len(self._positive) >= self.max_entries:
+            victim = min(self._positive, key=lambda key: self._positive[key].expires_at)
+            del self._positive[victim]
+
+    def flush(self) -> None:
+        self._positive.clear()
+        self._negative.clear()
+
+    def __len__(self) -> int:
+        return len(self._positive)

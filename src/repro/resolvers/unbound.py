@@ -1,0 +1,52 @@
+"""Unbound-style selection: uniform within an RTT band of the fastest.
+
+Unbound keeps smoothed RTT estimates per server (infra cache, ~15 min
+TTL [30]) and, when choosing, picks uniformly at random among all servers
+whose estimate lies within ``band_ms`` (400 ms in unbound) of the best.
+The consequence the paper observes: when all of a zone's servers are
+within 400 ms of each other, Unbound spreads queries almost evenly, and
+only very distant servers are avoided.  Unknown servers are assigned the
+UNKNOWN_SERVER_NICENESS default (376 ms) so they are explored without
+being favored.
+"""
+
+from __future__ import annotations
+
+from .base import ServerSelector
+from .infracache import InfrastructureCache
+
+
+class UnboundSelector(ServerSelector):
+    """Random choice within a 400 ms band of the fastest server (Unbound)."""
+
+    name = "unbound"
+
+    #: servers within this much of the best RTT are eligible
+    band_ms = 400.0
+    #: RTT assumed for servers never measured (unbound's 376 ms default)
+    unknown_ms = 376.0
+    #: EWMA weight of a new sample
+    alpha = 0.5
+
+    def _estimate(self, address: str, cache: InfrastructureCache, now: float) -> float:
+        srtt = cache.srtt(address, now)
+        return self.unknown_ms if srtt is None else srtt
+
+    def select(
+        self, addresses: list[str], cache: InfrastructureCache, now: float
+    ) -> str:
+        estimates = {
+            address: self._estimate(address, cache, now) for address in addresses
+        }
+        best = min(estimates.values())
+        eligible = [
+            address for address, est in estimates.items() if est <= best + self.band_ms
+        ]
+        return self.rng.choice(eligible)
+
+    def on_response(self, address, rtt_ms, addresses, cache, now) -> None:
+        cache.observe_rtt(address, rtt_ms, now, alpha=self.alpha)
+
+    def on_timeout(self, address, addresses, cache, now) -> None:
+        # Unbound doubles the RTT estimate on timeout (capped by the cache).
+        cache.observe_timeout(address, now, floor_ms=self.unknown_ms)

@@ -1,0 +1,61 @@
+"""Windows-DNS-style selection: sticky fastest with periodic re-ranking.
+
+Windows Server DNS measures each authoritative once, then locks onto the
+fastest and keeps using it; it re-probes the full set only on a coarse
+timer (modeled as ``reprobe_interval_s``) or when the favorite times out.
+Between re-probes its preference is the strongest of all implementations.
+"""
+
+from __future__ import annotations
+
+from .base import ServerSelector
+from .infracache import InfrastructureCache
+
+
+class WindowsSelector(ServerSelector):
+    """Lock onto the fastest server; re-rank every ``reprobe_interval_s``."""
+
+    name = "windows"
+
+    reprobe_interval_s = 900.0
+    alpha = 0.5
+
+    def __init__(self, rng=None):
+        super().__init__(rng)
+        self._favorite: str | None = None
+        self._next_reprobe_at = 0.0
+        self._probing: list[str] = []
+
+    def reset(self) -> None:
+        self._favorite = None
+        self._next_reprobe_at = 0.0
+        self._probing = []
+
+    def select(
+        self, addresses: list[str], cache: InfrastructureCache, now: float
+    ) -> str:
+        if now >= self._next_reprobe_at:
+            # Begin a probe round: visit every server once, then re-rank.
+            self._probing = [
+                addr for addr in addresses if cache.srtt(addr, now) is None
+            ] or list(addresses)
+            self.rng.shuffle(self._probing)
+            self._next_reprobe_at = now + self.reprobe_interval_s
+            self._favorite = None
+        if self._probing:
+            return self._probing.pop()
+        if self._favorite is None or self._favorite not in addresses:
+            measured = [addr for addr in addresses if cache.srtt(addr, now) is not None]
+            pool = measured or addresses
+            self._favorite = min(
+                pool, key=lambda addr: cache.srtt(addr, now) or float("inf")
+            )
+        return self._favorite
+
+    def on_response(self, address, rtt_ms, addresses, cache, now) -> None:
+        cache.observe_rtt(address, rtt_ms, now, alpha=self.alpha)
+
+    def on_timeout(self, address, addresses, cache, now) -> None:
+        cache.observe_timeout(address, now)
+        if address == self._favorite:
+            self._favorite = None  # fail over immediately

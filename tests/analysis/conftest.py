@@ -1,0 +1,60 @@
+"""Shared helpers: compact construction of synthetic observations."""
+
+import pytest
+
+from repro.atlas.platform import QueryObservation
+from repro.netsim.geo import Continent
+
+
+@pytest.fixture
+def make_obs():
+    """Factory for QueryObservation with sane defaults."""
+
+    def factory(
+        vp_id=0,
+        site="FRA",
+        timestamp=0.0,
+        rtt_ms=40.0,
+        continent=Continent.EU,
+        succeeded=True,
+        impl_name="bind",
+    ):
+        return QueryObservation(
+            vp_id=vp_id,
+            probe_id=vp_id,
+            recursive_address=f"10.53.0.{vp_id + 1}",
+            impl_name=impl_name,
+            continent=continent,
+            timestamp=timestamp,
+            qname=f"q-{vp_id}-{timestamp}.probe.test.nl",
+            site=site if succeeded else "",
+            authoritative="10.0.0.1",
+            rtt_ms=rtt_ms if succeeded else None,
+            attempts=1,
+            succeeded=succeeded,
+        )
+
+    return factory
+
+
+@pytest.fixture
+def make_vp_series(make_obs):
+    """Build a VP's observation series from a site string like 'FFFS'."""
+
+    def factory(vp_id, pattern, rtts=None, continent=Continent.EU):
+        rtts = rtts if rtts is not None else {}
+        series = []
+        for tick, code in enumerate(pattern):
+            site = {"F": "FRA", "S": "SYD", "D": "DUB", "I": "IAD"}[code]
+            series.append(
+                make_obs(
+                    vp_id=vp_id,
+                    site=site,
+                    timestamp=120.0 * tick,
+                    rtt_ms=rtts.get(site, 50.0),
+                    continent=continent,
+                )
+            )
+        return series
+
+    return factory

@@ -1,0 +1,86 @@
+"""Tests for the CSV exporters."""
+
+import csv
+
+import pytest
+
+from repro.analysis.export import (
+    export_interval_sweep,
+    export_probe_all,
+    export_query_share,
+    export_rank_bands,
+    export_table2,
+    export_vp_preferences,
+)
+from repro.analysis.interval import analyze_interval_sweep
+from repro.analysis.preference import table2_rows, vp_preferences
+from repro.analysis.probe_all import analyze_probe_all
+from repro.analysis.query_share import analyze_query_share
+from repro.analysis.rank_bands import analyze_rank_bands
+
+SITES = {"FRA", "SYD"}
+
+
+def read_csv(path):
+    with path.open() as fh:
+        return list(csv.reader(fh))
+
+
+@pytest.fixture
+def observations(make_vp_series):
+    rows = []
+    for vp in range(6):
+        rows.extend(
+            make_vp_series(vp, "FS" + "FFFS" * 3, rtts={"FRA": 30, "SYD": 300})
+        )
+    return rows
+
+
+class TestExports:
+    def test_probe_all_csv(self, observations, tmp_path):
+        result = analyze_probe_all(observations, SITES, combo_id="2C")
+        path = tmp_path / "fig2.csv"
+        assert export_probe_all([result], path) == 1
+        rows = read_csv(path)
+        assert rows[0][0] == "combo"
+        assert rows[1][0] == "2C"
+
+    def test_query_share_csv(self, observations, tmp_path):
+        result = analyze_query_share(observations, SITES, combo_id="2C")
+        path = tmp_path / "fig3.csv"
+        assert export_query_share([result], path) == 2
+        rows = read_csv(path)
+        shares = {row[1]: float(row[2]) for row in rows[1:]}
+        assert shares["FRA"] + shares["SYD"] == pytest.approx(1.0)
+
+    def test_vp_preferences_csv(self, observations, tmp_path):
+        vps = vp_preferences(observations, SITES)
+        path = tmp_path / "fig4.csv"
+        count = export_vp_preferences(vps, path)
+        assert count == len(vps) * 2
+        rows = read_csv(path)
+        assert rows[0] == ["vp_id", "continent", "queries", "site", "share", "median_rtt_ms"]
+
+    def test_table2_csv(self, observations, tmp_path):
+        rows_by_combo = {"2C": table2_rows(observations, SITES)}
+        path = tmp_path / "table2.csv"
+        assert export_table2(rows_by_combo, path) > 0
+        rows = read_csv(path)
+        assert rows[1][0] == "2C"
+
+    def test_interval_csv(self, observations, tmp_path):
+        sweep = analyze_interval_sweep({2.0: observations}, "FRA")
+        path = tmp_path / "fig6.csv"
+        assert export_interval_sweep(sweep, path) >= 1
+        rows = read_csv(path)
+        assert rows[0][2] == "fraction_to_FRA"
+
+    def test_rank_bands_csv(self, tmp_path):
+        result = analyze_rank_bands(
+            {"r1": {"a": 200, "b": 100}}, target_count=3, min_queries=100
+        )
+        path = tmp_path / "fig7.csv"
+        assert export_rank_bands(result, path) == 1
+        rows = read_csv(path)
+        assert rows[0] == ["recursive", "queries", "distinct", "rank1", "rank2", "rank3"]
+        assert rows[1][3] == "0.6667"

@@ -1,0 +1,105 @@
+"""Tests for the sparkline figure renderers."""
+
+import pytest
+
+from repro.analysis.figures import (
+    _bucket_means,
+    render_fig4_curves,
+    render_fig7_bands,
+    sparkline,
+)
+from repro.analysis.preference import vp_preferences
+from repro.analysis.rank_bands import analyze_rank_bands
+from repro.netsim.geo import Continent
+
+SITES = {"FRA", "SYD"}
+
+
+class TestSparkline:
+    def test_extremes(self):
+        assert sparkline([0.0, 1.0]) == "▁█"
+
+    def test_clamped(self):
+        assert sparkline([-5.0, 5.0]) == "▁█"
+
+    def test_monotone_glyphs(self):
+        line = sparkline([i / 7 for i in range(8)])
+        assert line == "▁▂▃▄▅▆▇█"
+
+    def test_bad_range(self):
+        with pytest.raises(ValueError):
+            sparkline([0.5], lo=1.0, hi=1.0)
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+
+class TestBucketMeans:
+    def test_identity_when_fits(self):
+        assert _bucket_means([1.0, 2.0, 3.0], 3) == [1.0, 2.0, 3.0]
+
+    def test_downsampling(self):
+        means = _bucket_means([0.0, 0.0, 1.0, 1.0], 2)
+        assert means == [0.0, 1.0]
+
+    def test_empty(self):
+        assert _bucket_means([], 5) == []
+
+    def test_more_buckets_than_values(self):
+        assert len(_bucket_means([1.0], 10)) == 1
+
+
+class TestFig4Curves:
+    def test_renders_continents(self, make_vp_series):
+        observations = []
+        for vp in range(6):
+            observations.extend(
+                make_vp_series(vp, "FFFS" * 3, continent=Continent.EU)
+            )
+        for vp in range(6, 9):
+            observations.extend(
+                make_vp_series(vp, "SSSF" * 3, continent=Continent.OC)
+            )
+        vps = vp_preferences(observations, SITES)
+        text = render_fig4_curves(vps, "FRA")
+        assert "EU" in text and "OC" in text
+        assert "n=6" in text and "n=3" in text
+
+    def test_eu_curve_higher_than_oc(self, make_vp_series):
+        observations = []
+        for vp in range(4):
+            observations.extend(make_vp_series(vp, "F" * 12, continent=Continent.EU))
+        for vp in range(4, 8):
+            observations.extend(make_vp_series(vp, "S" * 12, continent=Continent.OC))
+        vps = vp_preferences(observations, SITES)
+        text = render_fig4_curves(vps, "FRA")
+        eu_line = next(line for line in text.splitlines() if line.startswith("EU"))
+        oc_line = next(line for line in text.splitlines() if line.startswith("OC"))
+        assert "█" in eu_line
+        assert "▁" in oc_line
+
+
+class TestFig7Bands:
+    def test_renders_ranks(self):
+        result = analyze_rank_bands(
+            {
+                "r1": {"a": 250, "b": 50},
+                "r2": {"a": 150, "b": 150},
+                "r3": {"a": 300},
+            },
+            target_count=3,
+            min_queries=100,
+        )
+        text = render_fig7_bands(result, "Root")
+        assert "rank 1" in text and "rank 2" in text and "rank 3" in text
+        assert "mean band shares" in text
+
+    def test_top_rank_dominates(self):
+        result = analyze_rank_bands(
+            {"r1": {"a": 280, "b": 20}}, target_count=2, min_queries=100
+        )
+        text = render_fig7_bands(result, "x")
+        rank1 = next(l for l in text.splitlines() if l.startswith("rank 1"))
+        rank2 = next(l for l in text.splitlines() if l.startswith("rank 2"))
+        assert "█" in rank1 or "▇" in rank1
+        assert "▁" in rank2

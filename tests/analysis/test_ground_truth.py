@@ -1,0 +1,77 @@
+"""Tests for the ground-truth implementation breakdown."""
+
+import pytest
+
+from repro.analysis.ground_truth import (
+    breakdown_by_implementation,
+    render_implementation_breakdown,
+)
+from repro.core.experiment import run_combination
+
+SITES = {"FRA", "SYD"}
+
+
+class TestBreakdownSynthetic:
+    def test_groups_by_impl(self, make_obs):
+        observations = []
+        for vp, impl, pattern in (
+            (0, "bind", "F" * 12),
+            (1, "bind", "F" * 11 + "S"),
+            (2, "random", "FS" * 6),
+        ):
+            for tick, code in enumerate(pattern):
+                observations.append(
+                    make_obs(
+                        vp_id=vp,
+                        site={"F": "FRA", "S": "SYD"}[code],
+                        timestamp=float(tick),
+                        impl_name=impl,
+                    )
+                )
+        rows = breakdown_by_implementation(observations, SITES)
+        by_impl = {row.impl_name: row for row in rows}
+        assert by_impl["bind"].vp_count == 2
+        assert by_impl["bind"].strong_pct == 100.0
+        assert by_impl["random"].strong_pct == 0.0
+
+    def test_render(self, make_obs):
+        observations = [
+            make_obs(vp_id=0, site="FRA", timestamp=float(t)) for t in range(12)
+        ]
+        text = render_implementation_breakdown(
+            breakdown_by_implementation(observations, SITES)
+        )
+        assert "bind" in text and "Ground truth" in text
+
+
+class TestBreakdownEndToEnd:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        result = run_combination("2C", num_probes=200, seed=31)
+        return breakdown_by_implementation(result.observations, SITES)
+
+    def test_latency_impls_prefer_fastest(self, rows):
+        by_impl = {row.impl_name: row for row in rows}
+        # BIND's preference tracks RTT far more than random's.
+        assert by_impl["bind"].prefers_fastest_pct > 75.0
+        assert by_impl["bind"].mean_top_share > by_impl["random"].mean_top_share
+
+    def test_sticky_always_strong(self, rows):
+        by_impl = {row.impl_name: row for row in rows}
+        sticky = by_impl.get("sticky")
+        if sticky is not None and sticky.vp_count >= 5:
+            # One server forever → every sticky VP is a strong preferrer.
+            # (Its prefers_fastest stat is vacuous: it never measures the
+            # other site, so the one-sided comparison always "wins".)
+            assert sticky.strong_pct > 80.0
+            assert sticky.mean_top_share > 0.95
+
+    def test_unbound_near_uniform_for_2c(self, rows):
+        by_impl = {row.impl_name: row for row in rows}
+        # FRA/SYD are within unbound's 400 ms band → weak preference only.
+        assert by_impl["unbound"].strong_pct < 15.0
+        assert by_impl["unbound"].mean_top_share < 0.75
+
+    def test_all_impls_covered(self, rows):
+        names = {row.impl_name for row in rows}
+        assert {"bind", "unbound", "random"} <= names

@@ -1,0 +1,62 @@
+"""Tests for the Figure 6 analysis (query-interval sweep)."""
+
+import pytest
+
+from repro.analysis.interval import analyze_interval_sweep, fraction_to_site
+from repro.netsim.geo import Continent
+
+
+class TestFractionToSite:
+    def test_basic_fraction(self, make_vp_series):
+        observations = make_vp_series(0, "FFFS" * 3)
+        result = fraction_to_site(observations, "FRA")
+        fraction, count = result[Continent.EU]
+        assert fraction == pytest.approx(0.75)
+        assert count == 12
+
+    def test_failed_queries_ignored(self, make_obs):
+        observations = [
+            make_obs(vp_id=0, site="FRA", timestamp=0.0),
+            make_obs(vp_id=0, succeeded=False, timestamp=1.0),
+        ]
+        fraction, count = fraction_to_site(observations, "FRA")[Continent.EU]
+        assert fraction == 1.0
+        assert count == 1
+
+    def test_multiple_continents(self, make_vp_series):
+        observations = make_vp_series(0, "FFFF", continent=Continent.EU)
+        observations += make_vp_series(1, "SSSS", continent=Continent.OC)
+        result = fraction_to_site(observations, "FRA")
+        assert result[Continent.EU][0] == 1.0
+        assert result[Continent.OC][0] == 0.0
+
+
+class TestSweep:
+    def build_runs(self, make_vp_series):
+        # Preference weakens as the interval grows: 0.9 → 0.8 → 0.6.
+        return {
+            2.0: make_vp_series(0, "F" * 9 + "S"),
+            10.0: make_vp_series(1, "F" * 8 + "SS"),
+            30.0: make_vp_series(2, "FFFSSFFFSS"),
+        }
+
+    def test_series_ordered_by_interval(self, make_vp_series):
+        result = analyze_interval_sweep(self.build_runs(make_vp_series), "FRA")
+        series = result.series(Continent.EU)
+        assert [interval for interval, _ in series] == [2.0, 10.0, 30.0]
+        fractions = [fraction for _, fraction in series]
+        assert fractions == pytest.approx([0.9, 0.8, 0.6])
+
+    def test_preference_persists_true(self, make_vp_series):
+        result = analyze_interval_sweep(self.build_runs(make_vp_series), "FRA")
+        assert result.preference_persists(Continent.EU, threshold=0.55)
+
+    def test_preference_persists_false_when_uniform(self, make_vp_series):
+        runs = {2.0: make_vp_series(0, "FS" * 5), 30.0: make_vp_series(1, "FS" * 5)}
+        result = analyze_interval_sweep(runs, "FRA")
+        assert not result.preference_persists(Continent.EU, threshold=0.55)
+
+    def test_empty_continent_series(self, make_vp_series):
+        result = analyze_interval_sweep(self.build_runs(make_vp_series), "FRA")
+        assert result.series(Continent.AF) == []
+        assert not result.preference_persists(Continent.AF)

@@ -1,0 +1,87 @@
+"""Tests for the text renderers."""
+
+from repro.analysis.interval import analyze_interval_sweep
+from repro.analysis.preference import analyze_preference, table2_rows
+from repro.analysis.probe_all import analyze_probe_all
+from repro.analysis.query_share import analyze_query_share
+from repro.analysis.rank_bands import analyze_rank_bands
+from repro.analysis.report import (
+    render_interval_sweep,
+    render_preference,
+    render_probe_all,
+    render_query_share,
+    render_rank_bands,
+    render_rtt_sensitivity,
+    render_table,
+    render_table2,
+)
+from repro.analysis.rtt_sensitivity import analyze_rtt_sensitivity
+
+SITES = {"FRA", "SYD"}
+
+
+def series_for(make_vp_series, vps=6):
+    observations = []
+    for vp in range(vps):
+        observations.extend(
+            make_vp_series(vp, "FS" + "FFFS" * 3, rtts={"FRA": 30, "SYD": 300})
+        )
+    return observations
+
+
+class TestRenderTable:
+    def test_columns_aligned(self):
+        text = render_table(["a", "bbb"], [["xx", "y"], ["1", "22222"]])
+        lines = text.splitlines()
+        assert lines[0].startswith("a ")
+        assert all(len(line) <= len(max(lines, key=len)) for line in lines)
+
+    def test_title_included(self):
+        assert render_table(["h"], [["v"]], title="T1").startswith("T1")
+
+
+class TestRenderers:
+    def test_probe_all(self, make_vp_series):
+        result = analyze_probe_all(series_for(make_vp_series), SITES, combo_id="2C")
+        text = render_probe_all([result])
+        assert "2C" in text and "probed-all" in text
+
+    def test_query_share(self, make_vp_series):
+        result = analyze_query_share(series_for(make_vp_series), SITES, combo_id="2C")
+        text = render_query_share([result])
+        assert "FRA" in text and "fastest-wins" in text
+
+    def test_preference(self, make_vp_series):
+        result = analyze_preference(series_for(make_vp_series), SITES, combo_id="2C")
+        text = render_preference([result])
+        assert "weak" in text and "2C" in text
+
+    def test_table2(self, make_vp_series):
+        rows = table2_rows(series_for(make_vp_series), SITES)
+        text = render_table2({"2C": rows})
+        assert "EU" in text and "medRTT" in text
+
+    def test_rtt_sensitivity(self, make_vp_series):
+        result = analyze_rtt_sensitivity(
+            series_for(make_vp_series), SITES, combo_id="2B"
+        )
+        text = render_rtt_sensitivity(result)
+        assert "Figure 5" in text
+
+    def test_interval_sweep(self, make_vp_series):
+        runs = {
+            2.0: series_for(make_vp_series),
+            30.0: series_for(make_vp_series),
+        }
+        result = analyze_interval_sweep(runs, "FRA")
+        text = render_interval_sweep(result)
+        assert "2min" in text and "30min" in text and "EU" in text
+
+    def test_rank_bands(self):
+        result = analyze_rank_bands(
+            {"r1": {"a": 300}, "r2": {"a": 150, "b": 150}},
+            target_count=10,
+            min_queries=250,
+        )
+        text = render_rank_bands(result, "Root")
+        assert "Root" in text and "exactly 1" in text

@@ -1,0 +1,64 @@
+"""Tests for the Figure 5 analysis (RTT sensitivity of preference)."""
+
+import pytest
+
+from repro.analysis.rtt_sensitivity import analyze_rtt_sensitivity
+from repro.netsim.geo import Continent
+
+SITES = {"DUB", "FRA"}
+
+
+class TestAnalyze:
+    def test_two_sites_required(self, make_vp_series):
+        with pytest.raises(ValueError):
+            analyze_rtt_sensitivity([], {"A", "B", "C"})
+
+    def test_points_per_continent_and_site(self, make_vp_series):
+        observations = []
+        # EU VPs: half prefer FRA, half prefer DUB.
+        for vp in range(4):
+            observations.extend(
+                make_vp_series(vp, "FFFD" * 3, rtts={"FRA": 25, "DUB": 45},
+                               continent=Continent.EU)
+            )
+        for vp in range(4, 8):
+            observations.extend(
+                make_vp_series(vp, "DDDF" * 3, rtts={"FRA": 45, "DUB": 25},
+                               continent=Continent.EU)
+            )
+        result = analyze_rtt_sensitivity(observations, SITES, combo_id="2B")
+        eu_points = result.points_for(Continent.EU)
+        assert {p.site for p in eu_points} == {"FRA", "DUB"}
+        for point in eu_points:
+            assert point.mean_query_fraction == pytest.approx(0.75)
+            assert point.median_rtt_ms == pytest.approx(25)
+
+    def test_vp_counts_recorded(self, make_vp_series):
+        observations = []
+        for vp in range(3):
+            observations.extend(
+                make_vp_series(vp, "FFFD" * 3, continent=Continent.AS)
+            )
+        result = analyze_rtt_sensitivity(observations, SITES)
+        assert result.vp_count_by_continent[Continent.AS] == 3
+
+    def test_preference_spread(self, make_vp_series):
+        # Strong split: FRA-preferrers at 0.9, DUB-preferrers at 0.6.
+        observations = []
+        for vp in range(2):
+            observations.extend(
+                make_vp_series(vp, "F" * 9 + "D", continent=Continent.EU)
+            )
+        for vp in range(2, 4):
+            observations.extend(
+                make_vp_series(vp, "DDDDDDFFFF", continent=Continent.EU)
+            )
+        result = analyze_rtt_sensitivity(observations, SITES)
+        assert result.preference_spread(Continent.EU) == pytest.approx(0.3)
+
+    def test_spread_zero_when_one_site_preferred(self, make_vp_series):
+        observations = []
+        for vp in range(3):
+            observations.extend(make_vp_series(vp, "F" * 10, continent=Continent.EU))
+        result = analyze_rtt_sensitivity(observations, SITES)
+        assert result.preference_spread(Continent.EU) == 0.0

@@ -1,0 +1,113 @@
+"""Tests for the statistics helpers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis.stats import BoxplotStats, median, quantile
+
+
+class TestQuantile:
+    def test_median_odd(self):
+        assert quantile([3.0, 1.0, 2.0], 0.5) == 2.0
+
+    def test_median_even_interpolates(self):
+        assert quantile([1.0, 2.0, 3.0, 4.0], 0.5) == 2.5
+
+    def test_extremes(self):
+        values = [5.0, 1.0, 3.0]
+        assert quantile(values, 0.0) == 1.0
+        assert quantile(values, 1.0) == 5.0
+
+    def test_single_value(self):
+        assert quantile([7.0], 0.25) == 7.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            quantile([], 0.5)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            quantile([1.0], 1.5)
+
+    def test_does_not_mutate_input(self):
+        values = [3.0, 1.0, 2.0]
+        quantile(values, 0.5)
+        assert values == [3.0, 1.0, 2.0]
+
+    @given(st.lists(st.floats(min_value=-1e9, max_value=1e9), min_size=1))
+    def test_bounds_property(self, values):
+        q = quantile(values, 0.37)
+        assert min(values) <= q <= max(values)
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=2))
+    def test_monotone_in_q(self, values):
+        assert quantile(values, 0.2) <= quantile(values, 0.8)
+
+    def test_median_helper(self):
+        assert median([1.0, 9.0, 5.0]) == 5.0
+
+
+class TestBoxplotStats:
+    def test_from_values(self):
+        box = BoxplotStats.from_values([float(i) for i in range(1, 101)])
+        assert box.median == pytest.approx(50.5)
+        assert box.q1 == pytest.approx(25.75)
+        assert box.q3 == pytest.approx(75.25)
+        assert box.whisker_low == pytest.approx(10.9)
+        assert box.whisker_high == pytest.approx(90.1)
+        assert box.n == 100
+
+    def test_ordering_invariant(self):
+        box = BoxplotStats.from_values([4.0, 8.0, 15.0, 16.0, 23.0, 42.0])
+        assert (
+            box.whisker_low <= box.q1 <= box.median <= box.q3 <= box.whisker_high
+        )
+
+
+class TestBootstrapCi:
+    def test_mean_ci_contains_truth_for_tight_data(self):
+        from repro.analysis.stats import bootstrap_ci
+
+        low, high = bootstrap_ci([10.0] * 50, seed=1)
+        assert low == high == 10.0
+
+    def test_ci_ordering_and_coverage(self):
+        from repro.analysis.stats import bootstrap_ci
+        import random
+
+        rng = random.Random(7)
+        values = [rng.gauss(100.0, 10.0) for _ in range(200)]
+        low, high = bootstrap_ci(values, seed=2)
+        assert low < high
+        mean = sum(values) / len(values)
+        assert low <= mean <= high
+        # 95% CI of a 200-sample mean with sigma 10: roughly ±1.4.
+        assert high - low < 6.0
+
+    def test_custom_statistic(self):
+        from repro.analysis.stats import bootstrap_ci, median
+
+        values = [1.0, 2.0, 3.0, 4.0, 100.0]
+        low, high = bootstrap_ci(values, statistic=median, seed=3)
+        assert low >= 1.0 and high <= 100.0
+
+    def test_proportion_ci(self):
+        from repro.analysis.stats import bootstrap_ci
+
+        # 69% weak preference over 300 VPs: CI width a few percent.
+        flags = [1.0] * 207 + [0.0] * 93
+        low, high = bootstrap_ci(flags, seed=4)
+        assert 0.6 < low < 0.69 < high < 0.78
+
+    def test_empty_rejected(self):
+        from repro.analysis.stats import bootstrap_ci
+        import pytest
+
+        with pytest.raises(ValueError):
+            bootstrap_ci([])
+
+    def test_deterministic_with_seed(self):
+        from repro.analysis.stats import bootstrap_ci
+
+        values = [float(i) for i in range(30)]
+        assert bootstrap_ci(values, seed=5) == bootstrap_ci(values, seed=5)

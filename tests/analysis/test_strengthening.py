@@ -1,0 +1,62 @@
+"""Tests for the §4.3 preference-strengthening analysis."""
+
+import pytest
+
+from repro.analysis.preference import analyze_strengthening
+
+SITES = {"FRA", "SYD"}
+
+
+class TestStrengthening:
+    def test_strengthening_detected(self, make_vp_series):
+        # First half 70% FRA, second half 90% FRA.
+        observations = []
+        for vp in range(5):
+            pattern = "FFFFFFFSSS" + "FFFFFFFFFS"
+            observations.extend(make_vp_series(vp, pattern))
+        result = analyze_strengthening(observations, SITES, split_s=1200.0)
+        assert result.vp_count == 5
+        assert result.mean_share_first == pytest.approx(0.7)
+        assert result.mean_share_second == pytest.approx(0.9)
+        assert result.pct_strengthened == 100.0
+        assert result.preferences_strengthen
+
+    def test_weakening_detected(self, make_vp_series):
+        observations = []
+        for vp in range(3):
+            pattern = "FFFFFFFSSS" + "FFFFFSSSSS"
+            observations.extend(make_vp_series(vp, pattern))
+        result = analyze_strengthening(observations, SITES, split_s=1200.0)
+        assert not result.preferences_strengthen
+        assert result.pct_strengthened == 0.0
+
+    def test_strong_vps_excluded(self, make_vp_series):
+        # 100% in the first half → already strong, not "weak" material.
+        observations = make_vp_series(0, "F" * 20)
+        result = analyze_strengthening(observations, SITES, split_s=1200.0)
+        assert result.vp_count == 0
+
+    def test_uniform_vps_excluded(self, make_vp_series):
+        observations = make_vp_series(0, "FS" * 10)
+        result = analyze_strengthening(observations, SITES, split_s=1200.0)
+        assert result.vp_count == 0
+
+    def test_short_series_excluded(self, make_vp_series):
+        observations = make_vp_series(0, "FFFS")
+        result = analyze_strengthening(observations, SITES, split_s=240.0)
+        assert result.vp_count == 0
+
+    def test_simulation_reproduces_paper_claim(self):
+        # End-to-end: in a 2C run, VPs that look weakly-preferring during
+        # the cold-start window develop a stronger preference once their
+        # resolvers have probed all NSes (paper §4.3).  The effect lives
+        # in the early split; late splits show regression to the mean.
+        from repro.core.experiment import run_combination
+
+        result = run_combination("2C", num_probes=200, seed=23)
+        strengthening = analyze_strengthening(
+            result.observations, SITES, split_s=360.0, min_queries_per_half=3
+        )
+        assert strengthening.vp_count >= 10
+        assert strengthening.preferences_strengthen
+        assert strengthening.pct_strengthened > 45.0

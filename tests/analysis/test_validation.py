@@ -1,0 +1,60 @@
+"""Tests for the §3.1 client-vs-server view validation."""
+
+import pytest
+
+from repro.analysis.validation import (
+    client_side_shares,
+    compare_views,
+    server_side_shares,
+)
+from repro.core.experiment import run_combination
+
+
+@pytest.fixture(scope="module")
+def experiment():
+    return run_combination("2C", num_probes=60, duration_s=1200.0, seed=13)
+
+
+class TestClientSide:
+    def test_shares_per_recursive(self, experiment):
+        shares = client_side_shares(experiment.observations)
+        assert shares
+        for per_site in shares.values():
+            assert sum(per_site.values()) == pytest.approx(1.0)
+
+    def test_min_queries_filter(self, experiment):
+        all_shares = client_side_shares(experiment.observations, min_queries=1)
+        strict = client_side_shares(experiment.observations, min_queries=10)
+        assert len(strict) <= len(all_shares)
+
+
+class TestServerSide:
+    def test_shares_from_logs(self, experiment):
+        shares = server_side_shares(experiment.deployment)
+        assert shares
+        for per_site in shares.values():
+            assert sum(per_site.values()) == pytest.approx(1.0)
+
+    def test_sites_are_deployment_sites(self, experiment):
+        shares = server_side_shares(experiment.deployment)
+        sites = {site for per_site in shares.values() for site in per_site}
+        assert sites <= {"FRA", "SYD"}
+
+
+class TestComparison:
+    def test_views_equivalent_without_middleboxes(self, experiment):
+        # The paper's own check: "the two graphs are basically
+        # equivalent".  With no middleboxes in the simulation, client-
+        # and server-side views must agree almost exactly (retries can
+        # create tiny divergences).
+        comparison = compare_views(experiment.observations, experiment.deployment)
+        assert comparison.recursives_compared > 20
+        assert comparison.views_equivalent
+        assert comparison.mean_divergence < 0.02
+
+    def test_no_phantom_recursives(self, experiment):
+        comparison = compare_views(experiment.observations, experiment.deployment)
+        # Everything the servers saw came from a recursive the client
+        # data knows about, and vice versa (modulo the min-query gate).
+        assert comparison.server_only <= 3
+        assert comparison.client_only <= 3

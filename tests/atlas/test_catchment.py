@@ -1,0 +1,168 @@
+"""Tests for CHAOS-based anycast catchment mapping."""
+
+import random
+
+import pytest
+
+from repro.atlas.catchment import map_catchment
+from repro.atlas.probes import ProbeGenerator
+from repro.core.deployment import AuthoritativeSpec, Deployment
+from repro.dns.types import RRClass, RRType
+from repro.netsim.geo import Continent
+from repro.netsim.latency import LatencyModel, LatencyParameters
+from repro.netsim.network import SimNetwork
+from repro.resolvers.naive import RandomSelector
+from repro.resolvers.resolver import RecursiveResolver
+
+DOMAIN = "ourtestdomain.nl."
+
+
+@pytest.fixture
+def anycast_setup():
+    network = SimNetwork(
+        latency=LatencyModel(
+            LatencyParameters(loss_rate=0.0, path_diversity_sigma=0.0),
+            rng=random.Random(1),
+        )
+    )
+    deployment = Deployment(
+        DOMAIN,
+        [AuthoritativeSpec("ns1", ("FRA", "SYD", "IAD"), suboptimal_rate=0.0)],
+    )
+    addresses = deployment.deploy(network)
+    probes = ProbeGenerator(rng=random.Random(2)).generate(120)
+    return network, addresses[0], probes
+
+
+class TestMapCatchment:
+    def test_every_probe_mapped(self, anycast_setup):
+        network, address, probes = anycast_setup
+        report = map_catchment(network, address, probes)
+        assert len(report.entries) == len(probes)
+        assert all(entry.site for entry in report.entries)
+
+    def test_sites_are_marker_values(self, anycast_setup):
+        network, address, probes = anycast_setup
+        report = map_catchment(network, address, probes)
+        sites = {entry.site for entry in report.entries}
+        assert sites <= {"ns1-FRA", "ns1-SYD", "ns1-IAD"}
+
+    def test_shares_sum_to_one(self, anycast_setup):
+        network, address, probes = anycast_setup
+        report = map_catchment(network, address, probes)
+        assert sum(report.site_shares().values()) == pytest.approx(1.0)
+
+    def test_eu_heavy_population_lands_on_fra(self, anycast_setup):
+        network, address, probes = anycast_setup
+        report = map_catchment(network, address, probes)
+        shares = report.site_shares()
+        assert shares["ns1-FRA"] == max(shares.values())
+
+    def test_continental_catchment_correct(self, anycast_setup):
+        network, address, probes = anycast_setup
+        report = map_catchment(network, address, probes)
+        by_id = {probe.probe_id: probe for probe in probes}
+        for entry in report.entries:
+            probe = by_id[entry.probe_id]
+            if probe.continent == Continent.OC:
+                assert entry.site == "ns1-SYD"
+
+    def test_perfect_catchment_zero_suboptimal(self, anycast_setup):
+        network, address, probes = anycast_setup
+        report = map_catchment(network, address, probes)
+        assert report.suboptimal_fraction(network, probes) == 0.0
+
+    def test_imperfect_catchment_detected(self):
+        network = SimNetwork(
+            latency=LatencyModel(
+                LatencyParameters(loss_rate=0.0, path_diversity_sigma=0.0),
+                rng=random.Random(3),
+            )
+        )
+        deployment = Deployment(
+            DOMAIN,
+            [AuthoritativeSpec("ns1", ("FRA", "SYD", "IAD"), suboptimal_rate=0.3)],
+        )
+        address = deployment.deploy(network)[0]
+        probes = ProbeGenerator(rng=random.Random(4)).generate(200)
+        report = map_catchment(network, address, probes)
+        assert 0.15 < report.suboptimal_fraction(network, probes) < 0.45
+
+    def test_median_rtt_per_site(self, anycast_setup):
+        network, address, probes = anycast_setup
+        report = map_catchment(network, address, probes)
+        # FRA catchment is dominated by nearby EU probes: low median RTT.
+        assert report.median_rtt_ms("ns1-FRA") < 120.0
+
+    def test_median_rtt_unknown_site_rejected(self, anycast_setup):
+        network, address, probes = anycast_setup
+        report = map_catchment(network, address, probes)
+        with pytest.raises(ValueError):
+            report.median_rtt_ms("ns1-XXX")
+
+
+class TestChaosThroughRecursive:
+    """The §3.1 pitfall: CHAOS through a recursive identifies the
+    recursive, not the authoritative site."""
+
+    def test_recursive_answers_chaos_itself(self, anycast_setup):
+        network, address, probes = anycast_setup
+        resolver = RecursiveResolver(
+            "10.53.0.1",
+            probes[0].location,
+            network,
+            RandomSelector(rng=random.Random(5)),
+        )
+        resolver.add_stub_zone(DOMAIN, [address])
+        result = resolver.resolve("id.server.", RRType.TXT, rrclass=RRClass.CH)
+        assert result.succeeded
+        assert result.answers[0].rdata.value == "resolver-10.53.0.1"
+        # No query ever left the recursive.
+        assert resolver.queries_sent == 0
+
+    def test_other_chaos_names_refused(self, anycast_setup):
+        network, address, probes = anycast_setup
+        resolver = RecursiveResolver(
+            "10.53.0.1",
+            probes[0].location,
+            network,
+            RandomSelector(rng=random.Random(6)),
+        )
+        from repro.dns.types import Rcode
+
+        result = resolver.resolve("version.server.", RRType.TXT, rrclass=RRClass.CH)
+        assert result.rcode == Rcode.REFUSED
+
+
+class TestNsidCatchment:
+    """RFC 5001 NSID as the catchment mechanism (Internet-class)."""
+
+    def test_nsid_method_maps_sites(self, anycast_setup):
+        network, address, probes = anycast_setup
+        from repro.dns.name import Name
+
+        report = map_catchment(
+            network, address, probes,
+            qname=Name.from_text("ourtestdomain.nl."), method="nsid",
+        )
+        sites = {entry.site for entry in report.entries if entry.site}
+        assert sites <= {"ns1-FRA", "ns1-SYD", "ns1-IAD"}
+        assert len(sites) >= 2
+
+    def test_nsid_and_chaos_agree(self, anycast_setup):
+        network, address, probes = anycast_setup
+        from repro.dns.name import Name
+
+        chaos = map_catchment(network, address, probes[:50], method="chaos")
+        nsid = map_catchment(
+            network, address, probes[:50],
+            qname=Name.from_text("ourtestdomain.nl."), method="nsid",
+        )
+        chaos_map = {e.probe_id: e.site for e in chaos.entries}
+        nsid_map = {e.probe_id: e.site for e in nsid.entries}
+        assert chaos_map == nsid_map
+
+    def test_unknown_method_rejected(self, anycast_setup):
+        network, address, probes = anycast_setup
+        with pytest.raises(ValueError):
+            map_catchment(network, address, probes, method="telepathy")

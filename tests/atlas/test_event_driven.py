@@ -1,0 +1,106 @@
+"""Tests for the event-driven measurement mode."""
+
+import random
+
+import pytest
+
+from repro.atlas.platform import AtlasPlatform
+from repro.atlas.probes import ProbeGenerator
+from repro.core.deployment import Deployment
+from repro.netsim.latency import LatencyModel, LatencyParameters
+from repro.netsim.network import SimNetwork
+from repro.resolvers.population import ResolverPopulation
+
+DOMAIN = "ourtestdomain.nl."
+
+
+@pytest.fixture
+def platform():
+    network = SimNetwork(
+        latency=LatencyModel(LatencyParameters(loss_rate=0.0), rng=random.Random(1))
+    )
+    deployment = Deployment.from_sites(DOMAIN, ("FRA", "SYD"))
+    addresses = deployment.deploy(network)
+    probes = ProbeGenerator(rng=random.Random(2)).generate(50)
+    platform = AtlasPlatform(
+        network, probes, ResolverPopulation(rng=random.Random(3)),
+        rng=random.Random(4),
+    )
+    platform.build_vantage_points()
+    platform.configure_zone(DOMAIN, addresses)
+    return platform
+
+
+class TestEventDriven:
+    def test_every_vp_completes_all_ticks(self, platform):
+        run = platform.measure_event_driven(
+            DOMAIN.rstrip("."), interval_s=120.0, duration_s=600.0
+        )
+        per_vp = run.by_vp()
+        assert len(per_vp) == len(platform.vantage_points)
+        assert all(len(rows) == 5 for rows in per_vp.values())
+
+    def test_phases_desynchronized(self, platform):
+        run = platform.measure_event_driven(
+            DOMAIN.rstrip("."), interval_s=120.0, duration_s=600.0
+        )
+        first_stamps = {
+            rows[0].timestamp for rows in run.by_vp().values()
+        }
+        # VPs fire at their own phase offsets, not in lockstep.
+        assert len(first_stamps) > 10
+
+    def test_per_vp_interval_respected(self, platform):
+        run = platform.measure_event_driven(
+            DOMAIN.rstrip("."), interval_s=120.0, duration_s=600.0
+        )
+        for rows in run.by_vp().values():
+            stamps = sorted(obs.timestamp for obs in rows)
+            gaps = [b - a for a, b in zip(stamps, stamps[1:])]
+            assert all(gap == pytest.approx(120.0) for gap in gaps)
+
+    def test_observations_time_ordered_globally(self, platform):
+        run = platform.measure_event_driven(
+            DOMAIN.rstrip("."), interval_s=120.0, duration_s=600.0
+        )
+        stamps = [obs.timestamp for obs in run.observations]
+        assert stamps == sorted(stamps)
+
+    def test_clock_ends_at_duration(self, platform):
+        platform.measure_event_driven(
+            DOMAIN.rstrip("."), interval_s=120.0, duration_s=600.0
+        )
+        assert platform.network.clock.now == pytest.approx(600.0)
+
+    def test_aggregate_matches_lockstep_shape(self):
+        """The two modes agree on the headline preference statistics."""
+        from repro.analysis.query_share import analyze_query_share
+
+        def build(seed):
+            network = SimNetwork(
+                latency=LatencyModel(
+                    LatencyParameters(loss_rate=0.0), rng=random.Random(seed)
+                )
+            )
+            deployment = Deployment.from_sites(DOMAIN, ("FRA", "SYD"))
+            addresses = deployment.deploy(network)
+            probes = ProbeGenerator(rng=random.Random(seed + 1)).generate(80)
+            platform = AtlasPlatform(
+                network, probes, ResolverPopulation(rng=random.Random(seed + 2)),
+                rng=random.Random(seed + 3),
+            )
+            platform.build_vantage_points()
+            platform.configure_zone(DOMAIN, addresses)
+            return platform
+
+        lockstep = build(10).measure(DOMAIN.rstrip("."), 120.0, 3600.0)
+        eventful = build(10).measure_event_driven(DOMAIN.rstrip("."), 120.0, 3600.0)
+        shares = {}
+        for name, run in (("lockstep", lockstep), ("event", eventful)):
+            result = analyze_query_share(
+                run.observations, {"FRA", "SYD"}, combo_id=name
+            )
+            shares[name] = {s.site: s.query_share for s in result.sites}
+        assert shares["lockstep"]["FRA"] == pytest.approx(
+            shares["event"]["FRA"], abs=0.08
+        )

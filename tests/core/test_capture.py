@@ -1,0 +1,113 @@
+"""Tests for wire-level capture."""
+
+import random
+
+import pytest
+
+from repro.core.capture import Capture, CapturingNetwork, load_capture, save_capture
+from repro.core.deployment import Deployment
+from repro.dns.types import RRType
+from repro.netsim.geo import PROBE_CITIES
+from repro.netsim.latency import LatencyModel, LatencyParameters
+from repro.netsim.network import SimNetwork
+from repro.resolvers.naive import RandomSelector
+from repro.resolvers.resolver import RecursiveResolver
+
+DOMAIN = "ourtestdomain.nl."
+
+
+@pytest.fixture
+def capturing_setup():
+    inner = SimNetwork(
+        latency=LatencyModel(LatencyParameters(loss_rate=0.0), rng=random.Random(1))
+    )
+    deployment = Deployment.from_sites(DOMAIN, ("FRA", "SYD"))
+    addresses = deployment.deploy(inner)
+    network = CapturingNetwork(inner)
+    resolver = RecursiveResolver(
+        "10.53.0.1",
+        PROBE_CITIES["AMS"],
+        network,
+        RandomSelector(rng=random.Random(2)),
+        rng=random.Random(3),
+    )
+    resolver.add_stub_zone(DOMAIN, addresses)
+    return network, resolver, addresses
+
+
+class TestCapturingNetwork:
+    def test_records_every_exchange(self, capturing_setup):
+        network, resolver, _ = capturing_setup
+        for index in range(5):
+            resolver.resolve(f"c{index}.probe.{DOMAIN}", RRType.TXT)
+        assert len(network.capture) == 5
+
+    def test_wire_bytes_decode_to_messages(self, capturing_setup):
+        network, resolver, _ = capturing_setup
+        resolver.resolve(f"probe.{DOMAIN}", RRType.TXT)
+        exchange = network.capture.exchanges[0]
+        query = exchange.query()
+        response = exchange.response()
+        assert query.question.name.to_text() == f"probe.{DOMAIN}"
+        assert response.msg_id == query.msg_id
+        assert response.answers
+
+    def test_attribute_forwarding(self, capturing_setup):
+        network, _, addresses = capturing_setup
+        assert network.knows(addresses[0])
+        assert network.clock.now == 0.0
+
+    def test_filters(self, capturing_setup):
+        network, resolver, addresses = capturing_setup
+        for index in range(6):
+            resolver.resolve(f"f{index}.probe.{DOMAIN}", RRType.TXT)
+        per_server = sum(
+            len(network.capture.for_server(address)) for address in addresses
+        )
+        assert per_server == 6
+        assert len(network.capture.for_client("10.53.0.1")) == 6
+
+    def test_loss_rate_zero_without_loss(self, capturing_setup):
+        network, resolver, _ = capturing_setup
+        resolver.resolve(f"probe.{DOMAIN}", RRType.TXT)
+        assert network.capture.loss_rate() == 0.0
+
+
+class TestPersistence:
+    def test_roundtrip(self, capturing_setup, tmp_path):
+        network, resolver, _ = capturing_setup
+        for index in range(4):
+            resolver.resolve(f"p{index}.probe.{DOMAIN}", RRType.TXT)
+        path = tmp_path / "capture.jsonl"
+        written = save_capture(network.capture, path)
+        assert written == 4
+        loaded = load_capture(path)
+        assert len(loaded) == 4
+        assert loaded.exchanges == network.capture.exchanges
+
+    def test_loaded_wire_still_decodes(self, capturing_setup, tmp_path):
+        network, resolver, _ = capturing_setup
+        resolver.resolve(f"probe.{DOMAIN}", RRType.TXT)
+        path = tmp_path / "capture.jsonl"
+        save_capture(network.capture, path)
+        loaded = load_capture(path)
+        assert loaded.exchanges[0].response().answers
+
+    def test_wrong_kind_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"kind": "nope"}\n')
+        with pytest.raises(ValueError):
+            load_capture(path)
+
+    def test_lost_exchange_roundtrip(self, tmp_path):
+        capture = Capture()
+        from repro.core.capture import CapturedExchange
+
+        capture.exchanges.append(
+            CapturedExchange(1.0, "a", "b", "", None, b"\x00\x01", None)
+        )
+        path = tmp_path / "capture.jsonl"
+        save_capture(capture, path)
+        loaded = load_capture(path)
+        assert loaded.exchanges[0].response_wire is None
+        assert loaded.loss_rate() == 1.0

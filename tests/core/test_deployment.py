@@ -1,0 +1,139 @@
+"""Tests for deployment specs and zone construction."""
+
+import random
+
+import pytest
+
+from repro.core.deployment import (
+    AuthoritativeSpec,
+    Deployment,
+    build_zone,
+)
+from repro.dns.message import Message
+from repro.dns.name import Name
+from repro.dns.types import RRType
+from repro.netsim.latency import LatencyModel, LatencyParameters
+from repro.netsim.network import SimNetwork
+
+DOMAIN = "ourtestdomain.nl."
+
+
+class TestSpec:
+    def test_unicast(self):
+        spec = AuthoritativeSpec("ns1", ("FRA",))
+        assert not spec.is_anycast
+
+    def test_anycast(self):
+        spec = AuthoritativeSpec("ns1", ("FRA", "SYD", "IAD"))
+        assert spec.is_anycast
+
+    def test_empty_sites_rejected(self):
+        with pytest.raises(ValueError):
+            AuthoritativeSpec("ns1", ())
+
+    def test_unknown_site_rejected(self):
+        with pytest.raises(ValueError):
+            AuthoritativeSpec("ns1", ("XXX",))
+
+
+class TestZone:
+    def test_zone_validates(self):
+        domain = Name.from_text(DOMAIN)
+        ns_names = [Name.from_text(f"ns{i}.{DOMAIN}") for i in (1, 2)]
+        zone = build_zone(domain, ns_names, "ns1-FRA")
+        zone.validate()
+
+    def test_txt_ttl_is_five_seconds(self):
+        domain = Name.from_text(DOMAIN)
+        zone = build_zone(domain, [Name.from_text(f"ns1.{DOMAIN}")], "ns1-FRA")
+        rrset = zone.get_rrset(Name.from_text(f"probe.{DOMAIN}"), RRType.TXT)
+        assert rrset.ttl == 5
+
+    def test_wildcard_answers_unique_labels(self):
+        domain = Name.from_text(DOMAIN)
+        zone = build_zone(domain, [Name.from_text(f"ns1.{DOMAIN}")], "ns1-FRA")
+        result = zone.lookup(Name.from_text(f"x-17.probe.{DOMAIN}"), RRType.TXT)
+        assert result.answers[0].rdatas[0].value == "ns1-FRA"
+
+
+class TestDeployment:
+    def make_network(self):
+        return SimNetwork(
+            latency=LatencyModel(LatencyParameters(loss_rate=0.0), rng=random.Random(1))
+        )
+
+    def test_from_sites(self):
+        deployment = Deployment.from_sites(DOMAIN, ("FRA", "SYD"))
+        assert [spec.name for spec in deployment.specs] == ["ns1", "ns2"]
+        assert all(not spec.is_anycast for spec in deployment.specs)
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            Deployment(
+                DOMAIN,
+                [AuthoritativeSpec("ns1", ("FRA",)), AuthoritativeSpec("ns1", ("SYD",))],
+            )
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Deployment(DOMAIN, [])
+
+    def test_deploy_unicast_addresses(self):
+        network = self.make_network()
+        deployment = Deployment.from_sites(DOMAIN, ("FRA", "SYD"))
+        addresses = deployment.deploy(network)
+        assert len(addresses) == 2
+        assert all(network.knows(address) for address in addresses)
+
+    def test_unicast_marker_identifies_site(self):
+        network = self.make_network()
+        deployment = Deployment.from_sites(DOMAIN, ("FRA", "SYD"))
+        addresses = deployment.deploy(network)
+        from repro.netsim.geo import PROBE_CITIES
+
+        query = Message.make_query(f"probe.{DOMAIN}", RRType.TXT)
+        trip = network.round_trip(
+            PROBE_CITIES["AMS"], "client", addresses[0], query.to_wire()
+        )
+        response = Message.from_wire(trip.response)
+        assert response.answers[0].rdata.value == "ns1-FRA"
+
+    def test_anycast_deploys_group(self):
+        network = self.make_network()
+        deployment = Deployment(
+            DOMAIN, [AuthoritativeSpec("ns1", ("FRA", "SYD"), suboptimal_rate=0.0)]
+        )
+        addresses = deployment.deploy(network)
+        from repro.netsim.geo import PROBE_CITIES
+
+        query = Message.make_query(f"probe.{DOMAIN}", RRType.TXT)
+        # EU client lands on FRA, OC client on SYD.
+        eu = network.round_trip(PROBE_CITIES["AMS"], "c1", addresses[0], query.to_wire())
+        oc = network.round_trip(PROBE_CITIES["AKL"], "c1", addresses[0], query.to_wire())
+        assert Message.from_wire(eu.response).answers[0].rdata.value == "ns1-FRA"
+        assert Message.from_wire(oc.response).answers[0].rdata.value == "ns1-SYD"
+
+    def test_server_query_counts(self):
+        network = self.make_network()
+        deployment = Deployment.from_sites(DOMAIN, ("FRA",))
+        addresses = deployment.deploy(network)
+        from repro.netsim.geo import PROBE_CITIES
+
+        query = Message.make_query(f"probe.{DOMAIN}", RRType.TXT)
+        for _ in range(3):
+            network.round_trip(PROBE_CITIES["AMS"], "c", addresses[0], query.to_wire())
+        assert deployment.server_query_counts() == {"ns1-FRA": 3}
+
+    def test_site_of_address(self):
+        network = self.make_network()
+        deployment = Deployment(
+            DOMAIN,
+            [
+                AuthoritativeSpec("ns1", ("FRA",)),
+                AuthoritativeSpec("ns2", ("FRA", "SYD")),
+            ],
+        )
+        addresses = deployment.deploy(network)
+        mapping = deployment.site_of_address()
+        assert mapping[addresses[0]] == "FRA"
+        assert mapping[addresses[1]] == ""  # anycast has no single site

@@ -1,0 +1,91 @@
+"""Tests for the end-to-end testbed experiment."""
+
+import pytest
+
+from repro.core.combinations import COMBINATIONS, FIGURE6_INTERVALS_MIN
+from repro.core.experiment import (
+    ExperimentConfig,
+    TestbedExperiment,
+    run_combination,
+)
+
+
+class TestCombinations:
+    def test_table1_ids(self):
+        assert set(COMBINATIONS) == {"2A", "2B", "2C", "3A", "3B", "4A", "4B"}
+
+    def test_sizes_match_ids(self):
+        for combo_id, combo in COMBINATIONS.items():
+            assert combo.size == int(combo_id[0])
+
+    def test_2c_is_fra_syd(self):
+        assert COMBINATIONS["2C"].sites == ("FRA", "SYD")
+
+    def test_figure6_intervals(self):
+        assert FIGURE6_INTERVALS_MIN == (2, 5, 10, 15, 20, 30)
+
+
+class TestExperimentConfig:
+    def test_for_combination(self):
+        config = ExperimentConfig.for_combination("3B", num_probes=10)
+        assert [spec.sites[0] for spec in config.authoritatives] == [
+            "DUB", "FRA", "IAD",
+        ]
+        assert config.num_probes == 10
+
+    def test_unknown_combination(self):
+        with pytest.raises(KeyError):
+            ExperimentConfig.for_combination("9Z")
+
+
+class TestRun:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_combination("2C", num_probes=60, duration_s=1200.0, seed=7)
+
+    def test_observation_volume(self, result):
+        ticks = 10
+        vps = result.run.vp_count
+        assert len(result.observations) == ticks * vps
+
+    def test_sites_are_the_combination(self, result):
+        sites = {obs.site for obs in result.observations if obs.succeeded}
+        assert sites == {"FRA", "SYD"}
+
+    def test_high_success_rate(self, result):
+        ok = sum(obs.succeeded for obs in result.observations)
+        assert ok / len(result.observations) > 0.99
+
+    def test_server_counts_cover_all_sites(self, result):
+        counts = result.server_query_counts
+        assert set(counts) == {"ns1-FRA", "ns2-SYD"}
+        assert all(count > 0 for count in counts.values())
+
+    def test_rtts_plausible(self, result):
+        fra_rtts = [
+            obs.rtt_ms
+            for obs in result.observations
+            if obs.site == "FRA" and obs.rtt_ms is not None
+        ]
+        assert fra_rtts
+        assert 1 < min(fra_rtts)
+        assert max(fra_rtts) < 1000
+
+    def test_reproducible_with_seed(self):
+        one = run_combination("2A", num_probes=20, duration_s=600.0, seed=3)
+        two = run_combination("2A", num_probes=20, duration_s=600.0, seed=3)
+        assert [o.site for o in one.observations] == [
+            o.site for o in two.observations
+        ]
+
+    def test_different_seeds_differ(self):
+        one = run_combination("2A", num_probes=20, duration_s=600.0, seed=3)
+        two = run_combination("2A", num_probes=20, duration_s=600.0, seed=4)
+        assert [o.site for o in one.observations] != [
+            o.site for o in two.observations
+        ]
+
+    def test_four_site_combination(self):
+        result = run_combination("4B", num_probes=30, duration_s=600.0, seed=5)
+        sites = {obs.site for obs in result.observations if obs.succeeded}
+        assert sites == {"DUB", "FRA", "IAD", "SFO"}

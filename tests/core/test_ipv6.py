@@ -1,0 +1,61 @@
+"""Tests for the §3.1 IPv6 experiment variant."""
+
+import pytest
+
+from repro.core.experiment import ExperimentConfig, TestbedExperiment
+from repro.analysis.preference import analyze_preference
+
+
+@pytest.fixture(scope="module")
+def v4_and_v6():
+    results = {}
+    for ipv6 in (False, True):
+        config = ExperimentConfig.for_combination(
+            "2C", num_probes=150, duration_s=1800.0, seed=17, ipv6=ipv6
+        )
+        results[ipv6] = TestbedExperiment(config).run()
+    return results
+
+
+class TestIpv6Deployment:
+    def test_v6_addresses(self, v4_and_v6):
+        addresses = v4_and_v6[True].addresses
+        assert all(address.startswith("2001:db8:") for address in addresses)
+
+    def test_v4_addresses(self, v4_and_v6):
+        addresses = v4_and_v6[False].addresses
+        assert all(":" not in address for address in addresses)
+
+    def test_v6_uses_capable_subset(self, v4_and_v6):
+        # ~31% of probes are IPv6-capable, so the v6 run has fewer VPs.
+        assert v4_and_v6[True].run.vp_count < v4_and_v6[False].run.vp_count
+        assert v4_and_v6[True].run.vp_count > 10
+
+    def test_v6_measurement_succeeds(self, v4_and_v6):
+        observations = v4_and_v6[True].observations
+        ok = sum(obs.succeeded for obs in observations)
+        assert ok / len(observations) > 0.98
+
+
+class TestSameStrategyOverIpv6:
+    """The paper: 'recursives follow the same strategy when querying
+    via IPv6'."""
+
+    def test_preference_comparable(self, v4_and_v6):
+        prefs = {}
+        for ipv6, result in v4_and_v6.items():
+            prefs[ipv6] = analyze_preference(
+                result.observations, {"FRA", "SYD"}, combo_id="2C"
+            )
+        assert prefs[True].gated_vp_count > 10
+        # Weak-preference fractions within a reasonable band of each
+        # other (smaller v6 population → wider tolerance).
+        assert abs(prefs[True].weak_pct - prefs[False].weak_pct) < 25.0
+
+    def test_fra_wins_on_both_families(self, v4_and_v6):
+        for result in v4_and_v6.values():
+            counts = {"FRA": 0, "SYD": 0}
+            for obs in result.observations:
+                if obs.succeeded and obs.site:
+                    counts[obs.site] += 1
+            assert counts["FRA"] > counts["SYD"]

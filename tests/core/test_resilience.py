@@ -1,0 +1,113 @@
+"""Tests for the DDoS-resilience extension (§7 'Other Considerations')."""
+
+import random
+
+import pytest
+
+from repro.atlas.probes import ProbeGenerator
+from repro.core.deployment import AuthoritativeSpec
+from repro.core.planner import sidn_style_designs
+from repro.core.resilience import (
+    AttackScenario,
+    ResilienceEvaluator,
+    SiteLoad,
+)
+
+
+@pytest.fixture(scope="module")
+def clients():
+    return ProbeGenerator(rng=random.Random(1)).generate(200)
+
+
+@pytest.fixture
+def evaluator(clients):
+    return ResilienceEvaluator(
+        clients,
+        site_capacity_qps=50_000.0,
+        legit_qps_per_client=50.0,
+        rng=random.Random(2),
+    )
+
+
+class TestSiteLoad:
+    def test_no_drop_under_capacity(self):
+        load = SiteLoad("ns1", "FRA", capacity_qps=100.0, offered_qps=90.0)
+        assert load.drop_probability == 0.0
+
+    def test_drop_proportional_to_overload(self):
+        load = SiteLoad("ns1", "FRA", capacity_qps=100.0, offered_qps=400.0)
+        assert load.drop_probability == pytest.approx(0.75)
+
+    def test_zero_offered(self):
+        load = SiteLoad("ns1", "FRA", capacity_qps=100.0, offered_qps=0.0)
+        assert load.drop_probability == 0.0
+
+
+class TestAttackScenario:
+    def test_all_targets_by_default(self):
+        attack = AttackScenario(total_qps=900.0)
+        assert attack.qps_per_target(3) == {0: 300.0, 1: 300.0, 2: 300.0}
+
+    def test_specific_targets(self):
+        attack = AttackScenario(total_qps=900.0, target_ns=(1,))
+        assert attack.qps_per_target(3) == {1: 900.0}
+
+
+class TestEvaluator:
+    def test_needs_clients(self):
+        with pytest.raises(ValueError):
+            ResilienceEvaluator([])
+
+    def test_no_attack_full_availability(self, evaluator):
+        specs = sidn_style_designs()["all-unicast"]
+        report = evaluator.evaluate(specs, AttackScenario(total_qps=0.0))
+        assert report.availability == pytest.approx(1.0)
+        assert not report.overloaded_sites()
+
+    def test_massive_attack_kills_unicast(self, evaluator):
+        specs = sidn_style_designs()["all-unicast"]
+        # All 4 NSes sit in FRA with 50k qps capacity each; 4M qps total.
+        report = evaluator.evaluate(specs, AttackScenario(total_qps=4_000_000.0))
+        assert report.availability < 0.25
+        assert len(report.overloaded_sites()) == 4
+
+    def test_anycast_absorbs_attack(self, evaluator):
+        designs = sidn_style_designs()
+        attack = AttackScenario(total_qps=4_000_000.0, bot_count=150)
+        unicast = evaluator.evaluate(designs["all-unicast"], attack, "unicast")
+        anycast = evaluator.evaluate(designs["all-anycast"], attack, "anycast")
+        assert anycast.availability > unicast.availability
+
+    def test_ranking_monotone_in_anycast(self, evaluator):
+        attack = AttackScenario(total_qps=2_000_000.0, bot_count=150)
+        reports = evaluator.compare(sidn_style_designs(), attack)
+        names = [report.design_name for report in reports]
+        # More anycast never hurts availability under an even attack.
+        assert names[0] == "all-anycast"
+        assert names[-1] == "all-unicast"
+
+    def test_targeted_attack_on_one_ns_survivable(self, evaluator):
+        # Attack only ns1; the other NSes answer retried queries — the
+        # multi-NS fault-tolerance argument (RFC 2182).
+        specs = [
+            AuthoritativeSpec("ns1", ("FRA",)),
+            AuthoritativeSpec("ns2", ("IAD",)),
+        ]
+        attack = AttackScenario(total_qps=2_000_000.0, target_ns=(0,))
+        report = evaluator.evaluate(specs, attack)
+        assert report.availability > 0.95
+
+    def test_latency_degrades_under_attack(self, evaluator):
+        specs = sidn_style_designs()["1-of-4-anycast"]
+        calm = evaluator.evaluate(specs, AttackScenario(total_qps=0.0))
+        stressed = evaluator.evaluate(
+            specs, AttackScenario(total_qps=1_000_000.0, bot_count=150)
+        )
+        assert stressed.mean_latency_ms > calm.mean_latency_ms
+
+    def test_reproducible(self, clients):
+        attack = AttackScenario(total_qps=500_000.0, bot_count=100)
+        specs = sidn_style_designs()["2-of-4-anycast"]
+        one = ResilienceEvaluator(clients, rng=random.Random(5)).evaluate(specs, attack)
+        two = ResilienceEvaluator(clients, rng=random.Random(5)).evaluate(specs, attack)
+        assert one.availability == two.availability

@@ -1,0 +1,90 @@
+"""Tests for EDNS0 handling (RFC 6891)."""
+
+import pytest
+
+from repro.dns.errors import WireFormatError
+from repro.dns.message import Message
+from repro.dns.name import Name
+from repro.dns.rdata import NS, OPT, SOA, TXT
+from repro.dns.server import AuthoritativeServer
+from repro.dns.types import RRType
+from repro.dns.zone import Zone
+
+ORIGIN = Name.from_text("big.nl.")
+
+
+@pytest.fixture
+def fat_engine():
+    """A zone with a TXT RRset far larger than 512 bytes."""
+    zone = Zone(ORIGIN)
+    zone.add(
+        ORIGIN,
+        RRType.SOA,
+        SOA(Name.from_text("ns1.big.nl."), Name.from_text("h.big.nl."), 1, 2, 3, 4, 5),
+    )
+    zone.add(ORIGIN, RRType.NS, NS(Name.from_text("ns1.big.nl.")))
+    for index in range(40):
+        zone.add(
+            "fat.big.nl.", RRType.TXT, TXT.from_value(f"string-{index:03d}-" + "x" * 40)
+        )
+    return AuthoritativeServer("srv", [zone])
+
+
+class TestMessageEdns:
+    def test_use_edns_roundtrip(self):
+        query = Message.make_query("a.nl.", RRType.A, msg_id=3).use_edns(4096)
+        decoded = Message.from_wire(query.to_wire())
+        assert decoded.edns_payload == 4096
+        # The OPT record is absorbed into state, not left in additionals.
+        assert decoded.additionals == []
+
+    def test_no_edns_by_default(self):
+        query = Message.make_query("a.nl.", RRType.A)
+        decoded = Message.from_wire(query.to_wire())
+        assert decoded.edns_payload is None
+
+    def test_payload_range_validated(self):
+        with pytest.raises(WireFormatError):
+            Message.make_query("a.nl.", RRType.A).use_edns(100)
+
+    def test_response_inherits_edns(self):
+        query = Message.make_query("a.nl.", RRType.A).use_edns(1400)
+        assert query.make_response().edns_payload == 1400
+
+    def test_opt_rdata_not_in_zonefiles(self):
+        with pytest.raises(WireFormatError):
+            OPT.from_text(["x"], ORIGIN)
+
+    def test_opt_wire_roundtrip(self):
+        opt = OPT(b"\x00\x0a\x00\x02\xab\xcd")
+        assert OPT.from_wire(opt.to_wire(), 0, 6) == opt
+
+
+class TestServerEdns:
+    def test_plain_udp_truncates_large_answer(self, fat_engine):
+        query = Message.make_query("fat.big.nl.", RRType.TXT, msg_id=9)
+        wire = fat_engine.handle_wire(query.to_wire())
+        assert len(wire) <= 512
+        response = Message.from_wire(wire)
+        assert response.truncated
+        assert response.answers == []
+
+    def test_edns_client_gets_full_answer(self, fat_engine):
+        query = Message.make_query("fat.big.nl.", RRType.TXT, msg_id=10).use_edns(4096)
+        response = Message.from_wire(fat_engine.handle_wire(query.to_wire()))
+        assert not response.truncated
+        assert len(response.answers) == 40
+        assert response.edns_payload == 4096
+
+    def test_server_caps_at_its_own_limit(self, fat_engine):
+        fat_engine.max_edns_payload = 1024
+        query = Message.make_query("fat.big.nl.", RRType.TXT).use_edns(65535)
+        wire = fat_engine.handle_wire(query.to_wire())
+        assert len(wire) <= 1024
+        response = Message.from_wire(wire)
+        assert response.truncated  # 40 TXT records don't fit in 1024
+
+    def test_small_edns_advert_respected(self, fat_engine):
+        query = Message.make_query("fat.big.nl.", RRType.TXT).use_edns(600)
+        wire = fat_engine.handle_wire(query.to_wire())
+        assert len(wire) <= 600

@@ -1,0 +1,127 @@
+"""Property-based tests: DNS messages round-trip arbitrary content."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.dns.message import Message, Question
+from repro.dns.name import Name
+from repro.dns.rdata import AAAA, CNAME, MX, NS, SOA, TXT, A
+from repro.dns.records import ResourceRecord
+from repro.dns.types import Opcode, Rcode, RRClass, RRType
+
+label = st.from_regex(r"[a-z0-9]{1,12}", fullmatch=True).map(str.encode)
+name_strategy = st.lists(label, min_size=0, max_size=4).map(Name)
+
+a_rdata = st.integers(0, 0xFFFFFFFF).map(
+    lambda v: A(".".join(str((v >> s) & 0xFF) for s in (24, 16, 8, 0)))
+)
+aaaa_rdata = st.integers(0, 2**128 - 1).map(
+    lambda v: AAAA(__import__("ipaddress").IPv6Address(v).compressed)
+)
+txt_rdata = st.lists(
+    st.binary(min_size=0, max_size=50), min_size=1, max_size=3
+).map(lambda chunks: TXT(tuple(chunks)))
+ns_rdata = name_strategy.map(NS)
+cname_rdata = name_strategy.map(CNAME)
+mx_rdata = st.tuples(st.integers(0, 0xFFFF), name_strategy).map(
+    lambda t: MX(*t)
+)
+soa_rdata = st.tuples(
+    name_strategy,
+    name_strategy,
+    st.integers(0, 0xFFFFFFFF),
+).map(lambda t: SOA(t[0], t[1], t[2], 7200, 3600, 86400, 300))
+
+rdata_strategy = st.one_of(
+    a_rdata, aaaa_rdata, txt_rdata, ns_rdata, cname_rdata, mx_rdata, soa_rdata
+)
+
+RDATA_TYPE = {
+    A: RRType.A,
+    AAAA: RRType.AAAA,
+    TXT: RRType.TXT,
+    NS: RRType.NS,
+    CNAME: RRType.CNAME,
+    MX: RRType.MX,
+    SOA: RRType.SOA,
+}
+
+record_strategy = st.builds(
+    lambda name, rdata, ttl: ResourceRecord(
+        name, RDATA_TYPE[type(rdata)], RRClass.IN, ttl, rdata
+    ),
+    name_strategy,
+    rdata_strategy,
+    st.integers(0, 0x7FFFFFFF),
+)
+
+
+@st.composite
+def message_strategy(draw):
+    message = Message(
+        msg_id=draw(st.integers(0, 0xFFFF)),
+        opcode=draw(st.sampled_from(list(Opcode))),
+        rcode=draw(st.sampled_from(list(Rcode))),
+    )
+    message.is_response = draw(st.booleans())
+    message.authoritative = draw(st.booleans())
+    message.recursion_desired = draw(st.booleans())
+    message.recursion_available = draw(st.booleans())
+    message.questions = [
+        Question(draw(name_strategy), draw(st.sampled_from([RRType.A, RRType.TXT, RRType.NS])))
+        for _ in range(draw(st.integers(0, 2)))
+    ]
+    message.answers = draw(st.lists(record_strategy, max_size=4))
+    message.authorities = draw(st.lists(record_strategy, max_size=2))
+    message.additionals = draw(st.lists(record_strategy, max_size=2))
+    if draw(st.booleans()):
+        message.use_edns(draw(st.integers(512, 65535)))
+    return message
+
+
+class TestMessageProperties:
+    @settings(max_examples=120, deadline=None)
+    @given(message_strategy())
+    def test_wire_roundtrip(self, message):
+        decoded = Message.from_wire(message.to_wire())
+        assert decoded.msg_id == message.msg_id
+        assert decoded.opcode == message.opcode
+        assert decoded.rcode == message.rcode
+        assert decoded.is_response == message.is_response
+        assert decoded.authoritative == message.authoritative
+        assert decoded.recursion_desired == message.recursion_desired
+        assert decoded.recursion_available == message.recursion_available
+        assert decoded.questions == message.questions
+        assert decoded.answers == message.answers
+        assert decoded.authorities == message.authorities
+        assert decoded.additionals == message.additionals
+        assert decoded.edns_payload == message.edns_payload
+
+    @settings(max_examples=60, deadline=None)
+    @given(message_strategy())
+    def test_double_roundtrip_stable(self, message):
+        once = Message.from_wire(message.to_wire())
+        twice = Message.from_wire(once.to_wire())
+        assert once.to_wire() == twice.to_wire()
+
+    @settings(max_examples=60, deadline=None)
+    @given(message_strategy(), st.integers(32, 4096))
+    def test_truncation_never_exceeds_cap(self, message, cap):
+        wire = message.to_wire(max_size=cap)
+        header_and_questions = Message(
+            msg_id=message.msg_id, questions=message.questions
+        ).to_wire()
+        # The cap holds whenever the irreducible part itself fits.
+        if len(header_and_questions) + 11 * (message.edns_payload is not None) <= cap:
+            assert len(wire) <= cap
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.binary(min_size=0, max_size=80))
+    def test_garbage_never_crashes(self, junk):
+        from repro.dns.errors import DnsError
+
+        try:
+            Message.from_wire(junk)
+        except DnsError:
+            pass  # rejecting is fine; crashing with anything else is not
+        except ValueError:
+            pass  # enum conversions may reject odd codes

@@ -1,0 +1,114 @@
+"""Tests for response rate limiting."""
+
+import pytest
+
+from repro.dns.message import Message
+from repro.dns.name import Name
+from repro.dns.rdata import NS, SOA, TXT
+from repro.dns.rrl import ResponseRateLimiter, RrlAction
+from repro.dns.server import AuthoritativeServer
+from repro.dns.types import RRType
+from repro.dns.zone import Zone
+
+ORIGIN = Name.from_text("example.nl.")
+
+
+class TestLimiter:
+    def test_under_limit_sends(self):
+        limiter = ResponseRateLimiter(responses_per_second=3)
+        actions = [limiter.check("1.2.3.4", "k", now=0.0) for _ in range(3)]
+        assert actions == [RrlAction.SEND] * 3
+
+    def test_over_limit_slips_and_drops(self):
+        limiter = ResponseRateLimiter(responses_per_second=2, slip_ratio=2)
+        for _ in range(2):
+            limiter.check("1.2.3.4", "k", now=0.0)
+        over = [limiter.check("1.2.3.4", "k", now=0.0) for _ in range(4)]
+        assert RrlAction.SLIP in over
+        assert RrlAction.DROP in over
+        assert limiter.slipped >= 1 and limiter.dropped >= 1
+
+    def test_window_resets(self):
+        limiter = ResponseRateLimiter(responses_per_second=1, window_s=1.0)
+        assert limiter.check("1.2.3.4", "k", now=0.0) is RrlAction.SEND
+        assert limiter.check("1.2.3.4", "k", now=0.5) is not RrlAction.SEND
+        assert limiter.check("1.2.3.4", "k", now=1.2) is RrlAction.SEND
+
+    def test_keys_isolated(self):
+        limiter = ResponseRateLimiter(responses_per_second=1)
+        assert limiter.check("1.2.3.4", "a", now=0.0) is RrlAction.SEND
+        assert limiter.check("1.2.3.4", "b", now=0.0) is RrlAction.SEND
+
+    def test_clients_aggregated_by_network(self):
+        limiter = ResponseRateLimiter(responses_per_second=1, ipv4_prefix_len=24)
+        assert limiter.check("10.0.0.1:500", "k", now=0.0) is RrlAction.SEND
+        # Same /24, different host: shares the bucket (spoofing spread).
+        assert limiter.check("10.0.0.2:501", "k", now=0.0) is not RrlAction.SEND
+
+    def test_different_networks_separate(self):
+        limiter = ResponseRateLimiter(responses_per_second=1)
+        assert limiter.check("10.0.0.1", "k", now=0.0) is RrlAction.SEND
+        assert limiter.check("10.9.0.1", "k", now=0.0) is RrlAction.SEND
+
+    def test_slip_ratio_zero_drops_everything(self):
+        limiter = ResponseRateLimiter(responses_per_second=1, slip_ratio=0)
+        limiter.check("1.2.3.4", "k", now=0.0)
+        over = [limiter.check("1.2.3.4", "k", now=0.0) for _ in range(3)]
+        assert over == [RrlAction.DROP] * 3
+
+    def test_prune(self):
+        limiter = ResponseRateLimiter(window_s=1.0)
+        limiter.check("1.2.3.4", "k", now=0.0)
+        limiter.check("5.6.7.8", "k", now=5.0)
+        assert limiter.prune(now=5.0) == 1
+
+
+class TestServerIntegration:
+    @pytest.fixture
+    def engine(self):
+        zone = Zone(ORIGIN)
+        zone.add(
+            ORIGIN,
+            RRType.SOA,
+            SOA(Name.from_text("ns1.example.nl."), Name.from_text("h.example.nl."),
+                1, 2, 3, 4, 5),
+        )
+        zone.add(ORIGIN, RRType.NS, NS(Name.from_text("ns1.example.nl.")))
+        zone.add("t.example.nl.", RRType.TXT, TXT.from_value("answer"))
+        return AuthoritativeServer(
+            "srv", [zone],
+            rate_limiter=ResponseRateLimiter(responses_per_second=2, slip_ratio=1),
+        )
+
+    def test_repeated_identical_queries_limited(self, engine):
+        query = Message.make_query("t.example.nl.", RRType.TXT, msg_id=1)
+        results = [
+            engine.handle_wire(query.to_wire(), client="1.2.3.4:53", now=0.0)
+            for _ in range(6)
+        ]
+        full = [w for w in results if w is not None and not Message.from_wire(w).truncated]
+        slipped = [w for w in results if w is not None and Message.from_wire(w).truncated]
+        assert len(full) == 2
+        assert slipped  # slip_ratio=1: every over-limit response slips
+
+    def test_slip_is_minimal_tc_response(self, engine):
+        query = Message.make_query("t.example.nl.", RRType.TXT, msg_id=2)
+        last = None
+        for _ in range(5):
+            last = engine.handle_wire(query.to_wire(), client="1.2.3.4:53", now=0.0)
+        response = Message.from_wire(last)
+        assert response.truncated
+        assert response.answers == []
+
+    def test_other_clients_unaffected(self, engine):
+        query = Message.make_query("t.example.nl.", RRType.TXT, msg_id=3)
+        for _ in range(6):
+            engine.handle_wire(query.to_wire(), client="1.2.3.4:53", now=0.0)
+        wire = engine.handle_wire(query.to_wire(), client="203.0.113.9:53", now=0.0)
+        response = Message.from_wire(wire)
+        assert not response.truncated
+        assert response.answers
+
+    def test_no_limiter_by_default(self):
+        engine = AuthoritativeServer("srv", [])
+        assert engine.rate_limiter is None

@@ -1,0 +1,63 @@
+"""Tests for protocol constants and their text conversions."""
+
+import pytest
+
+from repro.dns.types import Opcode, Rcode, RRClass, RRType
+
+
+class TestRRType:
+    def test_from_text_known(self):
+        assert RRType.from_text("txt") == RRType.TXT
+        assert RRType.from_text("AAAA") == RRType.AAAA
+
+    def test_from_text_typeNNN(self):
+        assert RRType.from_text("TYPE16") == RRType.TXT
+
+    def test_from_text_unknown(self):
+        with pytest.raises(ValueError):
+            RRType.from_text("BOGUS")
+
+    def test_to_text(self):
+        assert RRType.SOA.to_text() == "SOA"
+
+    def test_codes_match_rfc(self):
+        assert int(RRType.A) == 1
+        assert int(RRType.NS) == 2
+        assert int(RRType.CNAME) == 5
+        assert int(RRType.SOA) == 6
+        assert int(RRType.TXT) == 16
+        assert int(RRType.AAAA) == 28
+        assert int(RRType.OPT) == 41
+        assert int(RRType.ANY) == 255
+
+
+class TestRRClass:
+    def test_from_text(self):
+        assert RRClass.from_text("in") == RRClass.IN
+        assert RRClass.from_text("CH") == RRClass.CH
+
+    def test_from_text_unknown(self):
+        with pytest.raises(ValueError):
+            RRClass.from_text("XX")
+
+    def test_codes(self):
+        assert int(RRClass.IN) == 1
+        assert int(RRClass.CH) == 3
+        assert int(RRClass.NONE) == 254
+        assert int(RRClass.ANY) == 255
+
+
+class TestRcodeOpcode:
+    def test_rcode_codes(self):
+        assert int(Rcode.NOERROR) == 0
+        assert int(Rcode.NXDOMAIN) == 3
+        assert int(Rcode.REFUSED) == 5
+        assert int(Rcode.NOTAUTH) == 9
+
+    def test_rcode_text(self):
+        assert Rcode.SERVFAIL.to_text() == "SERVFAIL"
+
+    def test_opcode_codes(self):
+        assert int(Opcode.QUERY) == 0
+        assert int(Opcode.NOTIFY) == 4
+        assert int(Opcode.UPDATE) == 5

@@ -1,0 +1,86 @@
+"""Integration tests: the authoritative engine over real UDP sockets."""
+
+import pytest
+
+from repro.dns.message import Message
+from repro.dns.name import Name
+from repro.dns.rdata import NS, SOA, TXT
+from repro.dns.server import AuthoritativeServer
+from repro.dns.types import Rcode, RRClass, RRType
+from repro.dns.udp import UdpAuthoritativeServer, query_udp
+from repro.dns.zone import Zone
+
+ORIGIN = Name.from_text("ourtestdomain.nl.")
+
+
+@pytest.fixture
+def engine():
+    zone = Zone(ORIGIN)
+    zone.add(
+        ORIGIN,
+        RRType.SOA,
+        SOA(
+            Name.from_text("ns1.ourtestdomain.nl."),
+            Name.from_text("hostmaster.ourtestdomain.nl."),
+            1,
+            7200,
+            3600,
+            1209600,
+            5,
+        ),
+    )
+    zone.add(ORIGIN, RRType.NS, NS(Name.from_text("ns1.ourtestdomain.nl.")))
+    zone.add("probe.ourtestdomain.nl.", RRType.TXT, TXT.from_value("site-GRU"), ttl=5)
+    return AuthoritativeServer("gru", [zone])
+
+
+class TestUdpServer:
+    def test_txt_query_over_loopback(self, engine):
+        with UdpAuthoritativeServer(engine) as server:
+            response = query_udp(server.address, "probe.ourtestdomain.nl.", RRType.TXT)
+        assert response.answers[0].rdata.value == "site-GRU"
+        assert response.authoritative
+
+    def test_nxdomain_over_loopback(self, engine):
+        with UdpAuthoritativeServer(engine) as server:
+            response = query_udp(server.address, "gone.ourtestdomain.nl.", RRType.A)
+        assert response.rcode == Rcode.NXDOMAIN
+
+    def test_chaos_identification(self, engine):
+        with UdpAuthoritativeServer(engine) as server:
+            response = query_udp(
+                server.address, "id.server.", RRType.TXT, rrclass=RRClass.CH
+            )
+        assert response.answers[0].rdata.value == "gru"
+
+    def test_server_logs_real_client(self, engine):
+        with UdpAuthoritativeServer(engine) as server:
+            query_udp(server.address, "probe.ourtestdomain.nl.", RRType.TXT)
+        assert engine.query_log
+        assert engine.query_log[0].client.startswith("127.0.0.1:")
+
+    def test_multiple_sequential_queries(self, engine):
+        with UdpAuthoritativeServer(engine) as server:
+            for i in range(5):
+                response = query_udp(
+                    server.address, "probe.ourtestdomain.nl.", RRType.TXT, msg_id=i + 1
+                )
+                assert response.msg_id == i + 1
+        assert engine.stats.queries == 5
+
+    def test_timeout_when_server_stopped(self, engine):
+        server = UdpAuthoritativeServer(engine)
+        address = server.address
+        server.start()
+        server.stop()
+        with pytest.raises((TimeoutError, OSError)):
+            query_udp(address, "probe.ourtestdomain.nl.", RRType.TXT, timeout=0.3)
+
+    def test_mismatched_id_ignored(self, engine):
+        # query_udp must keep waiting past responses with the wrong id;
+        # our server echoes ids, so just confirm the matching path works.
+        with UdpAuthoritativeServer(engine) as server:
+            response = query_udp(
+                server.address, "probe.ourtestdomain.nl.", RRType.TXT, msg_id=4321
+            )
+        assert response.msg_id == 4321

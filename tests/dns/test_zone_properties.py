@@ -1,0 +1,102 @@
+"""Property-based tests: zone lookup invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.dns.name import Name
+from repro.dns.rdata import CNAME, NS, SOA, TXT, A
+from repro.dns.types import RRType
+from repro.dns.zone import LookupStatus, Zone
+
+ORIGIN = Name.from_text("example.nl.")
+
+label = st.from_regex(r"[a-z0-9]{1,10}", fullmatch=True)
+relative_name = st.lists(label, min_size=1, max_size=3).map(
+    lambda labels: Name.from_text(".".join(labels) + ".example.nl.")
+)
+
+rdata_choice = st.one_of(
+    st.just(A("192.0.2.1")),
+    st.builds(lambda s: TXT.from_value(s), st.text(min_size=0, max_size=30)),
+)
+
+
+@st.composite
+def populated_zone(draw):
+    zone = Zone(ORIGIN)
+    zone.add(
+        ORIGIN,
+        RRType.SOA,
+        SOA(
+            Name.from_text("ns1.example.nl."),
+            Name.from_text("h.example.nl."),
+            1, 2, 3, 4, 300,
+        ),
+    )
+    zone.add(ORIGIN, RRType.NS, NS(Name.from_text("ns1.example.nl.")))
+    names = draw(st.lists(relative_name, min_size=0, max_size=8))
+    for name in names:
+        rdata = draw(rdata_choice)
+        rrtype = RRType.A if isinstance(rdata, A) else RRType.TXT
+        zone.add(name, rrtype, rdata)
+    return zone, names
+
+
+class TestZoneLookupProperties:
+    @settings(max_examples=80, deadline=None)
+    @given(populated_zone(), relative_name, st.sampled_from([RRType.A, RRType.TXT, RRType.AAAA]))
+    def test_lookup_never_crashes_and_status_consistent(self, zone_and_names, qname, qtype):
+        zone, _ = zone_and_names
+        result = zone.lookup(qname, qtype)
+        assert result.status in LookupStatus
+        if result.status == LookupStatus.SUCCESS:
+            assert result.answers
+            for rrset in result.answers:
+                assert rrset.name == qname
+                assert rrset.rrtype == qtype
+        if result.status in (LookupStatus.NXDOMAIN, LookupStatus.NODATA):
+            assert not result.answers
+            # Negative answers carry the SOA for negative caching.
+            assert any(rs.rrtype == RRType.SOA for rs in result.authority)
+
+    @settings(max_examples=80, deadline=None)
+    @given(populated_zone())
+    def test_every_added_name_resolves(self, zone_and_names):
+        zone, names = zone_and_names
+        for name in names:
+            found_any = False
+            for rrtype in (RRType.A, RRType.TXT):
+                result = zone.lookup(name, rrtype)
+                assert result.status != LookupStatus.NXDOMAIN
+                if result.status == LookupStatus.SUCCESS:
+                    found_any = True
+            assert found_any
+
+    @settings(max_examples=50, deadline=None)
+    @given(populated_zone(), relative_name)
+    def test_lookup_case_insensitive(self, zone_and_names, qname):
+        zone, _ = zone_and_names
+        upper = Name.from_text(qname.to_text().upper())
+        for rrtype in (RRType.A, RRType.TXT):
+            assert zone.lookup(qname, rrtype).status == zone.lookup(upper, rrtype).status
+
+    @settings(max_examples=50, deadline=None)
+    @given(populated_zone())
+    def test_out_of_zone_always_nxdomain(self, zone_and_names):
+        zone, _ = zone_and_names
+        result = zone.lookup(Name.from_text("www.other.org."), RRType.A)
+        assert result.status == LookupStatus.NXDOMAIN
+
+
+class TestCnameProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(label, min_size=2, max_size=5, unique=True))
+    def test_cname_chains_always_terminate(self, labels):
+        zone = Zone(ORIGIN)
+        # Build a chain a -> b -> c ... and close it into a loop.
+        names = [Name.from_text(f"{lab}.example.nl.") for lab in labels]
+        for src, dst in zip(names, names[1:]):
+            zone.add(src, RRType.CNAME, CNAME(dst))
+        zone.add(names[-1], RRType.CNAME, CNAME(names[0]))
+        result = zone.lookup(names[0], RRType.A)
+        assert result.status == LookupStatus.CNAME
+        assert len(result.answers) <= len(names) + 1

@@ -1,0 +1,123 @@
+"""Tests for $GENERATE and $INCLUDE zone-file directives."""
+
+import pytest
+
+from repro.dns.errors import ZoneFileSyntaxError
+from repro.dns.name import Name
+from repro.dns.rdata import A
+from repro.dns.types import RRType
+from repro.dns.zonefile import (
+    _expand_generate_template,
+    parse_zone_file,
+    parse_zone_text,
+)
+
+
+class TestGenerateTemplate:
+    def test_plain_dollar(self):
+        assert _expand_generate_template("host-$", 7, 1) == "host-7"
+
+    def test_double_dollar_literal(self):
+        assert _expand_generate_template("a$$b", 7, 1) == "a$b"
+
+    def test_braced_offset(self):
+        assert _expand_generate_template("${10}", 5, 1) == "15"
+
+    def test_braced_width(self):
+        assert _expand_generate_template("${0,3}", 7, 1) == "007"
+
+    def test_braced_hex(self):
+        assert _expand_generate_template("${0,2,x}", 255, 1) == "ff"
+
+    def test_bad_radix(self):
+        with pytest.raises(ZoneFileSyntaxError):
+            _expand_generate_template("${0,0,q}", 1, 1)
+
+    def test_unterminated_brace(self):
+        with pytest.raises(ZoneFileSyntaxError):
+            _expand_generate_template("${0", 1, 1)
+
+
+class TestGenerateDirective:
+    def test_basic_range(self):
+        zone = parse_zone_text(
+            "$TTL 60\n$GENERATE 1-4 host-$ A 192.0.2.$\n", "example.nl."
+        )
+        for index in range(1, 5):
+            rrset = zone.get_rrset(
+                Name.from_text(f"host-{index}.example.nl."), RRType.A
+            )
+            assert rrset.rdatas == [A(f"192.0.2.{index}")]
+
+    def test_step(self):
+        zone = parse_zone_text(
+            "$TTL 60\n$GENERATE 0-10/5 n$ A 192.0.2.$\n", "example.nl."
+        )
+        assert zone.get_rrset(Name.from_text("n0.example.nl."), RRType.A)
+        assert zone.get_rrset(Name.from_text("n5.example.nl."), RRType.A)
+        assert zone.get_rrset(Name.from_text("n10.example.nl."), RRType.A)
+        assert zone.get_rrset(Name.from_text("n1.example.nl."), RRType.A) is None
+
+    def test_with_ttl_and_class(self):
+        zone = parse_zone_text(
+            "$GENERATE 1-2 w$ 300 IN A 192.0.2.$\n", "example.nl."
+        )
+        rrset = zone.get_rrset(Name.from_text("w1.example.nl."), RRType.A)
+        assert rrset.ttl == 300
+
+    def test_reversed_range_rejected(self):
+        with pytest.raises(ZoneFileSyntaxError):
+            parse_zone_text("$TTL 60\n$GENERATE 5-1 h$ A 192.0.2.$\n", "example.nl.")
+
+    def test_huge_range_rejected(self):
+        with pytest.raises(ZoneFileSyntaxError):
+            parse_zone_text(
+                "$TTL 60\n$GENERATE 0-9999999 h$ A 192.0.2.1\n", "example.nl."
+            )
+
+    def test_missing_fields_rejected(self):
+        with pytest.raises(ZoneFileSyntaxError):
+            parse_zone_text("$TTL 60\n$GENERATE 1-2 h$\n", "example.nl.")
+
+
+class TestIncludeDirective:
+    def test_include_via_loader(self):
+        files = {"sub.zone": "www IN A 192.0.2.80\n"}
+        zone = parse_zone_text(
+            "$TTL 60\n@ IN A 192.0.2.1\n$INCLUDE sub.zone\n",
+            "example.nl.",
+            include_loader=files.__getitem__,
+        )
+        assert zone.get_rrset(Name.from_text("www.example.nl."), RRType.A)
+
+    def test_include_with_origin_override(self):
+        files = {"sub.zone": "host IN A 192.0.2.9\n"}
+        zone = parse_zone_text(
+            "$TTL 60\n$INCLUDE sub.zone sub.example.nl.\nafter IN A 192.0.2.2\n",
+            "example.nl.",
+            include_loader=files.__getitem__,
+        )
+        assert zone.get_rrset(Name.from_text("host.sub.example.nl."), RRType.A)
+        # Origin restored after the include.
+        assert zone.get_rrset(Name.from_text("after.example.nl."), RRType.A)
+
+    def test_include_without_loader_rejected(self):
+        with pytest.raises(ZoneFileSyntaxError):
+            parse_zone_text("$TTL 60\n$INCLUDE x.zone\n", "example.nl.")
+
+    def test_include_loop_bounded(self):
+        files = {"self.zone": "$INCLUDE self.zone\n"}
+        with pytest.raises(ZoneFileSyntaxError):
+            parse_zone_text(
+                "$TTL 60\n$INCLUDE self.zone\n",
+                "example.nl.",
+                include_loader=files.__getitem__,
+            )
+
+    def test_parse_zone_file_relative_include(self, tmp_path):
+        (tmp_path / "main.zone").write_text(
+            "$TTL 60\n@ IN A 192.0.2.1\n$INCLUDE extra.zone\n"
+        )
+        (tmp_path / "extra.zone").write_text("mail IN A 192.0.2.25\n")
+        zone = parse_zone_file(tmp_path / "main.zone", "example.nl.")
+        assert zone.get_rrset(Name.from_text("mail.example.nl."), RRType.A)

@@ -1,0 +1,127 @@
+"""Tests for the virtual clock and event scheduler."""
+
+import pytest
+
+from repro.netsim.clock import SimClock
+from repro.netsim.events import EventScheduler
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now == 0.0
+
+    def test_custom_start(self):
+        assert SimClock(100.0).now == 100.0
+
+    def test_advance(self):
+        clock = SimClock()
+        clock.advance(2.5)
+        clock.advance(1.5)
+        assert clock.now == 4.0
+
+    def test_advance_negative_rejected(self):
+        with pytest.raises(ValueError):
+            SimClock().advance(-1.0)
+
+    def test_advance_to(self):
+        clock = SimClock()
+        clock.advance_to(10.0)
+        assert clock.now == 10.0
+
+    def test_advance_to_past_rejected(self):
+        clock = SimClock(5.0)
+        with pytest.raises(ValueError):
+            clock.advance_to(4.0)
+
+
+class TestEventScheduler:
+    def test_events_run_in_time_order(self):
+        sched = EventScheduler()
+        order = []
+        sched.schedule_at(3.0, lambda: order.append("c"))
+        sched.schedule_at(1.0, lambda: order.append("a"))
+        sched.schedule_at(2.0, lambda: order.append("b"))
+        sched.run()
+        assert order == ["a", "b", "c"]
+
+    def test_same_time_fifo(self):
+        sched = EventScheduler()
+        order = []
+        for tag in "abc":
+            sched.schedule_at(1.0, lambda tag=tag: order.append(tag))
+        sched.run()
+        assert order == ["a", "b", "c"]
+
+    def test_clock_advances_to_event_time(self):
+        sched = EventScheduler()
+        seen = []
+        sched.schedule_at(5.0, lambda: seen.append(sched.now))
+        sched.run()
+        assert seen == [5.0]
+
+    def test_schedule_in_relative(self):
+        sched = EventScheduler()
+        seen = []
+        sched.schedule_at(2.0, lambda: sched.schedule_in(3.0, lambda: seen.append(sched.now)))
+        sched.run()
+        assert seen == [5.0]
+
+    def test_schedule_in_past_rejected(self):
+        sched = EventScheduler()
+        sched.clock.advance(10.0)
+        with pytest.raises(ValueError):
+            sched.schedule_at(5.0, lambda: None)
+        with pytest.raises(ValueError):
+            sched.schedule_in(-1.0, lambda: None)
+
+    def test_cancel(self):
+        sched = EventScheduler()
+        fired = []
+        event = sched.schedule_at(1.0, lambda: fired.append(1))
+        sched.cancel(event)
+        sched.run()
+        assert fired == []
+
+    def test_run_until_stops_at_boundary(self):
+        sched = EventScheduler()
+        fired = []
+        sched.schedule_at(1.0, lambda: fired.append(1))
+        sched.schedule_at(10.0, lambda: fired.append(10))
+        sched.run_until(5.0)
+        assert fired == [1]
+        assert sched.now == 5.0
+        assert sched.pending == 1
+
+    def test_run_until_processes_boundary_event(self):
+        sched = EventScheduler()
+        fired = []
+        sched.schedule_at(5.0, lambda: fired.append(5))
+        sched.run_until(5.0)
+        assert fired == [5]
+
+    def test_events_scheduled_during_run(self):
+        sched = EventScheduler()
+        order = []
+
+        def first():
+            order.append("first")
+            sched.schedule_in(1.0, lambda: order.append("second"))
+
+        sched.schedule_at(1.0, first)
+        sched.run()
+        assert order == ["first", "second"]
+        assert sched.now == 2.0
+
+    def test_run_max_events(self):
+        sched = EventScheduler()
+        for i in range(5):
+            sched.schedule_at(float(i + 1), lambda: None)
+        assert sched.run(max_events=3) == 3
+        assert sched.pending == 2
+
+    def test_processed_counter(self):
+        sched = EventScheduler()
+        sched.schedule_at(1.0, lambda: None)
+        sched.schedule_at(2.0, lambda: None)
+        sched.run()
+        assert sched.processed == 2

@@ -1,0 +1,154 @@
+"""Tests for geography and the latency model."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.netsim.geo import (
+    ATLAS_CONTINENT_WEIGHTS,
+    DATACENTERS,
+    PROBE_CITIES,
+    Continent,
+    GeoPoint,
+    Location,
+    cities_by_continent,
+    great_circle_km,
+)
+from repro.netsim.latency import LatencyModel, LatencyParameters
+
+
+class TestGeoPoint:
+    def test_valid(self):
+        GeoPoint(0.0, 0.0)
+        GeoPoint(90.0, 180.0)
+        GeoPoint(-90.0, -180.0)
+
+    @pytest.mark.parametrize("lat,lon", [(91, 0), (-91, 0), (0, 181), (0, -181)])
+    def test_out_of_range(self, lat, lon):
+        with pytest.raises(ValueError):
+            GeoPoint(lat, lon)
+
+
+class TestGreatCircle:
+    def test_zero_distance(self):
+        p = GeoPoint(52.0, 4.0)
+        assert great_circle_km(p, p) == 0.0
+
+    def test_symmetry(self):
+        a, b = GeoPoint(52.37, 4.89), GeoPoint(-33.87, 151.21)
+        assert great_circle_km(a, b) == pytest.approx(great_circle_km(b, a))
+
+    def test_known_distance_ams_fra(self):
+        ams = PROBE_CITIES["AMS"].point
+        fra = DATACENTERS["FRA"].point
+        assert great_circle_km(ams, fra) == pytest.approx(360, rel=0.15)
+
+    def test_quarter_circumference(self):
+        # Pole to equator is a quarter of the circumference.
+        d = great_circle_km(GeoPoint(90, 0), GeoPoint(0, 0))
+        assert d == pytest.approx(math.pi * 6371 / 2, rel=0.001)
+
+    @given(
+        st.floats(min_value=-90, max_value=90),
+        st.floats(min_value=-180, max_value=180),
+        st.floats(min_value=-90, max_value=90),
+        st.floats(min_value=-180, max_value=180),
+    )
+    def test_bounds_property(self, lat1, lon1, lat2, lon2):
+        d = great_circle_km(GeoPoint(lat1, lon1), GeoPoint(lat2, lon2))
+        assert 0 <= d <= math.pi * 6371 + 1e-6
+
+
+class TestLocationTables:
+    def test_paper_datacenters_present(self):
+        assert set(DATACENTERS) == {"GRU", "NRT", "DUB", "FRA", "SYD", "IAD", "SFO"}
+
+    def test_datacenter_continents(self):
+        assert DATACENTERS["FRA"].continent == Continent.EU
+        assert DATACENTERS["SYD"].continent == Continent.OC
+        assert DATACENTERS["GRU"].continent == Continent.SA
+        assert DATACENTERS["NRT"].continent == Continent.AS
+        assert DATACENTERS["IAD"].continent == Continent.NA
+
+    def test_every_continent_has_probe_cities(self):
+        for continent in Continent:
+            assert cities_by_continent(continent), continent
+
+    def test_probe_city_codes_unique(self):
+        assert len(PROBE_CITIES) == len(set(PROBE_CITIES))
+
+    def test_atlas_weights_sum_to_one(self):
+        assert sum(ATLAS_CONTINENT_WEIGHTS.values()) == pytest.approx(1.0, abs=0.01)
+
+    def test_atlas_weights_europe_heavy(self):
+        assert ATLAS_CONTINENT_WEIGHTS[Continent.EU] > 0.5
+
+
+class TestLatencyModel:
+    def test_base_rtt_deterministic(self):
+        model = LatencyModel()
+        a, b = PROBE_CITIES["AMS"].point, DATACENTERS["FRA"].point
+        assert model.base_rtt_ms(a, b) == model.base_rtt_ms(a, b)
+
+    def test_base_rtt_grows_with_distance(self):
+        model = LatencyModel()
+        ams = PROBE_CITIES["AMS"].point
+        assert model.base_rtt_ms(ams, DATACENTERS["FRA"].point) < model.base_rtt_ms(
+            ams, DATACENTERS["IAD"].point
+        ) < model.base_rtt_ms(ams, DATACENTERS["SYD"].point)
+
+    def test_min_rtt_floor(self):
+        model = LatencyModel(LatencyParameters(access_delay_ms=0.0, min_rtt_ms=1.0))
+        p = PROBE_CITIES["AMS"].point
+        assert model.base_rtt_ms(p, p) == 1.0
+
+    def test_eu_to_fra_in_paper_band(self):
+        # Paper Table 2: EU VPs see FRA at a median of ~39 ms.
+        model = LatencyModel()
+        rtts = [
+            model.base_rtt_ms(city.point, DATACENTERS["FRA"].point)
+            for city in cities_by_continent(Continent.EU)
+        ]
+        rtts.sort()
+        median = rtts[len(rtts) // 2]
+        assert 20 <= median <= 70
+
+    def test_eu_to_syd_in_paper_band(self):
+        # Paper Table 2: EU VPs see SYD at a median of ~355 ms.
+        model = LatencyModel()
+        rtts = sorted(
+            model.base_rtt_ms(city.point, DATACENTERS["SYD"].point)
+            for city in cities_by_continent(Continent.EU)
+        )
+        median = rtts[len(rtts) // 2]
+        assert 250 <= median <= 450
+
+    def test_sample_jitter_centered_on_base(self):
+        model = LatencyModel(rng=random.Random(7))
+        a, b = PROBE_CITIES["AMS"].point, DATACENTERS["FRA"].point
+        base = model.base_rtt_ms(a, b)
+        samples = [model.sample_rtt_ms(a, b) for _ in range(500)]
+        mean = sum(samples) / len(samples)
+        assert mean == pytest.approx(base, rel=0.05)
+        assert any(s != base for s in samples)
+
+    def test_loss_rate_respected(self):
+        model = LatencyModel(
+            LatencyParameters(loss_rate=0.2), rng=random.Random(3)
+        )
+        losses = sum(model.is_lost() for _ in range(5000))
+        assert 0.15 < losses / 5000 < 0.25
+
+    def test_zero_loss(self):
+        model = LatencyModel(LatencyParameters(loss_rate=0.0))
+        assert not any(model.is_lost() for _ in range(100))
+
+    def test_seeded_reproducibility(self):
+        a, b = PROBE_CITIES["AMS"].point, DATACENTERS["SYD"].point
+        one = LatencyModel(rng=random.Random(42))
+        two = LatencyModel(rng=random.Random(42))
+        assert [one.sample_rtt_ms(a, b) for _ in range(10)] == [
+            two.sample_rtt_ms(a, b) for _ in range(10)
+        ]

@@ -1,0 +1,171 @@
+"""Tests for the simulated network and anycast catchments."""
+
+import random
+
+import pytest
+
+from repro.netsim.anycast import AnycastGroup, AnycastSite
+from repro.netsim.addressing import Ipv4Allocator, Ipv6Allocator
+from repro.netsim.geo import DATACENTERS, PROBE_CITIES
+from repro.netsim.latency import LatencyModel, LatencyParameters
+from repro.netsim.network import DeliveryError, SimNetwork
+
+
+def echo_handler(tag: str):
+    def handler(payload: bytes, src: str, now: float):
+        return tag.encode() + b":" + payload
+
+    return handler
+
+
+@pytest.fixture
+def network():
+    return SimNetwork(latency=LatencyModel(LatencyParameters(loss_rate=0.0)))
+
+
+class TestRegistration:
+    def test_register_and_route(self, network):
+        network.register_host("10.0.0.1", DATACENTERS["FRA"], echo_handler("fra"))
+        location, handler, code = network.route(
+            PROBE_CITIES["AMS"], "client", "10.0.0.1"
+        )
+        assert code == "FRA"
+        assert handler(b"x", "c", 0.0) == b"fra:x"
+
+    def test_duplicate_address_rejected(self, network):
+        network.register_host("10.0.0.1", DATACENTERS["FRA"], echo_handler("a"))
+        with pytest.raises(ValueError):
+            network.register_host("10.0.0.1", DATACENTERS["SYD"], echo_handler("b"))
+
+    def test_unknown_address(self, network):
+        with pytest.raises(DeliveryError):
+            network.route(PROBE_CITIES["AMS"], "client", "10.255.0.1")
+        assert not network.knows("10.255.0.1")
+
+    def test_unregister(self, network):
+        network.register_host("10.0.0.1", DATACENTERS["FRA"], echo_handler("a"))
+        network.unregister("10.0.0.1")
+        assert not network.knows("10.0.0.1")
+
+
+class TestRoundTrip:
+    def test_response_and_rtt(self, network):
+        network.register_host("10.0.0.1", DATACENTERS["FRA"], echo_handler("fra"))
+        trip = network.round_trip(PROBE_CITIES["AMS"], "10.9.0.1", "10.0.0.1", b"q")
+        assert trip.response == b"fra:q"
+        assert not trip.lost
+        assert trip.served_by == "FRA"
+        assert 10 < trip.rtt_ms < 80
+
+    def test_farther_site_slower(self, network):
+        network.register_host("10.0.0.1", DATACENTERS["FRA"], echo_handler("fra"))
+        network.register_host("10.0.0.2", DATACENTERS["SYD"], echo_handler("syd"))
+        fra = network.round_trip(PROBE_CITIES["AMS"], "c", "10.0.0.1", b"q")
+        syd = network.round_trip(PROBE_CITIES["AMS"], "c", "10.0.0.2", b"q")
+        assert syd.rtt_ms > fra.rtt_ms * 3
+
+    def test_loss(self):
+        network = SimNetwork(
+            latency=LatencyModel(
+                LatencyParameters(loss_rate=1.0), rng=random.Random(1)
+            )
+        )
+        network.register_host("10.0.0.1", DATACENTERS["FRA"], echo_handler("fra"))
+        trip = network.round_trip(PROBE_CITIES["AMS"], "c", "10.0.0.1", b"q")
+        assert trip.lost
+        assert trip.response is None
+        assert trip.rtt_ms is None
+
+    def test_handler_returning_none(self, network):
+        network.register_host(
+            "10.0.0.1", DATACENTERS["FRA"], lambda p, s, t: None
+        )
+        trip = network.round_trip(PROBE_CITIES["AMS"], "c", "10.0.0.1", b"q")
+        assert trip.response is None
+        assert not trip.lost
+
+
+class TestAnycast:
+    def make_group(self, codes, suboptimal_rate=0.0):
+        group = AnycastGroup("192.0.2.53", suboptimal_rate=suboptimal_rate)
+        for code in codes:
+            group.add_site(
+                AnycastSite(code, DATACENTERS[code], echo_handler(code.lower()))
+            )
+        return group
+
+    def test_catchment_nearest_site(self, network):
+        group = self.make_group(["FRA", "SYD", "IAD"])
+        network.register_anycast(group)
+        trip = network.round_trip(PROBE_CITIES["AMS"], "client-1", "192.0.2.53", b"q")
+        assert trip.served_by == "FRA"
+        trip = network.round_trip(PROBE_CITIES["AKL"], "client-1", "192.0.2.53", b"q")
+        assert trip.served_by == "SYD"
+
+    def test_catchment_stable_per_client(self, network):
+        group = self.make_group(["FRA", "SYD", "IAD"], suboptimal_rate=0.5)
+        network.register_anycast(group)
+        sites = {
+            network.round_trip(PROBE_CITIES["AMS"], "client-7", "192.0.2.53", b"q").served_by
+            for _ in range(20)
+        }
+        assert len(sites) == 1
+
+    def test_suboptimal_fraction(self, network):
+        latency = LatencyModel(LatencyParameters(loss_rate=0.0))
+        group = self.make_group(["FRA", "SYD", "IAD"], suboptimal_rate=0.3)
+        suboptimal = 0
+        for i in range(1000):
+            site = group.catchment(PROBE_CITIES["AMS"], f"client-{i}", latency)
+            if site.code != "FRA":
+                suboptimal += 1
+        assert 0.2 < suboptimal / 1000 < 0.4
+
+    def test_zero_suboptimal_always_nearest(self):
+        latency = LatencyModel()
+        group = self.make_group(["FRA", "SYD"])
+        for i in range(100):
+            assert group.catchment(PROBE_CITIES["AMS"], f"c{i}", latency).code == "FRA"
+
+    def test_best_rtt_is_nearest_site(self):
+        latency = LatencyModel()
+        group = self.make_group(["FRA", "SYD"])
+        best = group.best_rtt_ms(PROBE_CITIES["AMS"], latency)
+        assert best == latency.base_rtt_ms(
+            PROBE_CITIES["AMS"].point, DATACENTERS["FRA"].point
+        )
+
+    def test_empty_group_rejected(self):
+        group = AnycastGroup("192.0.2.53")
+        with pytest.raises(ValueError):
+            group.catchment(PROBE_CITIES["AMS"], "c", LatencyModel())
+
+    def test_anycast_unicast_share_namespace(self, network):
+        network.register_host("192.0.2.53", DATACENTERS["FRA"], echo_handler("a"))
+        with pytest.raises(ValueError):
+            network.register_anycast(self.make_group(["SYD"]))
+
+
+class TestAllocators:
+    def test_ipv4_sequential_unique(self):
+        allocator = Ipv4Allocator(["192.0.2.0/29"])
+        addresses = allocator.allocate_many(6)
+        assert len(set(addresses)) == 6
+        assert addresses[0] == "192.0.2.1"
+
+    def test_ipv4_exhaustion(self):
+        allocator = Ipv4Allocator(["192.0.2.0/30"])
+        allocator.allocate_many(2)
+        with pytest.raises(RuntimeError):
+            allocator.allocate()
+
+    def test_ipv4_spills_to_next_network(self):
+        allocator = Ipv4Allocator(["192.0.2.0/30", "198.51.100.0/30"])
+        addresses = allocator.allocate_many(4)
+        assert "198.51.100.1" in addresses
+
+    def test_ipv6_allocator(self):
+        allocator = Ipv6Allocator()
+        one, two = allocator.allocate(), allocator.allocate()
+        assert one != two
+        assert one.startswith("2001:db8:")

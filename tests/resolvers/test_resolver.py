@@ -1,0 +1,229 @@
+"""Integration tests: recursive resolution over the simulated network."""
+
+import random
+
+import pytest
+
+from repro.dns.message import Message
+from repro.dns.name import Name
+from repro.dns.rdata import NS, SOA, TXT, A
+from repro.dns.server import AuthoritativeServer
+from repro.dns.types import Rcode, RRType
+from repro.dns.zone import Zone
+from repro.netsim.geo import DATACENTERS, PROBE_CITIES
+from repro.netsim.latency import LatencyModel, LatencyParameters
+from repro.netsim.network import SimNetwork
+from repro.resolvers.bind import BindSelector
+from repro.resolvers.naive import RandomSelector
+from repro.resolvers.resolver import RecursiveResolver
+
+ORIGIN = Name.from_text("ourtestdomain.nl.")
+
+
+def make_engine(site: str) -> AuthoritativeServer:
+    zone = Zone(ORIGIN)
+    zone.add(
+        ORIGIN,
+        RRType.SOA,
+        SOA(
+            Name.from_text("ns1.ourtestdomain.nl."),
+            Name.from_text("h.ourtestdomain.nl."),
+            1,
+            7200,
+            3600,
+            1209600,
+            60,
+        ),
+    )
+    zone.add(ORIGIN, RRType.NS, NS(Name.from_text("ns1.ourtestdomain.nl.")))
+    zone.add("probe.ourtestdomain.nl.", RRType.TXT, TXT.from_value(f"site-{site}"), ttl=5)
+    zone.add(
+        "*.probe.ourtestdomain.nl.", RRType.TXT, TXT.from_value(f"site-{site}"), ttl=5
+    )
+    return AuthoritativeServer(site, [zone])
+
+
+@pytest.fixture
+def network():
+    return SimNetwork(latency=LatencyModel(LatencyParameters(loss_rate=0.0)))
+
+
+@pytest.fixture
+def deployed(network):
+    engines = {"FRA": make_engine("FRA"), "SYD": make_engine("SYD")}
+    network.register_host("10.0.0.1", DATACENTERS["FRA"], engines["FRA"].handle_wire)
+    network.register_host("10.0.0.2", DATACENTERS["SYD"], engines["SYD"].handle_wire)
+    return engines
+
+
+def make_resolver(network, selector=None, city="AMS"):
+    resolver = RecursiveResolver(
+        "10.9.0.1",
+        PROBE_CITIES[city],
+        network,
+        selector if selector is not None else RandomSelector(rng=random.Random(1)),
+        rng=random.Random(2),
+    )
+    resolver.add_stub_zone(ORIGIN, ["10.0.0.1", "10.0.0.2"])
+    return resolver
+
+
+class TestBasicResolution:
+    def test_resolves_txt(self, network, deployed):
+        resolver = make_resolver(network)
+        result = resolver.resolve("probe.ourtestdomain.nl.", RRType.TXT)
+        assert result.succeeded
+        assert result.txt_value() in ("site-FRA", "site-SYD")
+        assert result.served_by in ("FRA", "SYD")
+        assert result.rtt_ms is not None and result.rtt_ms > 0
+
+    def test_nxdomain(self, network, deployed):
+        resolver = make_resolver(network)
+        result = resolver.resolve("gone.ourtestdomain.nl.", RRType.A)
+        assert result.rcode == Rcode.NXDOMAIN
+        assert not result.succeeded
+
+    def test_no_known_zone_is_servfail(self, network, deployed):
+        resolver = RecursiveResolver(
+            "10.9.0.9",
+            PROBE_CITIES["AMS"],
+            network,
+            RandomSelector(rng=random.Random(1)),
+        )
+        result = resolver.resolve("probe.ourtestdomain.nl.", RRType.TXT)
+        assert result.rcode == Rcode.SERVFAIL
+
+    def test_queries_counted(self, network, deployed):
+        resolver = make_resolver(network)
+        resolver.resolve("probe.ourtestdomain.nl.", RRType.TXT)
+        assert resolver.queries_sent == 1
+
+
+class TestCaching:
+    def test_answer_cached_within_ttl(self, network, deployed):
+        resolver = make_resolver(network)
+        first = resolver.resolve("probe.ourtestdomain.nl.", RRType.TXT)
+        second = resolver.resolve("probe.ourtestdomain.nl.", RRType.TXT)
+        assert not first.from_cache
+        assert second.from_cache
+        assert resolver.queries_sent == 1
+
+    def test_cache_expires_with_ttl(self, network, deployed):
+        resolver = make_resolver(network)
+        resolver.resolve("probe.ourtestdomain.nl.", RRType.TXT)
+        network.clock.advance(6.0)  # TXT TTL is 5 s
+        result = resolver.resolve("probe.ourtestdomain.nl.", RRType.TXT)
+        assert not result.from_cache
+        assert resolver.queries_sent == 2
+
+    def test_unique_labels_bypass_cache(self, network, deployed):
+        # The paper's cache-busting: every query uses a fresh label.
+        resolver = make_resolver(network)
+        for i in range(5):
+            result = resolver.resolve(f"q{i}.probe.ourtestdomain.nl.", RRType.TXT)
+            assert not result.from_cache
+        assert resolver.queries_sent == 5
+
+    def test_negative_cached(self, network, deployed):
+        resolver = make_resolver(network)
+        resolver.resolve("gone.ourtestdomain.nl.", RRType.A)
+        result = resolver.resolve("gone.ourtestdomain.nl.", RRType.A)
+        assert result.from_cache
+        assert result.rcode == Rcode.NXDOMAIN
+
+
+class TestSelectionIntegration:
+    def test_bind_resolver_prefers_nearby(self, network, deployed):
+        resolver = make_resolver(network, BindSelector(rng=random.Random(3)))
+        counts = {"FRA": 0, "SYD": 0}
+        for i in range(30):
+            result = resolver.resolve(f"q{i}.probe.ourtestdomain.nl.", RRType.TXT)
+            counts[result.served_by] += 1
+            network.clock.advance(120.0)
+        assert counts["FRA"] > counts["SYD"] * 2
+
+    def test_served_by_matches_txt(self, network, deployed):
+        resolver = make_resolver(network)
+        for i in range(10):
+            result = resolver.resolve(f"m{i}.probe.ourtestdomain.nl.", RRType.TXT)
+            assert result.txt_value() == f"site-{result.served_by}"
+
+    def test_infra_cache_learns_rtt(self, network, deployed):
+        resolver = make_resolver(network, BindSelector(rng=random.Random(4)))
+        for i in range(10):
+            resolver.resolve(f"r{i}.probe.ourtestdomain.nl.", RRType.TXT)
+        now = network.clock.now
+        fra = resolver.infra_cache.srtt("10.0.0.1", now)
+        assert fra is not None and 10 < fra < 100
+
+
+class TestLossAndRetry:
+    def test_retries_on_loss(self, deployed):
+        lossy = SimNetwork(
+            latency=LatencyModel(
+                LatencyParameters(loss_rate=0.5), rng=random.Random(6)
+            )
+        )
+        engines = {"FRA": make_engine("FRA"), "SYD": make_engine("SYD")}
+        lossy.register_host("10.0.0.1", DATACENTERS["FRA"], engines["FRA"].handle_wire)
+        lossy.register_host("10.0.0.2", DATACENTERS["SYD"], engines["SYD"].handle_wire)
+        resolver = make_resolver(lossy)
+        successes = 0
+        for i in range(20):
+            result = resolver.resolve(f"l{i}.probe.ourtestdomain.nl.", RRType.TXT)
+            successes += result.succeeded
+        # With 3 retries at 50% loss nearly all should succeed.
+        assert successes >= 16
+
+    def test_all_lost_is_servfail(self, deployed):
+        dead = SimNetwork(
+            latency=LatencyModel(LatencyParameters(loss_rate=1.0), rng=random.Random(7))
+        )
+        engines = {"FRA": make_engine("FRA")}
+        dead.register_host("10.0.0.1", DATACENTERS["FRA"], engines["FRA"].handle_wire)
+        resolver = RecursiveResolver(
+            "10.9.0.1",
+            PROBE_CITIES["AMS"],
+            dead,
+            RandomSelector(rng=random.Random(8)),
+        )
+        resolver.add_stub_zone(ORIGIN, ["10.0.0.1"])
+        result = resolver.resolve("probe.ourtestdomain.nl.", RRType.TXT)
+        assert result.rcode == Rcode.SERVFAIL
+        assert all(exchange.lost for exchange in result.exchanges)
+
+
+class TestReferrals:
+    def test_walks_delegation_from_parent(self, network):
+        # Parent zone "nl." delegates ourtestdomain.nl. with glue.
+        parent = Zone("nl.")
+        parent.add(
+            "nl.",
+            RRType.SOA,
+            SOA(Name.from_text("ns1.nl."), Name.from_text("h.nl."), 1, 2, 3, 4, 60),
+        )
+        parent.add("nl.", RRType.NS, NS(Name.from_text("ns1.nl.")))
+        parent.add(
+            "ourtestdomain.nl.", RRType.NS, NS(Name.from_text("ns1.ourtestdomain.nl."))
+        )
+        parent.add("ns1.ourtestdomain.nl.", RRType.A, A("10.0.0.1"))
+        parent_engine = AuthoritativeServer("nl-ns", [parent])
+        network.register_host("10.1.0.1", DATACENTERS["DUB"], parent_engine.handle_wire)
+
+        child_engine = make_engine("FRA")
+        network.register_host(
+            "10.0.0.1", DATACENTERS["FRA"], child_engine.handle_wire
+        )
+
+        resolver = RecursiveResolver(
+            "10.9.0.1",
+            PROBE_CITIES["AMS"],
+            network,
+            RandomSelector(rng=random.Random(9)),
+        )
+        resolver.add_stub_zone("nl.", ["10.1.0.1"])
+        result = resolver.resolve("probe.ourtestdomain.nl.", RRType.TXT)
+        assert result.succeeded
+        assert result.txt_value() == "site-FRA"
+        # Two exchanges: referral from the parent, answer from the child.
+        assert len(result.exchanges) == 2

@@ -1,0 +1,102 @@
+"""Tests for the record (answer) cache."""
+
+from repro.dns.name import Name
+from repro.dns.rdata import TXT, A
+from repro.dns.records import ResourceRecord
+from repro.dns.types import RRClass, RRType
+from repro.resolvers.rrcache import RecordCache
+
+NAME = Name.from_text("probe.ourtestdomain.nl.")
+
+
+def record(ttl=5, value="x"):
+    return ResourceRecord(NAME, RRType.TXT, RRClass.IN, ttl, TXT.from_value(value))
+
+
+class TestPositive:
+    def test_put_get(self):
+        cache = RecordCache()
+        cache.put(NAME, RRType.TXT, [record()], now=0.0)
+        entry = cache.get(NAME, RRType.TXT, now=1.0)
+        assert entry is not None
+        assert entry.records[0].rdata.value == "x"
+
+    def test_expires_at_min_ttl(self):
+        cache = RecordCache()
+        cache.put(NAME, RRType.TXT, [record(ttl=5), record(ttl=300, value="y")], now=0.0)
+        assert cache.get(NAME, RRType.TXT, now=4.9) is not None
+        assert cache.get(NAME, RRType.TXT, now=5.0) is None
+
+    def test_miss_counts(self):
+        cache = RecordCache()
+        cache.get(NAME, RRType.TXT, now=0.0)
+        cache.put(NAME, RRType.TXT, [record()], now=0.0)
+        cache.get(NAME, RRType.TXT, now=0.1)
+        assert cache.misses == 1
+        assert cache.hits == 1
+
+    def test_type_isolation(self):
+        cache = RecordCache()
+        cache.put(NAME, RRType.TXT, [record()], now=0.0)
+        assert cache.get(NAME, RRType.A, now=0.0) is None
+
+    def test_empty_put_ignored(self):
+        cache = RecordCache()
+        cache.put(NAME, RRType.TXT, [], now=0.0)
+        assert len(cache) == 0
+
+
+class TestNegative:
+    def test_negative_roundtrip(self):
+        cache = RecordCache()
+        cache.put_negative(NAME, RRType.TXT, nxdomain=True, ttl=30, now=0.0)
+        entry = cache.get_negative(NAME, RRType.TXT, now=29.0)
+        assert entry is not None and entry.nxdomain
+
+    def test_negative_expiry(self):
+        cache = RecordCache()
+        cache.put_negative(NAME, RRType.TXT, nxdomain=False, ttl=30, now=0.0)
+        assert cache.get_negative(NAME, RRType.TXT, now=30.0) is None
+
+    def test_positive_overwrites_negative(self):
+        cache = RecordCache()
+        cache.put_negative(NAME, RRType.TXT, nxdomain=True, ttl=300, now=0.0)
+        cache.put(NAME, RRType.TXT, [record()], now=1.0)
+        assert cache.get_negative(NAME, RRType.TXT, now=2.0) is None
+        assert cache.get(NAME, RRType.TXT, now=2.0) is not None
+
+
+class TestEviction:
+    def test_capacity_bounded(self):
+        cache = RecordCache(max_entries=10)
+        for i in range(25):
+            name = Name.from_text(f"q{i}.ourtestdomain.nl.")
+            cache.put(name, RRType.TXT, [
+                ResourceRecord(name, RRType.TXT, RRClass.IN, 300, TXT.from_value("v"))
+            ], now=float(i))
+        assert len(cache) <= 10
+
+    def test_expired_evicted_first(self):
+        cache = RecordCache(max_entries=2)
+        short = Name.from_text("short.nl.")
+        cache.put(short, RRType.TXT, [
+            ResourceRecord(short, RRType.TXT, RRClass.IN, 1, TXT.from_value("s"))
+        ], now=0.0)
+        longer = Name.from_text("long.nl.")
+        cache.put(longer, RRType.TXT, [
+            ResourceRecord(longer, RRType.TXT, RRClass.IN, 300, TXT.from_value("l"))
+        ], now=0.0)
+        third = Name.from_text("third.nl.")
+        cache.put(third, RRType.TXT, [
+            ResourceRecord(third, RRType.TXT, RRClass.IN, 300, TXT.from_value("t"))
+        ], now=10.0)
+        assert cache.get(longer, RRType.TXT, now=10.0) is not None
+        assert cache.get(third, RRType.TXT, now=10.0) is not None
+
+    def test_flush(self):
+        cache = RecordCache()
+        cache.put(NAME, RRType.TXT, [record()], now=0.0)
+        cache.put_negative(NAME, RRType.A, True, 30, now=0.0)
+        cache.flush()
+        assert len(cache) == 0
+        assert cache.get_negative(NAME, RRType.A, now=0.0) is None

@@ -1,0 +1,113 @@
+"""Property-based tests: invariants every selector must uphold."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.resolvers.infracache import InfrastructureCache
+from repro.resolvers.population import SELECTOR_CLASSES
+
+addresses_strategy = st.lists(
+    st.from_regex(r"10\.\d{1,2}\.\d{1,2}\.\d{1,2}", fullmatch=True),
+    min_size=1,
+    max_size=6,
+    unique=True,
+)
+selector_name = st.sampled_from(sorted(SELECTOR_CLASSES))
+
+
+def make_selector(name, seed):
+    return SELECTOR_CLASSES[name](rng=random.Random(seed))
+
+
+class TestSelectorInvariants:
+    @settings(max_examples=100, deadline=None)
+    @given(selector_name, addresses_strategy, st.integers(0, 2**31))
+    def test_select_returns_member(self, name, addresses, seed):
+        selector = make_selector(name, seed)
+        cache = InfrastructureCache()
+        for tick in range(10):
+            choice = selector.select(addresses, cache, float(tick))
+            assert choice in addresses
+            selector.on_response(choice, 50.0, addresses, cache, float(tick))
+
+    @settings(max_examples=60, deadline=None)
+    @given(selector_name, addresses_strategy, st.integers(0, 2**31))
+    def test_survives_interleaved_timeouts(self, name, addresses, seed):
+        selector = make_selector(name, seed)
+        cache = InfrastructureCache()
+        rng = random.Random(seed ^ 0xBEEF)
+        for tick in range(20):
+            choice = selector.select(addresses, cache, float(tick))
+            assert choice in addresses
+            if rng.random() < 0.5:
+                selector.on_timeout(choice, addresses, cache, float(tick))
+            else:
+                selector.on_response(
+                    choice, rng.uniform(5.0, 400.0), addresses, cache, float(tick)
+                )
+
+    @settings(max_examples=60, deadline=None)
+    @given(selector_name, st.integers(0, 2**31))
+    def test_single_server_always_chosen(self, name, seed):
+        selector = make_selector(name, seed)
+        cache = InfrastructureCache()
+        for tick in range(5):
+            assert selector.select(["10.0.0.1"], cache, float(tick)) == "10.0.0.1"
+            selector.on_timeout("10.0.0.1", ["10.0.0.1"], cache, float(tick))
+
+    @settings(max_examples=40, deadline=None)
+    @given(selector_name, addresses_strategy, st.integers(0, 2**31))
+    def test_deterministic_given_seed(self, name, addresses, seed):
+        def run():
+            selector = make_selector(name, seed)
+            cache = InfrastructureCache()
+            choices = []
+            for tick in range(15):
+                choice = selector.select(addresses, cache, float(tick))
+                choices.append(choice)
+                selector.on_response(choice, 80.0, addresses, cache, float(tick))
+            return choices
+
+        assert run() == run()
+
+    @settings(max_examples=40, deadline=None)
+    @given(selector_name, addresses_strategy, st.integers(0, 2**31))
+    def test_reset_is_safe_anytime(self, name, addresses, seed):
+        selector = make_selector(name, seed)
+        cache = InfrastructureCache()
+        selector.select(addresses, cache, 0.0)
+        selector.reset()
+        assert selector.select(addresses, cache, 1.0) in addresses
+
+
+class TestInfraCacheProperties:
+    @settings(max_examples=80, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.floats(1.0, 1000.0), st.floats(0.0, 5000.0)),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    def test_srtt_stays_within_sample_bounds(self, samples):
+        # EWMA of positive samples stays within [min, max] of samples.
+        cache = InfrastructureCache(ttl_s=1e9)
+        values = []
+        for rtt, now in samples:
+            cache.observe_rtt("10.0.0.1", rtt, now=sorted(s[1] for s in samples)[0])
+            values.append(rtt)
+        srtt = cache.stale_entry("10.0.0.1", 0.0).srtt_ms
+        assert min(values) - 1e-6 <= srtt <= max(values) + 1e-6
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.floats(1.0, 1000.0), st.integers(1, 20))
+    def test_decay_monotone(self, initial, decays):
+        cache = InfrastructureCache(ttl_s=1e9)
+        cache.observe_rtt("10.0.0.1", initial, now=0.0)
+        previous = initial
+        for _ in range(decays):
+            cache.decay("10.0.0.1", now=0.0)
+            current = cache.srtt("10.0.0.1", 0.0)
+            assert current <= previous
+            previous = current

@@ -1,0 +1,97 @@
+"""End-to-end CLI tests over real sockets: serve + dig."""
+
+import threading
+import time
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def zone_file(tmp_path):
+    path = tmp_path / "test.zone"
+    path.write_text(
+        "$TTL 3600\n"
+        "@    IN SOA ns1 hostmaster ( 1 7200 3600 1209600 300 )\n"
+        "@    IN NS  ns1\n"
+        "ns1  IN A   192.0.2.1\n"
+        't    IN TXT "from the cli"\n'
+    )
+    return path
+
+
+class TestServeAndDig:
+    def test_serve_then_dig(self, zone_file, capsys):
+        port = 15656
+        server = threading.Thread(
+            target=main,
+            args=(
+                [
+                    "serve", "--zone", str(zone_file), "--origin", "example.test.",
+                    "--port", str(port), "--max-queries", "1",
+                ],
+            ),
+            daemon=True,
+        )
+        server.start()
+        time.sleep(0.7)
+        code = main(
+            ["dig", "127.0.0.1", "t.example.test.", "TXT", "-p", str(port)]
+        )
+        server.join(timeout=5.0)
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "from the cli" in out
+        assert "NOERROR" in out
+
+    def test_dig_tcp(self, zone_file, capsys):
+        port = 15657
+        server = threading.Thread(
+            target=main,
+            args=(
+                [
+                    "serve", "--zone", str(zone_file), "--origin", "example.test.",
+                    "--port", str(port), "--max-queries", "1",
+                ],
+            ),
+            daemon=True,
+        )
+        server.start()
+        time.sleep(0.7)
+        code = main(
+            ["dig", "127.0.0.1", "t.example.test.", "TXT", "-p", str(port), "--tcp"]
+        )
+        server.join(timeout=5.0)
+        assert code == 0
+        assert "from the cli" in capsys.readouterr().out
+
+    def test_dig_nxdomain_exit_code(self, zone_file, capsys):
+        port = 15658
+        server = threading.Thread(
+            target=main,
+            args=(
+                [
+                    "serve", "--zone", str(zone_file), "--origin", "example.test.",
+                    "--port", str(port), "--max-queries", "1",
+                ],
+            ),
+            daemon=True,
+        )
+        server.start()
+        time.sleep(0.7)
+        code = main(
+            ["dig", "127.0.0.1", "gone.example.test.", "A", "-p", str(port)]
+        )
+        server.join(timeout=5.0)
+        assert code == 1
+        assert "NXDOMAIN" in capsys.readouterr().out
+
+    def test_serve_rejects_invalid_zone(self, tmp_path, capsys):
+        bad = tmp_path / "bad.zone"
+        bad.write_text("$TTL 60\n@ IN A 192.0.2.1\n")  # no SOA/NS
+        with pytest.raises(Exception):
+            main(
+                ["serve", "--zone", str(bad), "--origin", "example.test.",
+                 "--port", "15659", "--max-queries", "1"]
+            )
