@@ -4,9 +4,19 @@ Experiment runs are expensive relative to the analyses, so one
 session-scoped cache hands the same :class:`ExperimentResult` to every
 benchmark that asks for a given (combination, interval) pair.  All runs
 are seeded: the printed tables are reproducible across invocations.
+
+Every cached run carries its wall-clock phase profile
+(:attr:`ExperimentResult.profile`); at session end the harness writes
+them all to a machine-readable JSON sidecar so performance changes can
+be compared commit-to-commit.  Set ``REPRO_BENCH_SIDECAR`` to choose the
+path (default ``benchmarks/.bench_profile.json``; set it empty to skip).
 """
 
 from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
 
 import pytest
 
@@ -16,6 +26,8 @@ from repro.core.experiment import ExperimentResult, run_combination
 #: harness fast; the statistics are stable at this size.
 BENCH_PROBES = 300
 BENCH_SEED = 20170412  # the DITL capture date
+
+DEFAULT_SIDECAR = Path(__file__).with_name(".bench_profile.json")
 
 
 class RunCache:
@@ -36,7 +48,31 @@ class RunCache:
             )
         return self._runs[key]
 
+    def profiles(self) -> dict[str, dict]:
+        """Phase profiles of every run this session, keyed for the sidecar."""
+        return {
+            f"{combo_id}@{interval_s:g}s": result.profile
+            for (combo_id, interval_s), result in sorted(self._runs.items())
+        }
+
+
+def _sidecar_path() -> Path | None:
+    configured = os.environ.get("REPRO_BENCH_SIDECAR")
+    if configured is None:
+        return DEFAULT_SIDECAR
+    return Path(configured) if configured else None
+
 
 @pytest.fixture(scope="session")
-def run_cache() -> RunCache:
-    return RunCache()
+def run_cache():
+    cache = RunCache()
+    yield cache
+    path = _sidecar_path()
+    if path is None or not cache._runs:
+        return
+    sidecar = {
+        "probes": BENCH_PROBES,
+        "seed": BENCH_SEED,
+        "runs": cache.profiles(),
+    }
+    path.write_text(json.dumps(sidecar, indent=2, sort_keys=True) + "\n")

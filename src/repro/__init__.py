@@ -18,11 +18,13 @@ Subpackages
     deployment planner.
 ``repro.analysis``
     One analysis per figure/table of the paper.
+``repro.telemetry``
+    Metrics registry, query-lifecycle tracing, and run profiling.
 """
 
 __version__ = "1.0.0"
 
-from . import analysis, atlas, core, dns, netsim, passive, resolvers
+from . import analysis, atlas, core, dns, netsim, passive, resolvers, telemetry
 
 __all__ = [
     "analysis",
@@ -32,5 +34,6 @@ __all__ = [
     "netsim",
     "passive",
     "resolvers",
+    "telemetry",
     "__version__",
 ]

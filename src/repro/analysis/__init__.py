@@ -63,6 +63,7 @@ from .validation import (
     client_side_shares,
     compare_views,
     server_side_shares,
+    server_side_shares_from_trace,
 )
 
 __all__ = [
@@ -102,6 +103,7 @@ __all__ = [
     "export_table2",
     "export_vp_preferences",
     "server_side_shares",
+    "server_side_shares_from_trace",
     "analyze_preference",
     "analyze_probe_all",
     "analyze_query_share",

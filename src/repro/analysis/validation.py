@@ -35,7 +35,10 @@ def server_side_shares(
     """Per recursive address: site shares, from the authoritative logs.
 
     The server only sees the recursive's address and the site that
-    logged the query — the paper's passive vantage.
+    logged the query — the paper's passive vantage.  Note the query log
+    is a bounded ring buffer: on very long runs prefer the telemetry
+    trace vantage (:func:`server_side_shares_from_trace`), which does
+    not depend on log retention.
     """
     counts: dict[str, dict[str, int]] = {}
     for deployed in deployment.deployed:
@@ -45,6 +48,34 @@ def server_side_shares(
                 recursive = entry.client
                 per_site = counts.setdefault(recursive, {})
                 per_site[site] = per_site.get(site, 0) + 1
+    return _normalize(counts, min_queries)
+
+
+def server_side_shares_from_trace(
+    tracer, min_queries: int = 5
+) -> dict[str, dict[str, float]]:
+    """Per recursive address: site shares, from query-lifecycle traces.
+
+    The telemetry tracer's ``auth.query`` spans carry exactly what a
+    server-side capture records — which recursive asked which site — so
+    this is the trace-native replacement for scraping ``query_log``.
+    ``tracer`` is a :class:`repro.telemetry.Tracer` (or any iterable of
+    root spans).
+    """
+    roots = tracer.traces() if hasattr(tracer, "traces") else tracer
+    counts: dict[str, dict[str, int]] = {}
+    for root in roots:
+        for span in root.walk():
+            if span.name != "auth.query":
+                continue
+            recursive = str(span.attributes.get("client", ""))
+            server = str(span.attributes.get("server", ""))
+            if not recursive or not server:
+                continue
+            # marker convention: "<ns>-<SITE>" identifies the instance
+            site = server.rsplit("-", 1)[-1]
+            per_site = counts.setdefault(recursive, {})
+            per_site[site] = per_site.get(site, 0) + 1
     return _normalize(counts, min_queries)
 
 
@@ -78,12 +109,23 @@ class ViewComparison:
 
 def compare_views(
     observations: list[QueryObservation],
-    deployment: Deployment,
+    deployment: Deployment | None = None,
     min_queries: int = 5,
+    tracer=None,
 ) -> ViewComparison:
-    """Compare the two vantages, as the paper does for Figure 4."""
+    """Compare the two vantages, as the paper does for Figure 4.
+
+    The server-side vantage comes from the telemetry ``tracer`` when
+    one is given (the preferred capture mechanism), otherwise from the
+    deployment's authoritative query logs.
+    """
     client = client_side_shares(observations, min_queries)
-    server = server_side_shares(deployment, min_queries)
+    if tracer is not None:
+        server = server_side_shares_from_trace(tracer, min_queries)
+    elif deployment is not None:
+        server = server_side_shares(deployment, min_queries)
+    else:
+        raise ValueError("compare_views needs a deployment or a tracer")
     common = sorted(set(client) & set(server))
     divergences = []
     for recursive in common:

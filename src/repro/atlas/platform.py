@@ -19,6 +19,7 @@ from ..netsim.geo import Continent, cities_by_continent
 from ..netsim.network import SimNetwork
 from ..resolvers.population import ResolverPopulation
 from ..resolvers.resolver import RecursiveResolver
+from ..telemetry import NULL_TELEMETRY
 from .probes import Probe
 
 
@@ -88,10 +89,14 @@ class AtlasPlatform:
         resolver_sharing_share: float = 0.25,
         public_services: list | None = None,
         public_resolver_share: float = 0.0,
+        telemetry=None,
     ):
         self.network = network
         self.probes = probes
         self.population = population
+        if telemetry is None:
+            telemetry = getattr(network, "telemetry", None)
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self.rng = rng if rng is not None else random.Random(0)
         self.second_resolver_share = second_resolver_share
         self.remote_resolver_share = remote_resolver_share
@@ -175,6 +180,52 @@ class AtlasPlatform:
 
     # -- measurement ------------------------------------------------------------
 
+    def _observe(
+        self, run: MeasurementRun, vp: VantagePoint, qname: str, now: float
+    ) -> QueryObservation:
+        """Fire one measurement query and record the observation."""
+        result = vp.resolver.resolve(qname, RRType.TXT)
+        site = ""
+        if result.succeeded:
+            marker = result.txt_value() or ""
+            site = marker.rsplit("-", 1)[-1] if marker else ""
+        obs = QueryObservation(
+            vp_id=vp.vp_id,
+            probe_id=vp.probe.probe_id,
+            recursive_address=vp.resolver.address,
+            impl_name=vp.impl_name,
+            continent=vp.continent,
+            timestamp=now,
+            qname=qname,
+            site=site,
+            authoritative=result.final_address,
+            rtt_ms=result.rtt_ms,
+            attempts=len(result.exchanges),
+            succeeded=result.succeeded,
+        )
+        run.observations.append(obs)
+        telemetry = self.telemetry
+        if telemetry.enabled:
+            registry = telemetry.registry
+            registry.counter(
+                "measurement_queries_total",
+                "measured queries, by answering NS address and site",
+                ("ns", "site"),
+            ).labels(ns=result.final_address or "none", site=site or "none").inc()
+            if result.rtt_ms is not None:
+                registry.histogram(
+                    "measurement_rtt_ms",
+                    "RTT of the final answering exchange (ms)",
+                    ("site",),
+                ).labels(site=site or "none").observe(result.rtt_ms)
+            if not result.succeeded:
+                registry.counter(
+                    "measurement_failures_total",
+                    "measurements with no successful answer",
+                ).inc()
+            telemetry.profiler.count("observations")
+        return obs
+
     def measure(
         self,
         domain: str,
@@ -191,32 +242,13 @@ class AtlasPlatform:
             self.build_vantage_points()
         run = MeasurementRun(domain, interval_s, duration_s)
         ticks = int(duration_s // interval_s)
-        for tick in range(ticks):
-            now = self.network.clock.now
-            for vp in self.vantage_points:
-                qname = f"{label_prefix}-{vp.vp_id}-{tick}.probe.{domain}"
-                result = vp.resolver.resolve(qname, RRType.TXT)
-                site = ""
-                if result.succeeded:
-                    marker = result.txt_value() or ""
-                    site = marker.rsplit("-", 1)[-1] if marker else ""
-                run.observations.append(
-                    QueryObservation(
-                        vp_id=vp.vp_id,
-                        probe_id=vp.probe.probe_id,
-                        recursive_address=vp.resolver.address,
-                        impl_name=vp.impl_name,
-                        continent=vp.continent,
-                        timestamp=now,
-                        qname=qname,
-                        site=site,
-                        authoritative=result.final_address,
-                        rtt_ms=result.rtt_ms,
-                        attempts=len(result.exchanges),
-                        succeeded=result.succeeded,
-                    )
-                )
-            self.network.clock.advance(interval_s)
+        with self.telemetry.profiler.phase("platform.measure"):
+            for tick in range(ticks):
+                now = self.network.clock.now
+                for vp in self.vantage_points:
+                    qname = f"{label_prefix}-{vp.vp_id}-{tick}.probe.{domain}"
+                    self._observe(run, vp, qname, now)
+                self.network.clock.advance(interval_s)
         return run
 
     def measure_event_driven(
@@ -236,33 +268,15 @@ class AtlasPlatform:
         if not self.vantage_points:
             self.build_vantage_points()
         run = MeasurementRun(domain, interval_s, duration_s)
-        scheduler = EventScheduler(clock=self.network.clock)
+        scheduler = EventScheduler(
+            clock=self.network.clock, telemetry=self.telemetry
+        )
         epoch = self.network.clock.now
 
         def fire(vp: VantagePoint, tick: int) -> None:
             now = self.network.clock.now
             qname = f"{label_prefix}-{vp.vp_id}-{tick}.probe.{domain}"
-            result = vp.resolver.resolve(qname, RRType.TXT)
-            site = ""
-            if result.succeeded:
-                marker = result.txt_value() or ""
-                site = marker.rsplit("-", 1)[-1] if marker else ""
-            run.observations.append(
-                QueryObservation(
-                    vp_id=vp.vp_id,
-                    probe_id=vp.probe.probe_id,
-                    recursive_address=vp.resolver.address,
-                    impl_name=vp.impl_name,
-                    continent=vp.continent,
-                    timestamp=now,
-                    qname=qname,
-                    site=site,
-                    authoritative=result.final_address,
-                    rtt_ms=result.rtt_ms,
-                    attempts=len(result.exchanges),
-                    succeeded=result.succeeded,
-                )
-            )
+            self._observe(run, vp, qname, now)
             next_at = now + interval_s
             if next_at - epoch < duration_s:
                 scheduler.schedule_at(next_at, lambda: fire(vp, tick + 1))
@@ -272,5 +286,6 @@ class AtlasPlatform:
             scheduler.schedule_at(
                 epoch + phase, lambda vp=vp: fire(vp, 0)
             )
-        scheduler.run_until(epoch + duration_s)
+        with self.telemetry.profiler.phase("platform.measure"):
+            scheduler.run_until(epoch + duration_s)
         return run

@@ -5,6 +5,8 @@ Usage (also available as ``python -m repro``):
     repro-dns combos
     repro-dns run --combo 2C --probes 300 --out run.jsonl
     repro-dns analyze --run run.jsonl --sites FRA SYD
+    repro-dns metrics --combo 2C --probes 100
+    repro-dns trace --combo 2C --count 2
     repro-dns sweep --probes 150
     repro-dns passive --kind root --recursives 250 --out trace.jsonl
     repro-dns plan --clients 500 --sites FRA IAD SYD GRU --home FRA
@@ -112,6 +114,80 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     print(f"{len(run.observations)} observations, {run.vp_count} VPs, domain {run.domain}")
     ticks = int(run.duration_s // run.interval_s) if run.interval_s else 30
     _print_analyses(run.observations, sites, args.combo, ticks)
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    """Run a combination with telemetry and dump the metrics registry."""
+    from .telemetry import Telemetry
+
+    telemetry = Telemetry.enabled_bundle(tracing=False)
+    config = ExperimentConfig.for_combination(
+        args.combo,
+        num_probes=args.probes,
+        interval_s=args.interval * 60.0,
+        duration_s=args.duration * 60.0,
+        seed=args.seed,
+    )
+    print(
+        f"running {args.combo} with telemetry: {args.probes} probes, "
+        f"every {args.interval:g} min for {args.duration:g} min",
+        file=sys.stderr,
+    )
+    result = TestbedExperiment(config, telemetry=telemetry).run()
+    print(
+        f"{len(result.observations)} observations from {result.run.vp_count} VPs",
+        file=sys.stderr,
+    )
+    text = (
+        telemetry.registry.to_json(indent=2)
+        if args.format == "json"
+        else telemetry.registry.to_prometheus_text()
+    )
+    if args.out:
+        from pathlib import Path
+
+        Path(args.out).write_text(text if text.endswith("\n") else text + "\n")
+        print(f"wrote metrics to {args.out}", file=sys.stderr)
+    else:
+        print(text, end="" if text.endswith("\n") else "\n")
+    if args.profile:
+        print(file=sys.stderr)
+        print(telemetry.profiler.render(), file=sys.stderr)
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Trace cache-busting queries through resolver, network, and NS."""
+    from .telemetry import Telemetry, render_trace
+
+    telemetry = Telemetry.enabled_bundle()
+    config = ExperimentConfig.for_combination(
+        args.combo,
+        num_probes=args.probes,
+        interval_s=120.0,
+        duration_s=args.ticks * 120.0,
+        seed=args.seed,
+    )
+    TestbedExperiment(config, telemetry=telemetry).run()
+    printed = 0
+    for root in telemetry.tracer.traces():
+        if root.name != "resolver.resolve":
+            continue
+        if args.cache_misses_only and root.attributes.get("cache") != "miss":
+            continue
+        print(render_trace(root))
+        print()
+        printed += 1
+        if printed >= args.count:
+            break
+    if printed == 0:
+        print("no matching traces captured", file=sys.stderr)
+        return 1
+    print(
+        f"{printed} of {len(telemetry.tracer.traces())} captured traces shown",
+        file=sys.stderr,
+    )
     return 0
 
 
@@ -340,6 +416,39 @@ def build_parser() -> argparse.ArgumentParser:
     analyze_parser.add_argument("--sites", nargs="+", required=True)
     analyze_parser.add_argument("--combo", default="?", help="label for the tables")
     analyze_parser.set_defaults(func=_cmd_analyze)
+
+    metrics_parser = sub.add_parser(
+        "metrics", help="run with telemetry and dump the metrics registry"
+    )
+    metrics_parser.add_argument("--combo", default="2C", choices=sorted(COMBINATIONS))
+    metrics_parser.add_argument("--probes", type=int, default=100)
+    metrics_parser.add_argument("--interval", type=float, default=2.0, help="minutes")
+    metrics_parser.add_argument("--duration", type=float, default=30.0, help="minutes")
+    metrics_parser.add_argument("--seed", type=int, default=0)
+    metrics_parser.add_argument(
+        "--format", choices=("prom", "json"), default="prom",
+        help="Prometheus text (default) or JSON sidecar",
+    )
+    metrics_parser.add_argument("--out", help="write the dump to a file")
+    metrics_parser.add_argument(
+        "--profile", action="store_true",
+        help="also print the simulator's wall-clock phase profile",
+    )
+    metrics_parser.set_defaults(func=_cmd_metrics)
+
+    trace_parser = sub.add_parser(
+        "trace", help="print query-lifecycle traces from a small telemetry run"
+    )
+    trace_parser.add_argument("--combo", default="2C", choices=sorted(COMBINATIONS))
+    trace_parser.add_argument("--probes", type=int, default=5)
+    trace_parser.add_argument("--ticks", type=int, default=1, help="measurement rounds")
+    trace_parser.add_argument("--seed", type=int, default=0)
+    trace_parser.add_argument("--count", type=int, default=1, help="traces to print")
+    trace_parser.add_argument(
+        "--all", dest="cache_misses_only", action="store_false",
+        help="include cache hits (default: cache-busting misses only)",
+    )
+    trace_parser.set_defaults(func=_cmd_trace)
 
     sweep_parser = sub.add_parser("sweep", help="Figure 6 interval sweep (2C)")
     sweep_parser.add_argument("--probes", type=int, default=150)

@@ -19,6 +19,7 @@ from ..dns.zone import Zone
 from ..netsim.anycast import AnycastGroup, AnycastSite
 from ..netsim.geo import DATACENTERS, Location
 from ..netsim.network import SimNetwork
+from ..telemetry import NULL_TELEMETRY
 
 PROBE_LABEL = "probe"
 TXT_TTL = 5  # the paper's cache-defeating TTL
@@ -85,7 +86,9 @@ def build_zone(domain: Name, ns_names: list[Name], marker: str) -> Zone:
 class Deployment:
     """A set of authoritatives for one test domain, deployable on a network."""
 
-    def __init__(self, domain: str, specs: list[AuthoritativeSpec]):
+    def __init__(
+        self, domain: str, specs: list[AuthoritativeSpec], telemetry=None
+    ):
         if not specs:
             raise ValueError("a deployment needs at least one authoritative")
         names = [spec.name for spec in specs]
@@ -93,6 +96,7 @@ class Deployment:
             raise ValueError("authoritative names must be unique")
         self.domain = Name.from_text(domain)
         self.specs = list(specs)
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self.deployed: list[DeployedAuthoritative] = []
 
     @classmethod
@@ -117,6 +121,10 @@ class Deployment:
         an IPv6 prefix (e.g. ``"2001:db8:53"``) as ``base_address`` for
         the paper's IPv6-only deployment variant (§3.1).
         """
+        if self.telemetry is NULL_TELEMETRY:
+            # Inherit the network's bundle: wiring telemetry into the
+            # shared SimNetwork instruments the engines deployed on it.
+            self.telemetry = getattr(network, "telemetry", NULL_TELEMETRY)
         addresses = []
         ns_names = self.ns_names
         ipv6 = ":" in base_address
@@ -149,7 +157,7 @@ class Deployment:
     ) -> AuthoritativeServer:
         marker = f"{spec.name}-{code}"
         zone = build_zone(self.domain, ns_names, marker)
-        return AuthoritativeServer(marker, [zone])
+        return AuthoritativeServer(marker, [zone], telemetry=self.telemetry)
 
     # -- post-run accessors ---------------------------------------------------
 

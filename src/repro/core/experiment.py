@@ -16,6 +16,7 @@ from ..atlas.probes import ProbeGenerator
 from ..netsim.latency import LatencyModel, LatencyParameters
 from ..netsim.network import SimNetwork
 from ..resolvers.population import ResolverPopulation
+from ..telemetry import NULL_TELEMETRY, RunProfiler
 from .combinations import COMBINATIONS
 from .deployment import AuthoritativeSpec, Deployment
 
@@ -59,6 +60,10 @@ class ExperimentResult:
     site_of_address: dict[str, str]
     server_query_counts: dict[str, int]
     deployment: Deployment
+    #: the run's telemetry bundle (NULL_TELEMETRY when not requested)
+    telemetry: object = NULL_TELEMETRY
+    #: wall-clock phase profile of the simulator itself
+    profile: dict = field(default_factory=dict)
 
     @property
     def observations(self):
@@ -70,15 +75,26 @@ class TestbedExperiment:
 
     __test__ = False  # not a pytest class, despite the name
 
-    def __init__(self, config: ExperimentConfig):
+    def __init__(self, config: ExperimentConfig, telemetry=None):
         self.config = config
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        # Phase timings are always collected: a handful of perf_counter
+        # calls per run, and the sidecar benchmarks consume them.
+        self.profiler = (
+            self.telemetry.profiler
+            if self.telemetry.profiler.enabled
+            else RunProfiler()
+        )
         root = random.Random(config.seed)
         self.network = SimNetwork(
             latency=LatencyModel(
                 config.latency_params, rng=random.Random(root.randrange(2**63))
-            )
+            ),
+            telemetry=self.telemetry,
         )
-        self.deployment = Deployment(config.domain, config.authoritatives)
+        self.deployment = Deployment(
+            config.domain, config.authoritatives, telemetry=self.telemetry
+        )
         self.population = ResolverPopulation(
             config.resolver_mix, rng=random.Random(root.randrange(2**63))
         )
@@ -86,21 +102,35 @@ class TestbedExperiment:
         self.platform_rng = random.Random(root.randrange(2**63))
 
     def run(self) -> ExperimentResult:
+        profiler = self.profiler
         base = "2001:db8:53" if self.config.ipv6 else "10.0"
-        addresses = self.deployment.deploy(self.network, base_address=base)
-        probes = ProbeGenerator(rng=self.probe_rng).generate(self.config.num_probes)
-        if self.config.ipv6:
-            probes = [probe for probe in probes if probe.ipv6_capable]
+        with profiler.phase("experiment.deploy"):
+            addresses = self.deployment.deploy(self.network, base_address=base)
+        with profiler.phase("experiment.probes"):
+            probes = ProbeGenerator(rng=self.probe_rng).generate(
+                self.config.num_probes
+            )
+            if self.config.ipv6:
+                probes = [probe for probe in probes if probe.ipv6_capable]
         platform = AtlasPlatform(
-            self.network, probes, self.population, rng=self.platform_rng
+            self.network, probes, self.population, rng=self.platform_rng,
+            telemetry=self.telemetry,
         )
-        platform.build_vantage_points()
-        platform.configure_zone(self.config.domain, addresses)
-        run = platform.measure(
-            self.config.domain.rstrip("."),
-            interval_s=self.config.interval_s,
-            duration_s=self.config.duration_s,
-        )
+        with profiler.phase("experiment.build_vps"):
+            platform.build_vantage_points()
+            platform.configure_zone(self.config.domain, addresses)
+        with profiler.phase("experiment.measure"):
+            run = platform.measure(
+                self.config.domain.rstrip("."),
+                interval_s=self.config.interval_s,
+                duration_s=self.config.duration_s,
+            )
+        profiler.record("config.combo_sites", [
+            list(spec.sites) for spec in self.config.authoritatives
+        ])
+        profiler.record("config.num_probes", self.config.num_probes)
+        profiler.record("config.seed", self.config.seed)
+        profiler.count("experiment.runs")
         return ExperimentResult(
             config=self.config,
             run=run,
@@ -108,10 +138,14 @@ class TestbedExperiment:
             site_of_address=self.deployment.site_of_address(),
             server_query_counts=self.deployment.server_query_counts(),
             deployment=self.deployment,
+            telemetry=self.telemetry,
+            profile=profiler.as_dict(),
         )
 
 
-def run_combination(combo_id: str, **overrides) -> ExperimentResult:
+def run_combination(
+    combo_id: str, telemetry=None, **overrides
+) -> ExperimentResult:
     """Convenience: run one Table 1 combination end to end."""
     config = ExperimentConfig.for_combination(combo_id, **overrides)
-    return TestbedExperiment(config).run()
+    return TestbedExperiment(config, telemetry=telemetry).run()

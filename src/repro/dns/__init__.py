@@ -32,7 +32,13 @@ from .axfr import (
 )
 from .rdata import CAA, OPT
 from .rrl import ResponseRateLimiter, RrlAction
-from .server import AuthoritativeServer, QueryLogEntry, ServerStats
+from .server import (
+    DEFAULT_QUERY_LOG_MAX,
+    AuthoritativeServer,
+    BoundedQueryLog,
+    QueryLogEntry,
+    ServerStats,
+)
 from .tcp import (
     TcpAuthoritativeServer,
     query_tcp,
@@ -53,7 +59,9 @@ __all__ = [
     "A",
     "AAAA",
     "AuthoritativeServer",
+    "BoundedQueryLog",
     "CAA",
+    "DEFAULT_QUERY_LOG_MAX",
     "CNAME",
     "DnsError",
     "GenericRdata",

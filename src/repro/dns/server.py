@@ -8,9 +8,11 @@ which plays the role of the paper's server-side packet captures.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Iterable
+from typing import Iterable, Iterator
 
+from ..telemetry import NULL_TELEMETRY
 from .message import Message, Question
 from .name import Name
 from .rdata import TXT
@@ -20,6 +22,10 @@ from .zone import LookupStatus, Zone
 
 CHAOS_ID_SERVER = Name.from_text("id.server.")
 CHAOS_HOSTNAME_BIND = Name.from_text("hostname.bind.")
+
+#: default query-log capacity — high enough that no tracked experiment
+#: drops entries, low enough to bound memory on week-long runs.
+DEFAULT_QUERY_LOG_MAX = 1_000_000
 
 
 @dataclass(frozen=True)
@@ -46,6 +52,64 @@ class ServerStats:
     chaos: int = 0
 
 
+class BoundedQueryLog:
+    """A ring buffer of :class:`QueryLogEntry` with a drop counter.
+
+    Long campaigns used to grow the query log without bound; the log is
+    now capped (oldest entries evicted first) and counts what it sheds
+    in :attr:`dropped`.  It behaves like a read-only list for existing
+    consumers (iteration, indexing, ``len``, equality).
+    """
+
+    def __init__(self, maxlen: int | None = DEFAULT_QUERY_LOG_MAX):
+        if maxlen is not None and maxlen <= 0:
+            raise ValueError(f"query log capacity must be positive, got {maxlen}")
+        self.maxlen = maxlen
+        self._entries: deque[QueryLogEntry] = deque(maxlen=maxlen)
+        self.dropped = 0
+
+    def append(self, entry: QueryLogEntry) -> bool:
+        """Record one entry; returns True when an old entry was evicted."""
+        evicting = (
+            self.maxlen is not None and len(self._entries) == self.maxlen
+        )
+        if evicting:
+            self.dropped += 1
+        self._entries.append(entry)
+        return evicting
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.dropped = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __bool__(self) -> bool:
+        return bool(self._entries)
+
+    def __iter__(self) -> Iterator[QueryLogEntry]:
+        return iter(self._entries)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return list(self._entries)[index]
+        return self._entries[index]
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, BoundedQueryLog):
+            return list(self) == list(other)
+        if isinstance(other, (list, tuple)):
+            return list(self) == list(other)
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return (
+            f"BoundedQueryLog(len={len(self._entries)}, "
+            f"maxlen={self.maxlen}, dropped={self.dropped})"
+        )
+
+
 class AuthoritativeServer:
     """Serves one or more zones authoritatively.
 
@@ -58,6 +122,14 @@ class AuthoritativeServer:
         Initial zones to load.
     log_queries:
         When true, every query is appended to :attr:`query_log`.
+    query_log_max:
+        Ring-buffer capacity of the query log (``None`` = unbounded);
+        evictions are counted in ``query_log.dropped`` and, when
+        telemetry is live, in ``authoritative_query_log_dropped_total``.
+    telemetry:
+        Optional :class:`repro.telemetry.Telemetry`; when enabled the
+        engine exports per-server query/response counters and joins
+        query-lifecycle traces with ``auth.query`` spans.
     """
 
     def __init__(
@@ -66,12 +138,15 @@ class AuthoritativeServer:
         zones: Iterable[Zone] = (),
         log_queries: bool = True,
         rate_limiter=None,
+        query_log_max: int | None = DEFAULT_QUERY_LOG_MAX,
+        telemetry=None,
     ):
         self.server_id = server_id
         self._zones: dict[Name, Zone] = {}
         self.stats = ServerStats()
-        self.query_log: list[QueryLogEntry] = []
+        self.query_log = BoundedQueryLog(maxlen=query_log_max)
         self.log_queries = log_queries
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         #: optional :class:`repro.dns.rrl.ResponseRateLimiter`
         self.rate_limiter = rate_limiter
         for zone in zones:
@@ -169,7 +244,29 @@ class AuthoritativeServer:
     def handle_query(
         self, query: Message, client: str = "", now: float = 0.0
     ) -> Message:
-        """Produce the authoritative response for one query message."""
+        """Produce the authoritative response for one query message.
+
+        With telemetry enabled this opens an ``auth.query`` span — when
+        the query arrived through an instrumented :class:`SimNetwork`
+        the span nests under that exchange's ``net.round_trip``.
+        """
+        telemetry = self.telemetry
+        if not telemetry.enabled:
+            return self._handle_query(query, client, now)
+        qname = query.questions[0].name.to_text() if query.questions else ""
+        span = telemetry.tracer.start_span(
+            "auth.query", at=now, server=self.server_id, client=client, qname=qname
+        )
+        try:
+            response = self._handle_query(query, client, now)
+            span.set(rcode=getattr(response.rcode, "name", str(response.rcode)))
+            return response
+        finally:
+            telemetry.tracer.finish_span(span, at=now)
+
+    def _handle_query(
+        self, query: Message, client: str = "", now: float = 0.0
+    ) -> Message:
         self.stats.queries += 1
         response = query.make_response()
 
@@ -228,9 +325,10 @@ class AuthoritativeServer:
 
     def _finish(self, response: Message, client: str, now: float) -> Message:
         self.stats.responses += 1
+        dropped = False
         if self.log_queries and response.questions:
             question = response.questions[0]
-            self.query_log.append(
+            dropped = self.query_log.append(
                 QueryLogEntry(
                     timestamp=now,
                     client=client,
@@ -241,6 +339,28 @@ class AuthoritativeServer:
                     rcode=response.rcode,
                 )
             )
+        telemetry = self.telemetry
+        if telemetry.enabled:
+            registry = telemetry.registry
+            registry.counter(
+                "authoritative_queries_total",
+                "queries received, by authoritative instance",
+                ("server",),
+            ).labels(server=self.server_id).inc()
+            registry.counter(
+                "authoritative_responses_total",
+                "responses sent, by authoritative instance and rcode",
+                ("server", "rcode"),
+            ).labels(
+                server=self.server_id,
+                rcode=getattr(response.rcode, "name", str(response.rcode)),
+            ).inc()
+            if dropped:
+                registry.counter(
+                    "authoritative_query_log_dropped_total",
+                    "query-log entries evicted by the ring buffer",
+                    ("server",),
+                ).labels(server=self.server_id).inc()
         return response
 
     def clear_log(self) -> None:

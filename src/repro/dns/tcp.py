@@ -12,8 +12,8 @@ import socket
 import socketserver
 import struct
 import threading
-import time
 
+from ..telemetry.clock import DEFAULT_CLOCK, Clock
 from .message import Message
 from .name import Name
 from .server import AuthoritativeServer
@@ -48,11 +48,20 @@ class TcpAuthoritativeServer:
     """Serve an :class:`AuthoritativeServer` over TCP.
 
     Handles multiple queries per connection (pipelining) and runs in a
-    background thread; use as a context manager.
+    background thread; use as a context manager.  Query-log timestamps
+    come from the injectable ``clock`` (monotonic by default, shared
+    with the UDP transport), not ``time.time()``.
     """
 
-    def __init__(self, engine: AuthoritativeServer, host: str = "127.0.0.1", port: int = 0):
+    def __init__(
+        self,
+        engine: AuthoritativeServer,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        clock: Clock = DEFAULT_CLOCK,
+    ):
         self.engine = engine
+        self.clock = clock
         outer = self
 
         class Handler(socketserver.BaseRequestHandler):
@@ -67,7 +76,7 @@ class TcpAuthoritativeServer:
                         return
                     client = "%s:%s" % self.client_address
                     response = outer.engine.handle_wire_tcp(
-                        wire, client=client, now=time.time()
+                        wire, client=client, now=outer.clock.now()
                     )
                     if response is None:
                         return

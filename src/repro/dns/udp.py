@@ -10,6 +10,7 @@ import socket
 import threading
 import time
 
+from ..telemetry.clock import DEFAULT_CLOCK, Clock
 from .message import Message
 from .name import Name
 from .server import AuthoritativeServer
@@ -23,10 +24,20 @@ class UdpAuthoritativeServer:
 
         with UdpAuthoritativeServer(engine, host="127.0.0.1") as server:
             answer = query_udp(server.address, "example.nl.", RRType.TXT)
+
+    Query-log timestamps come from the injectable ``clock`` (monotonic
+    by default, shared with the TCP transport), not ``time.time()``.
     """
 
-    def __init__(self, engine: AuthoritativeServer, host: str = "127.0.0.1", port: int = 0):
+    def __init__(
+        self,
+        engine: AuthoritativeServer,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        clock: Clock = DEFAULT_CLOCK,
+    ):
         self.engine = engine
+        self.clock = clock
         self._sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
         self._sock.bind((host, port))
         self._sock.settimeout(0.1)
@@ -55,7 +66,7 @@ class UdpAuthoritativeServer:
             except OSError:
                 break
             response = self.engine.handle_wire(
-                wire, client=f"{client[0]}:{client[1]}", now=time.time()
+                wire, client=f"{client[0]}:{client[1]}", now=self.clock.now()
             )
             if response is not None:
                 try:

@@ -7,6 +7,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Callable
 
+from ..telemetry import NULL_TELEMETRY
 from .clock import SimClock
 
 
@@ -25,8 +26,9 @@ class EventScheduler:
     keeps campaign runs reproducible.
     """
 
-    def __init__(self, clock: SimClock | None = None):
+    def __init__(self, clock: SimClock | None = None, telemetry=None):
         self.clock = clock if clock is not None else SimClock()
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self._queue: list[_ScheduledEvent] = []
         self._counter = itertools.count()
         self._processed = 0
@@ -71,6 +73,16 @@ class EventScheduler:
             self.clock.advance_to(event.time)
             event.callback()
             self._processed += 1
+            telemetry = self.telemetry
+            if telemetry.enabled:
+                registry = telemetry.registry
+                registry.counter(
+                    "sim_events_processed_total",
+                    "discrete events executed by the scheduler",
+                ).inc()
+                registry.gauge(
+                    "sim_events_pending", "events waiting in the scheduler queue"
+                ).set(self.pending)
             return True
         return False
 

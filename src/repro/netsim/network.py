@@ -13,6 +13,7 @@ import hashlib
 import math
 from dataclasses import dataclass
 
+from ..telemetry import NULL_TELEMETRY
 from .anycast import AnycastGroup, AnycastSite, DatagramHandler
 from .clock import SimClock
 from .geo import Location
@@ -66,9 +67,15 @@ class DeliveryError(Exception):
 class SimNetwork:
     """Registry of hosts plus the query/response transport."""
 
-    def __init__(self, latency: LatencyModel | None = None, clock: SimClock | None = None):
+    def __init__(
+        self,
+        latency: LatencyModel | None = None,
+        clock: SimClock | None = None,
+        telemetry=None,
+    ):
         self.latency = latency if latency is not None else LatencyModel()
         self.clock = clock if clock is not None else SimClock()
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self._unicast: dict[str, UnicastHost] = {}
         self._anycast: dict[str, AnycastGroup] = {}
 
@@ -128,20 +135,71 @@ class SimNetwork:
         Loss applies to the whole round trip; the caller decides whether
         and when to retry (resolvers time out and retry or move on).
         """
-        site_location, handler, code = self.route(
-            client_location, client_address, dst_address
+        telemetry = self.telemetry
+        if not telemetry.enabled:
+            site_location, handler, code = self.route(
+                client_location, client_address, dst_address
+            )
+            if self.latency.is_lost():
+                return RoundTrip(response=None, rtt_ms=None, lost=True, served_by="")
+            rtt_ms = self.latency.sample_rtt_ms(
+                client_location.point, site_location.point
+            ) * _path_diversity_multiplier(
+                client_address, dst_address, self.latency.params.path_diversity_sigma
+            )
+            response = handler(payload, client_address, self.clock.now)
+            return RoundTrip(
+                response=response, rtt_ms=rtt_ms, lost=False, served_by=code
+            )
+
+        now = self.clock.now
+        tracer = telemetry.tracer
+        registry = telemetry.registry
+        span = tracer.start_span(
+            "net.round_trip", at=now, client=client_address, dst=dst_address
         )
-        if self.latency.is_lost():
-            return RoundTrip(response=None, rtt_ms=None, lost=True, served_by="")
-        rtt_ms = self.latency.sample_rtt_ms(
-            client_location.point, site_location.point
-        ) * _path_diversity_multiplier(
-            client_address, dst_address, self.latency.params.path_diversity_sigma
-        )
-        response = handler(payload, client_address, self.clock.now)
-        if response is None:
-            return RoundTrip(response=None, rtt_ms=rtt_ms, lost=False, served_by=code)
-        return RoundTrip(response=response, rtt_ms=rtt_ms, lost=False, served_by=code)
+        try:
+            site_location, handler, code = self.route(
+                client_location, client_address, dst_address
+            )
+            span.set(site=code)
+            if dst_address in self._anycast:
+                span.event("anycast_catchment", at=now, site=code)
+            if self.latency.is_lost():
+                span.set(lost=True)
+                span.event("loss", at=now)
+                registry.counter(
+                    "sim_lost_total",
+                    "round trips lost in the simulated network",
+                    ("dst",),
+                ).labels(dst=dst_address).inc()
+                return RoundTrip(response=None, rtt_ms=None, lost=True, served_by="")
+            rtt_ms = self.latency.sample_rtt_ms(
+                client_location.point, site_location.point
+            ) * _path_diversity_multiplier(
+                client_address, dst_address, self.latency.params.path_diversity_sigma
+            )
+            span.set(lost=False, rtt_ms=round(rtt_ms, 3))
+            span.event("rtt_draw", at=now, rtt_ms=round(rtt_ms, 3))
+            registry.counter(
+                "sim_round_trips_total",
+                "query/response exchanges delivered, by destination and site",
+                ("dst", "site"),
+            ).labels(dst=dst_address, site=code).inc()
+            registry.histogram(
+                "sim_rtt_ms", "sampled round-trip time (ms)", ("site",)
+            ).labels(site=code).observe(rtt_ms)
+            response = handler(payload, client_address, now)
+            span.set(answered=response is not None)
+            return RoundTrip(
+                response=response, rtt_ms=rtt_ms, lost=False, served_by=code
+            )
+        finally:
+            end = now
+            rtt = span.attributes.get("rtt_ms")
+            if isinstance(rtt, (int, float)):
+                end = now + rtt / 1000.0
+            tracer.finish_span(span, at=end)
 
     def base_rtt_ms(
         self, client_location: Location, client_key: str, dst_address: str

@@ -11,6 +11,7 @@ from __future__ import annotations
 import abc
 import random
 
+from ..telemetry import NULL_TELEMETRY
 from .infracache import InfrastructureCache
 
 
@@ -21,6 +22,9 @@ class ServerSelector(abc.ABC):
     name: str = "abstract"
     #: whether the implementation keeps an infrastructure cache at all
     uses_infra_cache: bool = True
+    #: telemetry bundle; the owning resolver overwrites this when it is
+    #: itself instrumented (class-level default keeps it zero-cost)
+    telemetry = NULL_TELEMETRY
 
     def __init__(self, rng: random.Random | None = None):
         self.rng = rng if rng is not None else random.Random(0)
@@ -41,6 +45,12 @@ class ServerSelector(abc.ABC):
     ) -> None:
         """Fold a successful exchange into the selector's state."""
         cache.observe_rtt(address, rtt_ms, now)
+        if self.telemetry.enabled:
+            self.telemetry.registry.counter(
+                "selector_events_total",
+                "selection-feedback events, by selector family and kind",
+                ("selector", "event"),
+            ).labels(selector=self.name, event="response").inc()
 
     def on_timeout(
         self,
@@ -51,6 +61,12 @@ class ServerSelector(abc.ABC):
     ) -> None:
         """Fold a timeout into the selector's state."""
         cache.observe_timeout(address, now)
+        if self.telemetry.enabled:
+            self.telemetry.registry.counter(
+                "selector_events_total",
+                "selection-feedback events, by selector family and kind",
+                ("selector", "event"),
+            ).labels(selector=self.name, event="timeout").inc()
 
     def reset(self) -> None:
         """Forget per-zone transient state (not the infra cache)."""

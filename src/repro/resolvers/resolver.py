@@ -24,6 +24,7 @@ CHAOS_SELF_NAMES = (
 )
 from ..netsim.geo import Location
 from ..netsim.network import SimNetwork
+from ..telemetry import NULL_SPAN, NULL_TELEMETRY
 from .base import ServerSelector
 from .infracache import InfrastructureCache
 from .rrcache import RecordCache
@@ -83,11 +84,19 @@ class RecursiveResolver:
         rng: random.Random | None = None,
         qname_minimization: bool = False,
         case_randomization: bool = False,
+        telemetry=None,
     ):
         self.address = address
         self.location = location
         self.network = network
         self.selector = selector
+        if telemetry is None:
+            # Default to the network's bundle: wiring telemetry into the
+            # shared SimNetwork instruments every attached resolver.
+            telemetry = getattr(network, "telemetry", None)
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        if self.telemetry.enabled:
+            selector.telemetry = self.telemetry
         self.infra_cache = InfrastructureCache(ttl_s=infra_ttl_s)
         self.record_cache = RecordCache()
         self.timeout_ms = timeout_ms
@@ -137,9 +146,65 @@ class RecursiveResolver:
         ``hostname.bind.``) are answered by the recursive itself and
         never forwarded — the §3.1 pitfall that makes CHAOS useless for
         catchment mapping through recursives.
+
+        With telemetry enabled, every resolution opens a
+        ``resolver.resolve`` root span whose children trace each
+        exchange attempt down through the network and authoritative.
         """
         if isinstance(qname, str):
             qname = Name.from_text(qname)
+        telemetry = self.telemetry
+        if not telemetry.enabled:
+            return self._resolve(qname, qtype, rrclass, NULL_SPAN)
+        tracer = telemetry.tracer
+        start = self.network.clock.now
+        span = tracer.start_span(
+            "resolver.resolve",
+            at=start,
+            resolver=self.address,
+            qname=qname.to_text(),
+            qtype=getattr(qtype, "name", str(int(qtype))),
+        )
+        try:
+            result = self._resolve(qname, qtype, rrclass, span)
+            rcode = (
+                getattr(result.rcode, "name", str(result.rcode))
+                if result.rcode is not None
+                else "NONE"
+            )
+            span.set(rcode=rcode, site=result.served_by)
+            registry = telemetry.registry
+            registry.counter(
+                "resolver_queries_total", "resolutions attempted by recursives"
+            ).inc()
+            registry.counter(
+                "resolver_resolutions_total",
+                "completed resolutions, by outcome rcode",
+                ("rcode",),
+            ).labels(rcode=rcode).inc()
+            cache_outcome = str(span.attributes.get("cache", "miss"))
+            registry.counter(
+                "resolver_cache_total",
+                "record-cache outcomes per resolution",
+                ("result",),
+            ).labels(result=cache_outcome).inc()
+            return result
+        finally:
+            # Virtual end: the latest child end (exchanges carry the RTT
+            # and timeout waits); the clock itself does not advance.
+            end = max(
+                [child.end for child in span.children if child.end is not None]
+                + [start]
+            )
+            tracer.finish_span(span, at=end)
+
+    def _resolve(
+        self,
+        qname: Name,
+        qtype: RRType,
+        rrclass: RRClass,
+        span,
+    ) -> ResolutionResult:
         now = self.network.clock.now
         result = ResolutionResult(qname=qname, qtype=qtype)
 
@@ -162,12 +227,15 @@ class RecursiveResolver:
             result.rcode = Rcode.NOERROR
             result.answers = list(cached.records)
             result.from_cache = True
+            span.set(cache="hit").event("cache_hit", at=now)
             return result
         negative = self.record_cache.get_negative(qname, qtype, now)
         if negative is not None:
             result.rcode = Rcode.NXDOMAIN if negative.nxdomain else Rcode.NOERROR
             result.from_cache = True
+            span.set(cache="negative").event("cache_negative_hit", at=now)
             return result
+        span.set(cache="miss").event("cache_miss", at=now)
 
         start = self._deepest_known_zone(qname)
         if start is None:
@@ -244,7 +312,8 @@ class RecursiveResolver:
         result: ResolutionResult,
     ) -> tuple[Message, str, str, float] | None:
         now = self.network.clock.now
-        for _ in range(self.max_retries + 1):
+        telemetry = self.telemetry
+        for attempt in range(self.max_retries + 1):
             address = self.selector.select(addresses, self.infra_cache, now)
             send_name = (
                 self._randomize_case(qname) if self.case_randomization else qname
@@ -254,41 +323,76 @@ class RecursiveResolver:
                 recursion_desired=False,
             )
             self.queries_sent += 1
-            try:
-                trip = self.network.round_trip(
-                    self.location, self.address, address, query.to_wire()
+            span = NULL_SPAN
+            if telemetry.enabled:
+                span = telemetry.tracer.start_span(
+                    "resolver.exchange", at=now, ns=address, attempt=attempt + 1
                 )
-            except Exception:
-                # Host gone (withdrawn mid-measurement): a timeout to us.
-                result.exchanges.append(ExchangeRecord(address, None, True, ""))
-                self.selector.on_timeout(address, addresses, self.infra_cache, now)
-                continue
-            if trip.lost or trip.response is None:
-                result.exchanges.append(
-                    ExchangeRecord(address, None, True, "")
-                )
-                self.selector.on_timeout(address, addresses, self.infra_cache, now)
-                continue
+            outcome = "ok"
             try:
-                message = Message.from_wire(trip.response)
-            except Exception:
-                self.selector.on_timeout(address, addresses, self.infra_cache, now)
-                continue
-            if message.msg_id != query.msg_id:
-                continue  # spoofed/mismatched: ignore, treat as failure
-            if self.case_randomization and message.questions:
-                echoed = message.questions[0].name.labels
-                if echoed != send_name.labels:
-                    # Case mismatch: off-path spoof; discard the response.
-                    self.spoofs_rejected += 1
+                try:
+                    trip = self.network.round_trip(
+                        self.location, self.address, address, query.to_wire()
+                    )
+                except Exception:
+                    # Host gone (withdrawn mid-measurement): a timeout to us.
+                    result.exchanges.append(ExchangeRecord(address, None, True, ""))
+                    self.selector.on_timeout(
+                        address, addresses, self.infra_cache, now
+                    )
+                    outcome = "unreachable"
                     continue
-            result.exchanges.append(
-                ExchangeRecord(address, trip.rtt_ms, False, trip.served_by)
-            )
-            self.selector.on_response(
-                address, trip.rtt_ms, addresses, self.infra_cache, now
-            )
-            return message, address, trip.served_by, trip.rtt_ms
+                if trip.lost or trip.response is None:
+                    result.exchanges.append(
+                        ExchangeRecord(address, None, True, "")
+                    )
+                    self.selector.on_timeout(
+                        address, addresses, self.infra_cache, now
+                    )
+                    outcome = "timeout"
+                    continue
+                try:
+                    message = Message.from_wire(trip.response)
+                except Exception:
+                    self.selector.on_timeout(
+                        address, addresses, self.infra_cache, now
+                    )
+                    outcome = "garbled"
+                    continue
+                if message.msg_id != query.msg_id:
+                    outcome = "id_mismatch"
+                    continue  # spoofed/mismatched: ignore, treat as failure
+                if self.case_randomization and message.questions:
+                    echoed = message.questions[0].name.labels
+                    if echoed != send_name.labels:
+                        # Case mismatch: off-path spoof; discard the response.
+                        self.spoofs_rejected += 1
+                        outcome = "spoof_rejected"
+                        continue
+                result.exchanges.append(
+                    ExchangeRecord(address, trip.rtt_ms, False, trip.served_by)
+                )
+                self.selector.on_response(
+                    address, trip.rtt_ms, addresses, self.infra_cache, now
+                )
+                span.set(site=trip.served_by, rtt_ms=round(trip.rtt_ms, 3))
+                return message, address, trip.served_by, trip.rtt_ms
+            finally:
+                if telemetry.enabled:
+                    span.set(outcome=outcome)
+                    # Virtual end: the answer's RTT, or the full timeout
+                    # the resolver waits before moving on.
+                    if outcome == "ok":
+                        rtt_ms = span.attributes.get("rtt_ms", 0.0)
+                        end = now + float(rtt_ms) / 1000.0
+                    else:
+                        end = now + self.timeout_ms / 1000.0
+                    telemetry.tracer.finish_span(span, at=end)
+                    telemetry.registry.counter(
+                        "resolver_exchanges_total",
+                        "exchange attempts against authoritatives, by outcome",
+                        ("outcome",),
+                    ).labels(outcome=outcome).inc()
         return None
 
     def _referral_cut(self, message: Message) -> Name | None:

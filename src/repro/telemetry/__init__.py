@@ -1,0 +1,111 @@
+"""End-to-end telemetry for the simulator.
+
+Three pillars, one bundle:
+
+``registry``
+    Labelled metrics (counters, gauges, histograms) with Prometheus-text
+    and JSON exporters — the simulated system's numbers (queries per NS,
+    RTT distributions, losses, cache hits).
+``tracer``
+    Query-lifecycle spans in virtual time — follow one cache-busting
+    query from the vantage point through the recursive, the network,
+    and into an authoritative.
+``profiler``
+    Wall-clock phase timers and counters for the simulator itself — the
+    machine-readable sidecar benchmarks emit.
+
+A :class:`Telemetry` object carries all three.  Every instrumented
+component takes ``telemetry=None`` and defaults to :data:`NULL_TELEMETRY`,
+whose parts are no-ops; hot paths guard on ``telemetry.enabled`` so a
+disabled run pays one attribute check per operation::
+
+    from repro.telemetry import Telemetry
+    from repro.core.experiment import ExperimentConfig, TestbedExperiment
+
+    telemetry = Telemetry.enabled_bundle()
+    config = ExperimentConfig.for_combination("2C", num_probes=100)
+    result = TestbedExperiment(config, telemetry=telemetry).run()
+    print(telemetry.registry.to_prometheus_text())
+    print(render_trace(telemetry.tracer.traces()[0]))
+"""
+
+from __future__ import annotations
+
+from .clock import DEFAULT_CLOCK, Clock, ManualClock, MonotonicClock
+from .profiling import NullProfiler, RunProfiler
+from .registry import (
+    DEFAULT_RTT_BUCKETS_MS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricError,
+    MetricsRegistry,
+    NullRegistry,
+    Sample,
+)
+from .tracing import NULL_SPAN, NullTracer, Span, SpanEvent, Tracer, render_trace
+
+
+class Telemetry:
+    """One run's registry + tracer + profiler, passed through every layer."""
+
+    __slots__ = ("registry", "tracer", "profiler", "enabled")
+
+    def __init__(self, registry, tracer, profiler):
+        self.registry = registry
+        self.tracer = tracer
+        self.profiler = profiler
+        #: cached flag hot paths guard on (any pillar live?)
+        self.enabled = bool(registry.enabled or tracer.enabled)
+
+    @classmethod
+    def enabled_bundle(
+        cls,
+        metrics: bool = True,
+        tracing: bool = True,
+        profiling: bool = True,
+        max_traces: int = 100_000,
+    ) -> "Telemetry":
+        """A live bundle; switch off individual pillars as needed."""
+        return cls(
+            registry=MetricsRegistry() if metrics else NullRegistry(),
+            tracer=Tracer(max_traces=max_traces) if tracing else NullTracer(),
+            profiler=RunProfiler() if profiling else NullProfiler(),
+        )
+
+    @classmethod
+    def disabled_bundle(cls) -> "Telemetry":
+        return cls(NullRegistry(), NullTracer(), NullProfiler())
+
+    def __repr__(self) -> str:
+        return f"Telemetry(enabled={self.enabled})"
+
+
+#: the shared zero-cost default — every component's fallback.
+NULL_TELEMETRY = Telemetry.disabled_bundle()
+
+
+__all__ = [
+    "Clock",
+    "Counter",
+    "DEFAULT_CLOCK",
+    "DEFAULT_RTT_BUCKETS_MS",
+    "Gauge",
+    "Histogram",
+    "ManualClock",
+    "MetricError",
+    "MetricsRegistry",
+    "MonotonicClock",
+    "NULL_SPAN",
+    "NULL_TELEMETRY",
+    "NullProfiler",
+    "NullRegistry",
+    "NullTracer",
+    "RunProfiler",
+    "Sample",
+    "Span",
+    "SpanEvent",
+    "Telemetry",
+    "Tracer",
+    "render_trace",
+]

@@ -1,0 +1,69 @@
+"""Injectable time sources for telemetry and real transports.
+
+Simulated components share a :class:`~repro.netsim.clock.SimClock` and
+never read wall-clock time.  The *real* transports (``repro.dns.udp``,
+``repro.dns.tcp``) historically stamped query-log entries with
+``time.time()``, which is neither monotonic nor injectable.  Both now
+take a clock from this module instead: :class:`MonotonicClock` for
+production, :class:`ManualClock` for tests.
+
+A "clock" here is any object with a ``now() -> float`` method returning
+seconds.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Protocol, runtime_checkable
+
+
+@runtime_checkable
+class Clock(Protocol):
+    """Anything that can report the current time in seconds."""
+
+    def now(self) -> float:  # pragma: no cover - protocol signature
+        ...
+
+
+class MonotonicClock:
+    """Wall clock backed by :func:`time.monotonic` (never goes backwards).
+
+    An optional ``epoch`` offset anchors the stream to a meaningful
+    zero; by default the clock reads zero at construction time, so two
+    servers sharing one instance produce mutually comparable stamps.
+    """
+
+    def __init__(self, source: Callable[[], float] = time.monotonic):
+        self._source = source
+        self._epoch = source()
+
+    def now(self) -> float:
+        return self._source() - self._epoch
+
+
+class ManualClock:
+    """A clock tests drive by hand."""
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        if seconds < 0:
+            raise ValueError(f"cannot advance clock by {seconds}")
+        self._now += seconds
+        return self._now
+
+    def set(self, timestamp: float) -> float:
+        self._now = float(timestamp)
+        return self._now
+
+
+#: process-wide default for real transports; shared so that UDP and TCP
+#: servers stamping into one engine's query log agree on the timeline.
+DEFAULT_CLOCK = MonotonicClock()
+
+
+__all__ = ["Clock", "DEFAULT_CLOCK", "ManualClock", "MonotonicClock"]

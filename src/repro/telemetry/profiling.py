@@ -1,0 +1,147 @@
+"""Run profiling: wall-clock phase timers and component counters.
+
+Where the registry and tracer measure the *simulated* system, the
+profiler measures the *simulator itself* — how much real time each phase
+of a run burns (deploy, build VPs, measure, analyze) and how much work
+each component did.  Benchmarks write the result next to their output as
+a machine-readable JSON sidecar, so performance PRs can compare phase
+timings across commits instead of eyeballing totals.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+
+class _PhaseTimer:
+    __slots__ = ("profiler", "name", "_started")
+
+    def __init__(self, profiler: "RunProfiler", name: str):
+        self.profiler = profiler
+        self.name = name
+        self._started = 0.0
+
+    def __enter__(self) -> "_PhaseTimer":
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.profiler._record_phase(
+            self.name, time.perf_counter() - self._started
+        )
+
+
+class RunProfiler:
+    """Accumulates phase wall-clock times, counters, and free-form values.
+
+    Phases nest and repeat: re-entering a phase name adds to its total
+    and bumps its invocation count.
+    """
+
+    enabled = True
+
+    def __init__(self, clock=time.perf_counter):
+        self._clock = clock
+        self._created = clock()
+        self.phases: dict[str, dict[str, float]] = {}
+        self.counters: dict[str, float] = {}
+        self.values: dict[str, object] = {}
+
+    # -- recording ---------------------------------------------------------
+
+    def phase(self, name: str) -> _PhaseTimer:
+        """Time a phase: ``with profiler.phase("measure"): ...``"""
+        return _PhaseTimer(self, name)
+
+    def _record_phase(self, name: str, elapsed_s: float) -> None:
+        entry = self.phases.setdefault(name, {"seconds": 0.0, "calls": 0})
+        entry["seconds"] += elapsed_s
+        entry["calls"] += 1
+
+    def count(self, name: str, amount: float = 1.0) -> None:
+        self.counters[name] = self.counters.get(name, 0.0) + amount
+
+    def record(self, name: str, value: object) -> None:
+        """Attach a free-form value (config knobs, result sizes)."""
+        self.values[name] = value
+
+    # -- export ------------------------------------------------------------
+
+    @property
+    def total_seconds(self) -> float:
+        """Wall-clock lifetime of this profiler so far."""
+        return self._clock() - self._created
+
+    def as_dict(self) -> dict:
+        return {
+            "total_seconds": self.total_seconds,
+            "phases": {
+                name: dict(entry) for name, entry in sorted(self.phases.items())
+            },
+            "counters": dict(sorted(self.counters.items())),
+            "values": dict(sorted(self.values.items(), key=lambda kv: kv[0])),
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.as_dict(), indent=indent, sort_keys=True)
+
+    def write(self, path: str | Path) -> Path:
+        """Write the JSON sidecar; returns the path written."""
+        path = Path(path)
+        path.write_text(self.to_json() + "\n")
+        return path
+
+    def render(self) -> str:
+        """A short human-readable phase table."""
+        lines = ["phase                    seconds   calls"]
+        for name, entry in sorted(
+            self.phases.items(), key=lambda kv: -kv[1]["seconds"]
+        ):
+            lines.append(
+                f"{name:<24} {entry['seconds']:>8.3f} {int(entry['calls']):>7}"
+            )
+        return "\n".join(lines)
+
+
+class NullProfiler:
+    """Same surface as :class:`RunProfiler`, all no-ops."""
+
+    enabled = False
+    phases: dict = {}
+    counters: dict = {}
+    values: dict = {}
+    total_seconds = 0.0
+
+    class _NullPhase:
+        __slots__ = ()
+
+        def __enter__(self):
+            return self
+
+        def __exit__(self, *exc_info):
+            pass
+
+    _NULL_PHASE = _NullPhase()
+
+    def phase(self, name: str) -> "_NullPhase":
+        return self._NULL_PHASE
+
+    def count(self, name: str, amount: float = 1.0) -> None:
+        pass
+
+    def record(self, name: str, value: object) -> None:
+        pass
+
+    def as_dict(self) -> dict:
+        return {}
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return "{}"
+
+    def render(self) -> str:
+        return ""
+
+
+__all__ = ["NullProfiler", "RunProfiler"]

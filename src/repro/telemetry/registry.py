@@ -1,0 +1,455 @@
+"""Labelled metrics: counters, gauges, histograms, and exporters.
+
+The registry follows the Prometheus data model — a *family* has a name,
+a help string, and label names; each distinct label-value combination is
+a *child* holding the actual number(s).  Families are created lazily and
+idempotently::
+
+    registry = MetricsRegistry()
+    rtt = registry.histogram("sim_rtt_ms", "round-trip time", ("site",))
+    rtt.labels(site="FRA").observe(12.5)
+    print(registry.to_prometheus_text())
+
+Two exporters are built in: :meth:`MetricsRegistry.to_prometheus_text`
+(the Prometheus text exposition format, scrape-ready) and
+:meth:`MetricsRegistry.to_json` (a machine-readable sidecar).
+
+:class:`NullRegistry` implements the same surface as no-ops so that
+instrumented components pay only an attribute check when telemetry is
+disabled (the ``enabled`` flag callers guard on).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+#: default histogram buckets, in milliseconds — tuned for simulated RTTs
+#: (a few ms same-city up to intercontinental multi-hundred-ms paths).
+DEFAULT_RTT_BUCKETS_MS = (
+    1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 150.0,
+    250.0, 400.0, 600.0, 1000.0, 2000.0,
+)
+
+
+class MetricError(ValueError):
+    """Inconsistent registration or labelling of a metric."""
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _escape_label(value: str) -> str:
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace("\n", "\\n")
+        .replace('"', '\\"')
+    )
+
+
+def _label_suffix(labelnames: tuple[str, ...], labelvalues: tuple[str, ...]) -> str:
+    if not labelnames:
+        return ""
+    pairs = ",".join(
+        f'{name}="{_escape_label(value)}"'
+        for name, value in zip(labelnames, labelvalues)
+    )
+    return "{" + pairs + "}"
+
+
+class _Family:
+    """Shared plumbing: child creation keyed by label values."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str, labelnames: tuple[str, ...]):
+        self.name = name
+        self.help = help
+        self.labelnames = tuple(labelnames)
+        self._children: dict[tuple[str, ...], object] = {}
+
+    def labels(self, **labelvalues: str):
+        """The child for one label-value combination (created on demand)."""
+        if set(labelvalues) != set(self.labelnames):
+            raise MetricError(
+                f"{self.name}: expected labels {self.labelnames}, "
+                f"got {tuple(labelvalues)}"
+            )
+        key = tuple(str(labelvalues[name]) for name in self.labelnames)
+        child = self._children.get(key)
+        if child is None:
+            child = self._new_child()
+            self._children[key] = child
+        return child
+
+    def _default_child(self):
+        """The implicit unlabelled child (for families without labels)."""
+        if self.labelnames:
+            raise MetricError(
+                f"{self.name} has labels {self.labelnames}; use .labels(...)"
+            )
+        return self.labels()
+
+    def _new_child(self):  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def children(self) -> Iterable[tuple[tuple[str, ...], object]]:
+        return sorted(self._children.items())
+
+
+class _CounterChild:
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise MetricError(f"counters only go up (inc by {amount})")
+        self.value += amount
+
+
+class Counter(_Family):
+    """A monotonically increasing count."""
+
+    kind = "counter"
+
+    def _new_child(self) -> _CounterChild:
+        return _CounterChild()
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._default_child().inc(amount)
+
+    @property
+    def value(self) -> float:
+        """Total across all children."""
+        return sum(child.value for _, child in self.children())
+
+
+class _GaugeChild:
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+class Gauge(_Family):
+    """A value that can go up and down."""
+
+    kind = "gauge"
+
+    def _new_child(self) -> _GaugeChild:
+        return _GaugeChild()
+
+    def set(self, value: float) -> None:
+        self._default_child().set(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._default_child().inc(amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._default_child().dec(amount)
+
+    @property
+    def value(self) -> float:
+        return sum(child.value for _, child in self.children())
+
+
+class _HistogramChild:
+    __slots__ = ("buckets", "counts", "sum", "count")
+
+    def __init__(self, buckets: tuple[float, ...]):
+        self.buckets = buckets
+        self.counts = [0] * len(buckets)  # per-bucket (non-cumulative)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.sum += value
+        self.count += 1
+        for index, upper in enumerate(self.buckets):
+            if value <= upper:
+                self.counts[index] += 1
+                break
+
+    def cumulative(self) -> list[tuple[float, int]]:
+        """(upper_bound, cumulative count) pairs, ending at +Inf."""
+        out: list[tuple[float, int]] = []
+        running = 0
+        for upper, count in zip(self.buckets, self.counts):
+            running += count
+            out.append((upper, running))
+        out.append((math.inf, self.count))
+        return out
+
+
+class Histogram(_Family):
+    """A distribution, bucketed at configurable upper bounds."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str,
+        labelnames: tuple[str, ...],
+        buckets: tuple[float, ...] = DEFAULT_RTT_BUCKETS_MS,
+    ):
+        if not buckets:
+            raise MetricError(f"{name}: histogram needs at least one bucket")
+        ordered = tuple(sorted(float(b) for b in buckets))
+        if len(set(ordered)) != len(ordered):
+            raise MetricError(f"{name}: duplicate bucket bounds")
+        super().__init__(name, help, labelnames)
+        self.buckets = ordered
+
+    def _new_child(self) -> _HistogramChild:
+        return _HistogramChild(self.buckets)
+
+    def observe(self, value: float) -> None:
+        self._default_child().observe(value)
+
+
+@dataclass(frozen=True)
+class Sample:
+    """One exported time-series point."""
+
+    name: str
+    labels: Mapping[str, str]
+    value: float
+
+
+class MetricsRegistry:
+    """Create-or-get metric families and export them.
+
+    The registry is the one object a run shares between its components;
+    everything else (families, children) hangs off it.
+    """
+
+    enabled = True
+
+    def __init__(self):
+        self._families: dict[str, _Family] = {}
+
+    # -- creation ----------------------------------------------------------
+
+    def _get_or_create(self, cls, name: str, help: str, labelnames, **kwargs):
+        existing = self._families.get(name)
+        if existing is not None:
+            if type(existing) is not cls or existing.labelnames != tuple(labelnames):
+                raise MetricError(
+                    f"metric {name} re-registered with a different "
+                    f"type or label set"
+                )
+            return existing
+        family = cls(name, help, tuple(labelnames), **kwargs)
+        self._families[name] = family
+        return family
+
+    def counter(
+        self, name: str, help: str = "", labelnames: tuple[str, ...] = ()
+    ) -> Counter:
+        return self._get_or_create(Counter, name, help, labelnames)
+
+    def gauge(
+        self, name: str, help: str = "", labelnames: tuple[str, ...] = ()
+    ) -> Gauge:
+        return self._get_or_create(Gauge, name, help, labelnames)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: tuple[str, ...] = (),
+        buckets: tuple[float, ...] = DEFAULT_RTT_BUCKETS_MS,
+    ) -> Histogram:
+        return self._get_or_create(
+            Histogram, name, help, labelnames, buckets=buckets
+        )
+
+    # -- access ------------------------------------------------------------
+
+    def get(self, name: str) -> _Family | None:
+        return self._families.get(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._families
+
+    def families(self) -> list[_Family]:
+        return [self._families[name] for name in sorted(self._families)]
+
+    def samples(self, name: str) -> list[Sample]:
+        """Flat (labels, value) samples of one family (histograms: counts)."""
+        family = self._families.get(name)
+        if family is None:
+            return []
+        out: list[Sample] = []
+        for labelvalues, child in family.children():
+            labels = dict(zip(family.labelnames, labelvalues))
+            if isinstance(child, _HistogramChild):
+                out.append(Sample(f"{family.name}_count", labels, child.count))
+            else:
+                out.append(Sample(family.name, labels, child.value))
+        return out
+
+    # -- exporters ------------------------------------------------------------
+
+    def to_prometheus_text(self) -> str:
+        """The Prometheus text exposition format (version 0.0.4)."""
+        lines: list[str] = []
+        for family in self.families():
+            if family.help:
+                lines.append(f"# HELP {family.name} {family.help}")
+            lines.append(f"# TYPE {family.name} {family.kind}")
+            for labelvalues, child in family.children():
+                suffix = _label_suffix(family.labelnames, labelvalues)
+                if isinstance(child, _HistogramChild):
+                    for upper, cumulative in child.cumulative():
+                        le = _label_suffix(
+                            family.labelnames + ("le",),
+                            labelvalues + (_format_value(upper),),
+                        )
+                        lines.append(
+                            f"{family.name}_bucket{le} {cumulative}"
+                        )
+                    lines.append(
+                        f"{family.name}_sum{suffix} {_format_value(child.sum)}"
+                    )
+                    lines.append(f"{family.name}_count{suffix} {child.count}")
+                else:
+                    lines.append(
+                        f"{family.name}{suffix} {_format_value(child.value)}"
+                    )
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def to_json(self, indent: int | None = None) -> str:
+        """A machine-readable dump (the benchmark sidecar format)."""
+        return json.dumps(self.as_dict(), indent=indent, sort_keys=True)
+
+    def as_dict(self) -> dict:
+        out: dict[str, dict] = {}
+        for family in self.families():
+            entries = []
+            for labelvalues, child in family.children():
+                labels = dict(zip(family.labelnames, labelvalues))
+                if isinstance(child, _HistogramChild):
+                    entries.append(
+                        {
+                            "labels": labels,
+                            "count": child.count,
+                            "sum": child.sum,
+                            "buckets": {
+                                _format_value(upper): cumulative
+                                for upper, cumulative in child.cumulative()
+                            },
+                        }
+                    )
+                else:
+                    entries.append({"labels": labels, "value": child.value})
+            out[family.name] = {
+                "type": family.kind,
+                "help": family.help,
+                "samples": entries,
+            }
+        return out
+
+
+class _NullChild:
+    """Absorbs every instrument operation."""
+
+    __slots__ = ()
+    value = 0.0
+    count = 0
+    sum = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def labels(self, **labelvalues):
+        return self
+
+
+_NULL_CHILD = _NullChild()
+
+
+class NullRegistry:
+    """Same surface as :class:`MetricsRegistry`, all no-ops.
+
+    The default registry everywhere: components instrument themselves
+    against this and pay one ``enabled`` check (or a no-op method call)
+    when telemetry is off.
+    """
+
+    enabled = False
+
+    def counter(self, name: str, help: str = "", labelnames=()) -> _NullChild:
+        return _NULL_CHILD
+
+    def gauge(self, name: str, help: str = "", labelnames=()) -> _NullChild:
+        return _NULL_CHILD
+
+    def histogram(
+        self, name: str, help: str = "", labelnames=(), buckets=()
+    ) -> _NullChild:
+        return _NULL_CHILD
+
+    def get(self, name: str) -> None:
+        return None
+
+    def __contains__(self, name: str) -> bool:
+        return False
+
+    def families(self) -> list:
+        return []
+
+    def samples(self, name: str) -> list:
+        return []
+
+    def to_prometheus_text(self) -> str:
+        return ""
+
+    def to_json(self, indent: int | None = None) -> str:
+        return "{}"
+
+    def as_dict(self) -> dict:
+        return {}
+
+
+__all__ = [
+    "Counter",
+    "DEFAULT_RTT_BUCKETS_MS",
+    "Gauge",
+    "Histogram",
+    "MetricError",
+    "MetricsRegistry",
+    "NullRegistry",
+    "Sample",
+]

@@ -1,0 +1,345 @@
+"""Query-lifecycle tracing: spans and events in virtual time.
+
+A *span* is one timed operation (a resolution, one exchange attempt, a
+network round trip, an authoritative lookup); an *event* is a point
+annotation inside a span (cache miss, loss, anycast catchment choice).
+Spans form trees: the tracer keeps an active-span stack, so a component
+that starts a span while another is open automatically becomes its
+child.  That is how one cache-busting query strings the layers together
+without any layer knowing about the others::
+
+    resolver.resolve            (RecursiveResolver)
+    └─ resolver.exchange        (one attempt against one NS)
+       └─ net.round_trip        (SimNetwork: RTT draw, loss, catchment)
+          └─ auth.query         (AuthoritativeServer: lookup + rcode)
+
+All timestamps are *virtual* (the shared ``SimClock``), passed
+explicitly by the caller — the tracer never reads a clock itself, so
+the same machinery also serves real transports fed a wall clock.
+
+:class:`NullTracer` is the zero-cost default; components guard their
+instrumentation on ``tracer.enabled``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+
+@dataclass(frozen=True)
+class SpanEvent:
+    """A point-in-time annotation inside a span."""
+
+    time: float
+    name: str
+    attributes: dict[str, object] = field(default_factory=dict)
+
+
+class Span:
+    """One timed operation in a trace tree."""
+
+    __slots__ = (
+        "name", "span_id", "trace_id", "parent", "children",
+        "start", "end", "attributes", "events",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        span_id: int,
+        trace_id: int,
+        start: float,
+        parent: "Span | None" = None,
+    ):
+        self.name = name
+        self.span_id = span_id
+        self.trace_id = trace_id
+        self.parent = parent
+        self.children: list[Span] = []
+        self.start = start
+        self.end: float | None = None
+        self.attributes: dict[str, object] = {}
+        self.events: list[SpanEvent] = []
+
+    # -- recording ---------------------------------------------------------
+
+    def set(self, **attributes: object) -> "Span":
+        self.attributes.update(attributes)
+        return self
+
+    def event(self, name: str, at: float, **attributes: object) -> "Span":
+        self.events.append(SpanEvent(at, name, dict(attributes)))
+        return self
+
+    # -- reading ------------------------------------------------------------
+
+    @property
+    def finished(self) -> bool:
+        return self.end is not None
+
+    @property
+    def duration_s(self) -> float | None:
+        if self.end is None:
+            return None
+        return self.end - self.start
+
+    def walk(self) -> Iterator["Span"]:
+        """This span and all descendants, depth-first in start order."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def find(self, name: str) -> "Span | None":
+        """First descendant (or self) with the given span name."""
+        for span in self.walk():
+            if span.name == name:
+                return span
+        return None
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "trace_id": self.trace_id,
+            "start": self.start,
+            "end": self.end,
+            "attributes": dict(self.attributes),
+            "events": [
+                {"time": ev.time, "name": ev.name, "attributes": ev.attributes}
+                for ev in self.events
+            ],
+            "children": [child.to_dict() for child in self.children],
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"Span({self.name!r}, trace={self.trace_id}, "
+            f"start={self.start:.6f}, end={self.end})"
+        )
+
+
+class Tracer:
+    """Builds span trees and retains finished traces for analysis.
+
+    ``max_traces`` bounds memory on long campaigns: once that many root
+    spans are retained, further finished traces are counted in
+    :attr:`dropped_traces` and discarded whole.
+    """
+
+    enabled = True
+
+    def __init__(self, max_traces: int = 100_000):
+        self.max_traces = max_traces
+        self.roots: list[Span] = []
+        self.dropped_traces = 0
+        self._stack: list[Span] = []
+        self._next_span_id = 1
+        self._next_trace_id = 1
+
+    # -- span lifecycle ----------------------------------------------------
+
+    def start_span(self, name: str, at: float, **attributes: object) -> Span:
+        """Open a span at virtual time ``at``, nested under the active one."""
+        parent = self._stack[-1] if self._stack else None
+        if parent is None:
+            trace_id = self._next_trace_id
+            self._next_trace_id += 1
+        else:
+            trace_id = parent.trace_id
+        span = Span(name, self._next_span_id, trace_id, at, parent)
+        self._next_span_id += 1
+        if attributes:
+            span.attributes.update(attributes)
+        if parent is not None:
+            parent.children.append(span)
+        self._stack.append(span)
+        return span
+
+    def finish_span(self, span: Span, at: float) -> None:
+        """Close a span; root spans are retained (up to ``max_traces``)."""
+        span.end = at
+        if self._stack and self._stack[-1] is span:
+            self._stack.pop()
+        elif span in self._stack:  # defensive: unbalanced finish
+            self._stack.remove(span)
+        if span.parent is None:
+            if len(self.roots) < self.max_traces:
+                self.roots.append(span)
+            else:
+                self.dropped_traces += 1
+
+    class _SpanContext:
+        __slots__ = ("_tracer", "_span", "_end_at")
+
+        def __init__(self, tracer: "Tracer", span: Span):
+            self._tracer = tracer
+            self._span = span
+            self._end_at: float | None = None
+
+        def __enter__(self) -> Span:
+            return self._span
+
+        def end_at(self, at: float) -> None:
+            """Set the virtual end time used when the block exits."""
+            self._end_at = at
+
+        def __exit__(self, *exc_info) -> None:
+            at = self._end_at if self._end_at is not None else self._span.start
+            self._tracer.finish_span(self._span, at)
+
+    def span(self, name: str, at: float, **attributes: object) -> "_SpanContext":
+        """Context-manager form of :meth:`start_span`/:meth:`finish_span`."""
+        return self._SpanContext(self, self.start_span(name, at, **attributes))
+
+    @property
+    def active(self) -> Span | None:
+        return self._stack[-1] if self._stack else None
+
+    # -- queries ------------------------------------------------------------
+
+    def iter_spans(self) -> Iterator[Span]:
+        for root in self.roots:
+            yield from root.walk()
+
+    def spans(self, name: str | None = None) -> list[Span]:
+        if name is None:
+            return list(self.iter_spans())
+        return [span for span in self.iter_spans() if span.name == name]
+
+    def traces(self) -> list[Span]:
+        """Retained root spans, in finish order."""
+        return list(self.roots)
+
+    def clear(self) -> None:
+        self.roots.clear()
+        self.dropped_traces = 0
+
+
+class _NullSpan:
+    """Absorbs every span operation."""
+
+    __slots__ = ()
+    name = ""
+    children: list = []
+    events: list = []
+    attributes: dict = {}
+    start = 0.0
+    end = None
+    finished = False
+
+    def set(self, **attributes) -> "_NullSpan":
+        return self
+
+    def event(self, name: str, at: float, **attributes) -> "_NullSpan":
+        return self
+
+    def walk(self):
+        return iter(())
+
+    def find(self, name: str) -> None:
+        return None
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        pass
+
+    def end_at(self, at: float) -> None:
+        pass
+
+
+NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """Same surface as :class:`Tracer`, all no-ops."""
+
+    enabled = False
+    roots: list = []
+    dropped_traces = 0
+    active = None
+
+    def start_span(self, name: str, at: float, **attributes) -> _NullSpan:
+        return NULL_SPAN
+
+    def finish_span(self, span, at: float) -> None:
+        pass
+
+    def span(self, name: str, at: float, **attributes) -> _NullSpan:
+        return NULL_SPAN
+
+    def iter_spans(self):
+        return iter(())
+
+    def spans(self, name: str | None = None) -> list:
+        return []
+
+    def traces(self) -> list:
+        return []
+
+    def clear(self) -> None:
+        pass
+
+
+def _format_attrs(span: Span) -> str:
+    if not span.attributes:
+        return ""
+    parts = " ".join(f"{key}={value}" for key, value in span.attributes.items())
+    return f" {parts}"
+
+
+def render_trace(root: Span) -> str:
+    """ASCII tree of one trace, with virtual-time offsets in ms."""
+    lines: list[str] = []
+    epoch = root.start
+
+    def visit(span: Span, prefix: str, is_last: bool, is_root: bool) -> None:
+        offset_ms = (span.start - epoch) * 1000.0
+        duration = span.duration_s
+        timing = f"[+{offset_ms:.1f}ms"
+        timing += f" {duration * 1000.0:.1f}ms]" if duration is not None else " open]"
+        if is_root:
+            lines.append(f"{span.name} {timing}{_format_attrs(span)}")
+            child_prefix = ""
+        else:
+            connector = "└─ " if is_last else "├─ "
+            lines.append(f"{prefix}{connector}{span.name} {timing}{_format_attrs(span)}")
+            child_prefix = prefix + ("   " if is_last else "│  ")
+        items: list[tuple[str, object]] = [("span", c) for c in span.children]
+        items += [("event", ev) for ev in span.events]
+
+        def sort_key(item):
+            kind, obj = item
+            return obj.start if kind == "span" else obj.time
+
+        items.sort(key=sort_key)
+        for index, (kind, obj) in enumerate(items):
+            last = index == len(items) - 1
+            if kind == "span":
+                visit(obj, child_prefix, last, False)
+            else:
+                connector = "└─ " if last else "├─ "
+                offset = (obj.time - epoch) * 1000.0
+                attrs = ""
+                if obj.attributes:
+                    attrs = " " + " ".join(
+                        f"{key}={value}" for key, value in obj.attributes.items()
+                    )
+                lines.append(
+                    f"{child_prefix}{connector}· {obj.name} [+{offset:.1f}ms]{attrs}"
+                )
+
+    visit(root, "", True, True)
+    return "\n".join(lines)
+
+
+__all__ = [
+    "NULL_SPAN",
+    "NullTracer",
+    "Span",
+    "SpanEvent",
+    "Tracer",
+    "render_trace",
+]

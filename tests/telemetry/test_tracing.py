@@ -1,0 +1,157 @@
+"""Span/trace semantics: nesting, virtual-time ordering, retention."""
+
+from repro.telemetry import NULL_SPAN, NullTracer, Tracer, render_trace
+
+
+class TestSpanNesting:
+    def test_child_nests_under_active_span(self):
+        tracer = Tracer()
+        root = tracer.start_span("resolver.resolve", at=0.0)
+        child = tracer.start_span("resolver.exchange", at=0.010)
+        assert child.parent is root
+        assert child.trace_id == root.trace_id
+        assert root.children == [child]
+        tracer.finish_span(child, at=0.050)
+        tracer.finish_span(root, at=0.060)
+        assert tracer.traces() == [root]
+
+    def test_sibling_spans_share_parent(self):
+        tracer = Tracer()
+        with tracer.span("resolve", at=0.0) as root:
+            with tracer.span("attempt", at=0.0):
+                pass
+            with tracer.span("attempt", at=0.4):
+                pass
+        assert [child.name for child in root.children] == ["attempt", "attempt"]
+        assert all(child.parent is root for child in root.children)
+
+    def test_separate_roots_get_separate_trace_ids(self):
+        tracer = Tracer()
+        with tracer.span("a", at=0.0):
+            pass
+        with tracer.span("b", at=1.0):
+            pass
+        first, second = tracer.traces()
+        assert first.trace_id != second.trace_id
+
+    def test_virtual_time_ordering(self):
+        """Span times come from the caller's (virtual) clock, in order."""
+        tracer = Tracer()
+        root = tracer.start_span("resolve", at=100.0)
+        exchange = tracer.start_span("exchange", at=100.0)
+        trip = tracer.start_span("round_trip", at=100.0)
+        trip.event("rtt_draw", at=100.0, rtt_ms=82.0)
+        tracer.finish_span(trip, at=100.082)
+        tracer.finish_span(exchange, at=100.082)
+        tracer.finish_span(root, at=100.082)
+        spans = list(root.walk())
+        assert [span.name for span in spans] == ["resolve", "exchange", "round_trip"]
+        for parent, child in zip(spans, spans[1:]):
+            assert child.start >= parent.start
+            assert child.end <= parent.end
+        assert abs(trip.duration_s - 0.082) < 1e-9
+
+    def test_walk_is_depth_first_and_find_matches(self):
+        tracer = Tracer()
+        with tracer.span("root", at=0.0) as root:
+            with tracer.span("left", at=0.0):
+                with tracer.span("leaf", at=0.0):
+                    pass
+            with tracer.span("right", at=1.0):
+                pass
+        assert [span.name for span in root.walk()] == [
+            "root", "left", "leaf", "right",
+        ]
+        assert root.find("leaf").name == "leaf"
+        assert root.find("missing") is None
+
+
+class TestSpanData:
+    def test_set_and_event_are_chainable(self):
+        tracer = Tracer()
+        with tracer.span("s", at=0.0) as span:
+            span.set(site="FRA").event("loss", at=0.5, reason="drop")
+        assert span.attributes["site"] == "FRA"
+        assert span.events[0].name == "loss"
+        assert span.events[0].time == 0.5
+        assert span.events[0].attributes == {"reason": "drop"}
+
+    def test_context_manager_end_at(self):
+        tracer = Tracer()
+        context = tracer.span("s", at=2.0)
+        with context as span:
+            context.end_at(2.5)
+        assert span.end == 2.5
+
+    def test_to_dict_round_trips_tree(self):
+        tracer = Tracer()
+        with tracer.span("root", at=0.0) as root:
+            root.set(qname="probe.example.nl.")
+            with tracer.span("child", at=0.1):
+                pass
+        data = root.to_dict()
+        assert data["name"] == "root"
+        assert data["attributes"] == {"qname": "probe.example.nl."}
+        assert data["children"][0]["name"] == "child"
+
+
+class TestRetention:
+    def test_max_traces_drops_whole_traces(self):
+        tracer = Tracer(max_traces=2)
+        for index in range(5):
+            with tracer.span("t", at=float(index)):
+                pass
+        assert len(tracer.traces()) == 2
+        assert tracer.dropped_traces == 3
+
+    def test_clear_resets_roots_and_drop_counter(self):
+        tracer = Tracer(max_traces=1)
+        for index in range(3):
+            with tracer.span("t", at=float(index)):
+                pass
+        tracer.clear()
+        assert tracer.traces() == []
+        assert tracer.dropped_traces == 0
+
+    def test_spans_filter_by_name(self):
+        tracer = Tracer()
+        with tracer.span("resolve", at=0.0):
+            with tracer.span("exchange", at=0.0):
+                pass
+            with tracer.span("exchange", at=0.1):
+                pass
+        assert len(tracer.spans("exchange")) == 2
+        assert len(tracer.spans()) == 3
+
+
+class TestRender:
+    def test_render_trace_shows_tree_and_offsets(self):
+        tracer = Tracer()
+        root = tracer.start_span("resolver.resolve", at=10.0, qname="q.nl.")
+        child = tracer.start_span("net.round_trip", at=10.0)
+        child.event("rtt_draw", at=10.0, rtt_ms=50.0)
+        tracer.finish_span(child, at=10.05)
+        tracer.finish_span(root, at=10.05)
+        text = render_trace(root)
+        assert "resolver.resolve [+0.0ms 50.0ms] qname=q.nl." in text
+        assert "└─ net.round_trip [+0.0ms 50.0ms]" in text
+        assert "· rtt_draw [+0.0ms] rtt_ms=50.0" in text
+
+
+class TestNullTracer:
+    def test_null_tracer_absorbs_everything(self):
+        tracer = NullTracer()
+        assert tracer.enabled is False
+        span = tracer.start_span("s", at=0.0)
+        assert span is NULL_SPAN
+        span.set(a=1).event("e", at=0.0)
+        tracer.finish_span(span, at=1.0)
+        with tracer.span("t", at=0.0) as inner:
+            assert inner is NULL_SPAN
+        assert tracer.traces() == []
+        assert tracer.spans() == []
+
+    def test_null_span_reads_as_empty(self):
+        assert NULL_SPAN.find("anything") is None
+        assert list(NULL_SPAN.walk()) == []
+        assert NULL_SPAN.finished is False
