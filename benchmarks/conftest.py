@@ -10,17 +10,23 @@ Every cached run carries its wall-clock phase profile
 them all to a machine-readable JSON sidecar so performance changes can
 be compared commit-to-commit.  Set ``REPRO_BENCH_SIDECAR`` to choose the
 path (default ``benchmarks/.bench_profile.json``; set it empty to skip).
+
+The sidecar is versioned (``schema``) and stamped with the producing
+git commit, so ``repro-dns bench-diff`` can refuse to compare
+incompatible or unidentifiable files.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import subprocess
 from pathlib import Path
 
 import pytest
 
 from repro.core.experiment import ExperimentResult, run_combination
+from repro.telemetry.regression import SIDECAR_SCHEMA
 
 #: probes per run — scaled down from the paper's ~9,700 VPs to keep the
 #: harness fast; the statistics are stable at this size.
@@ -63,6 +69,22 @@ def _sidecar_path() -> Path | None:
     return Path(configured) if configured else None
 
 
+def _git_commit() -> str | None:
+    """The producing commit, or None outside a git checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=Path(__file__).parent,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    commit = out.stdout.strip()
+    return commit if out.returncode == 0 and commit else None
+
+
 @pytest.fixture(scope="session")
 def run_cache():
     cache = RunCache()
@@ -71,6 +93,8 @@ def run_cache():
     if path is None or not cache._runs:
         return
     sidecar = {
+        "schema": SIDECAR_SCHEMA,
+        "git_commit": _git_commit(),
         "probes": BENCH_PROBES,
         "seed": BENCH_SEED,
         "runs": cache.profiles(),

@@ -22,7 +22,13 @@ Subpackages
     Metrics registry, query-lifecycle tracing, and run profiling.
 """
 
+import logging
+
 __version__ = "1.0.0"
+
+# Library etiquette: never log unless the application opts in.  The CLI
+# attaches a real stderr handler via its --log-level flag.
+logging.getLogger("repro").addHandler(logging.NullHandler())
 
 from . import analysis, atlas, core, dns, netsim, passive, resolvers, telemetry
 

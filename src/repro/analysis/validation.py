@@ -112,12 +112,15 @@ def compare_views(
     deployment: Deployment | None = None,
     min_queries: int = 5,
     tracer=None,
+    sink=None,
 ) -> ViewComparison:
     """Compare the two vantages, as the paper does for Figure 4.
 
     The server-side vantage comes from the telemetry ``tracer`` when
     one is given (the preferred capture mechanism), otherwise from the
-    deployment's authoritative query logs.
+    deployment's authoritative query logs.  ``sink`` is an optional
+    event-log writer: the result is appended to it as a
+    ``view_comparison`` event for offline analysis.
     """
     client = client_side_shares(observations, min_queries)
     if tracer is not None:
@@ -141,10 +144,23 @@ def compare_views(
     else:
         mean_divergence = 0.0
         p90 = 0.0
-    return ViewComparison(
+    comparison = ViewComparison(
         recursives_compared=len(common),
         mean_divergence=mean_divergence,
         p90_divergence=p90,
         client_only=len(set(client) - set(server)),
         server_only=len(set(server) - set(client)),
     )
+    if sink is not None and getattr(sink, "enabled", True):
+        from ..telemetry import ViewComparisonEvent
+
+        sink.emit(ViewComparisonEvent(comparison={
+            "recursives_compared": comparison.recursives_compared,
+            "mean_divergence": comparison.mean_divergence,
+            "p90_divergence": comparison.p90_divergence,
+            "client_only": comparison.client_only,
+            "server_only": comparison.server_only,
+            "min_queries": min_queries,
+            "vantage": "tracer" if tracer is not None else "query_log",
+        }))
+    return comparison

@@ -242,6 +242,9 @@ class AtlasPlatform:
             self.build_vantage_points()
         run = MeasurementRun(domain, interval_s, duration_s)
         ticks = int(duration_s // interval_s)
+        self._emit_campaign_note(
+            "measure.start", domain, interval_s, duration_s,
+        )
         with self.telemetry.profiler.phase("platform.measure"):
             for tick in range(ticks):
                 now = self.network.clock.now
@@ -249,7 +252,33 @@ class AtlasPlatform:
                     qname = f"{label_prefix}-{vp.vp_id}-{tick}.probe.{domain}"
                     self._observe(run, vp, qname, now)
                 self.network.clock.advance(interval_s)
+        self._emit_campaign_note(
+            "measure.end", domain, interval_s, duration_s,
+            observations=len(run.observations),
+        )
         return run
+
+    def _emit_campaign_note(
+        self, name: str, domain: str, interval_s: float, duration_s: float,
+        **extra,
+    ) -> None:
+        """Mark campaign boundaries in the event log, when one is attached."""
+        events = self.telemetry.events
+        if not events.enabled:
+            return
+        from ..telemetry import Note
+
+        events.emit(Note(
+            name=name,
+            at=self.network.clock.now,
+            data={
+                "domain": domain,
+                "interval_s": interval_s,
+                "duration_s": duration_s,
+                "vantage_points": len(self.vantage_points),
+                **extra,
+            },
+        ))
 
     def measure_event_driven(
         self,
@@ -286,6 +315,13 @@ class AtlasPlatform:
             scheduler.schedule_at(
                 epoch + phase, lambda vp=vp: fire(vp, 0)
             )
+        self._emit_campaign_note(
+            "measure.start", domain, interval_s, duration_s,
+        )
         with self.telemetry.profiler.phase("platform.measure"):
             scheduler.run_until(epoch + duration_s)
+        self._emit_campaign_note(
+            "measure.end", domain, interval_s, duration_s,
+            observations=len(run.observations),
+        )
         return run

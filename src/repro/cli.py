@@ -7,16 +7,25 @@ Usage (also available as ``python -m repro``):
     repro-dns analyze --run run.jsonl --sites FRA SYD
     repro-dns metrics --combo 2C --probes 100
     repro-dns trace --combo 2C --count 2
+    repro-dns dashboard run.events.jsonl
+    repro-dns bench-diff benchmarks/baseline.json benchmarks/.bench_profile.json
     repro-dns sweep --probes 150
     repro-dns passive --kind root --recursives 250 --out trace.jsonl
     repro-dns plan --clients 500 --sites FRA IAD SYD GRU --home FRA
+
+Global flags (before the subcommand): ``--output FILE`` sends command
+output to a file instead of stdout, ``--quiet`` silences progress
+notes, ``--log-level`` wires the ``repro.*`` loggers to stderr.
 """
 
 from __future__ import annotations
 
 import argparse
+import logging
+import os
 import random
 import sys
+from pathlib import Path
 
 from .analysis import (
     analyze_interval_sweep,
@@ -50,16 +59,73 @@ from .netsim import DATACENTERS
 from .passive import generate_ditl_trace, generate_nl_trace, save_trace
 
 
+class CliWriter:
+    """Routes command output: stdout, a ``--output`` file, or nowhere.
+
+    Two channels, deliberately separate:
+
+    :meth:`emit`
+        The command's *product* (tables, dumps, dashboards).  Goes to
+        stdout, or to the ``--output`` file when one is given — so
+        results can be saved or piped without shell redirection.
+    :meth:`status`
+        Progress notes ("running 2C ...").  Always stderr, and
+        silenced entirely by ``--quiet``.
+    """
+
+    def __init__(self, output: str | None = None, quiet: bool = False):
+        self.quiet = quiet
+        self.path = Path(output) if output else None
+        self._fh = self.path.open("w") if self.path else None
+
+    def emit(self, text: object = "") -> None:
+        """One block of command output (adds the trailing newline)."""
+        stream = self._fh if self._fh is not None else sys.stdout
+        stream.write(str(text) + "\n")
+
+    def status(self, text: object) -> None:
+        """A progress note on stderr; suppressed by ``--quiet``."""
+        if not self.quiet:
+            print(text, file=sys.stderr)
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+
+def _configure_logging(level_name: str) -> None:
+    """Wire the ``repro.*`` logger tree to stderr at the chosen level.
+
+    The package root has a ``NullHandler`` (library etiquette); the CLI
+    is an application, so it attaches a real handler — but only one,
+    and only to the ``repro`` logger, never the root logger.
+    """
+    logger = logging.getLogger("repro")
+    logger.setLevel(getattr(logging, level_name.upper()))
+    if not any(
+        isinstance(handler, logging.StreamHandler)
+        and not isinstance(handler, logging.NullHandler)
+        for handler in logger.handlers
+    ):
+        handler = logging.StreamHandler(sys.stderr)
+        handler.setFormatter(
+            logging.Formatter("%(levelname)s %(name)s: %(message)s")
+        )
+        logger.addHandler(handler)
+
+
 def _cmd_combos(args: argparse.Namespace) -> int:
     rows = [
         [combo.combo_id, ", ".join(combo.sites), str(combo.paper_vp_count)]
         for combo in COMBINATIONS.values()
     ]
-    print(render_table(["ID", "locations", "paper VPs"], rows, title="Table 1"))
+    args.io.emit(render_table(["ID", "locations", "paper VPs"], rows, title="Table 1"))
     return 0
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    io = args.io
     config = ExperimentConfig.for_combination(
         args.combo,
         num_probes=args.probes,
@@ -68,40 +134,50 @@ def _cmd_run(args: argparse.Namespace) -> int:
         seed=args.seed,
         ipv6=args.ipv6,
     )
-    print(
+    io.status(
         f"running {args.combo} ({', '.join(COMBINATIONS[args.combo].sites)}): "
         f"{args.probes} probes, every {args.interval} min for {args.duration} min"
     )
-    result = TestbedExperiment(config).run()
-    print(f"{len(result.observations)} observations from {result.run.vp_count} VPs")
+    telemetry = None
+    if args.events:
+        from .telemetry import Telemetry
+
+        telemetry = Telemetry.enabled_bundle(event_log=args.events)
+    result = TestbedExperiment(config, telemetry=telemetry).run()
+    io.status(
+        f"{len(result.observations)} observations from {result.run.vp_count} VPs"
+    )
+    if args.events:
+        telemetry.events.close()
+        io.status(f"wrote event log to {args.events}")
     if args.out:
         written = save_run(result.run, args.out)
-        print(f"wrote {written} observations to {args.out}")
+        io.status(f"wrote {written} observations to {args.out}")
     sites = set(COMBINATIONS[args.combo].sites)
     ticks = int(config.duration_s // config.interval_s)
-    _print_analyses(result.observations, sites, args.combo, ticks)
+    _print_analyses(io, result.observations, sites, args.combo, ticks)
     return 0
 
 
-def _print_analyses(observations, sites, combo_id, ticks: int = 30) -> None:
+def _print_analyses(io: CliWriter, observations, sites, combo_id, ticks: int = 30) -> None:
     # Short campaigns need a lower per-VP query threshold.
     min_queries = max(3, min(10, ticks - 2))
-    print()
-    print(
+    io.emit()
+    io.emit(
         render_probe_all(
             [analyze_probe_all(observations, sites, combo_id, min_queries=min_queries)]
         )
     )
-    print()
-    print(render_query_share([analyze_query_share(observations, sites, combo_id)]))
-    print()
-    print(
+    io.emit()
+    io.emit(render_query_share([analyze_query_share(observations, sites, combo_id)]))
+    io.emit()
+    io.emit(
         render_preference(
             [analyze_preference(observations, sites, combo_id, min_queries=min_queries)]
         )
     )
-    print()
-    print(
+    io.emit()
+    io.emit(
         render_table2(
             {combo_id: table2_rows(observations, sites, min_queries=min_queries)}
         )
@@ -111,17 +187,21 @@ def _print_analyses(observations, sites, combo_id, ticks: int = 30) -> None:
 def _cmd_analyze(args: argparse.Namespace) -> int:
     run = load_run(args.run)
     sites = set(args.sites)
-    print(f"{len(run.observations)} observations, {run.vp_count} VPs, domain {run.domain}")
+    args.io.emit(
+        f"{len(run.observations)} observations, {run.vp_count} VPs, domain {run.domain}"
+    )
     ticks = int(run.duration_s // run.interval_s) if run.interval_s else 30
-    _print_analyses(run.observations, sites, args.combo, ticks)
+    _print_analyses(args.io, run.observations, sites, args.combo, ticks)
     return 0
 
 
-def _cmd_metrics(args: argparse.Namespace) -> int:
-    """Run a combination with telemetry and dump the metrics registry."""
+def _run_with_telemetry(args: argparse.Namespace, tracing: bool):
+    """Shared by metrics/dashboard: one instrumented seeded run."""
     from .telemetry import Telemetry
 
-    telemetry = Telemetry.enabled_bundle(tracing=False)
+    telemetry = Telemetry.enabled_bundle(
+        tracing=tracing, event_log=getattr(args, "events", None)
+    )
     config = ExperimentConfig.for_combination(
         args.combo,
         num_probes=args.probes,
@@ -129,31 +209,33 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
         duration_s=args.duration * 60.0,
         seed=args.seed,
     )
-    print(
+    args.io.status(
         f"running {args.combo} with telemetry: {args.probes} probes, "
-        f"every {args.interval:g} min for {args.duration:g} min",
-        file=sys.stderr,
+        f"every {args.interval:g} min for {args.duration:g} min"
     )
     result = TestbedExperiment(config, telemetry=telemetry).run()
-    print(
-        f"{len(result.observations)} observations from {result.run.vp_count} VPs",
-        file=sys.stderr,
+    args.io.status(
+        f"{len(result.observations)} observations from {result.run.vp_count} VPs"
     )
+    return telemetry, result
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    """Run a combination with telemetry and dump the metrics registry."""
+    io = args.io
+    telemetry, _ = _run_with_telemetry(args, tracing=bool(args.events))
+    if args.events:
+        telemetry.events.close()
+        io.status(f"wrote event log to {args.events}")
     text = (
         telemetry.registry.to_json(indent=2)
         if args.format == "json"
         else telemetry.registry.to_prometheus_text()
     )
-    if args.out:
-        from pathlib import Path
-
-        Path(args.out).write_text(text if text.endswith("\n") else text + "\n")
-        print(f"wrote metrics to {args.out}", file=sys.stderr)
-    else:
-        print(text, end="" if text.endswith("\n") else "\n")
+    io.emit(text if not text.endswith("\n") else text[:-1])
     if args.profile:
-        print(file=sys.stderr)
-        print(telemetry.profiler.render(), file=sys.stderr)
+        io.status("")
+        io.status(telemetry.profiler.render())
     return 0
 
 
@@ -161,6 +243,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     """Trace cache-busting queries through resolver, network, and NS."""
     from .telemetry import Telemetry, render_trace
 
+    io = args.io
     telemetry = Telemetry.enabled_bundle()
     config = ExperimentConfig.for_combination(
         args.combo,
@@ -176,25 +259,70 @@ def _cmd_trace(args: argparse.Namespace) -> int:
             continue
         if args.cache_misses_only and root.attributes.get("cache") != "miss":
             continue
-        print(render_trace(root))
-        print()
+        io.emit(render_trace(root))
+        io.emit()
         printed += 1
         if printed >= args.count:
             break
     if printed == 0:
-        print("no matching traces captured", file=sys.stderr)
+        io.status("no matching traces captured")
         return 1
-    print(
-        f"{printed} of {len(telemetry.tracer.traces())} captured traces shown",
-        file=sys.stderr,
+    io.status(
+        f"{printed} of {len(telemetry.tracer.traces())} captured traces shown"
     )
     return 0
 
 
+def _cmd_dashboard(args: argparse.Namespace) -> int:
+    """Render the run scorecard from a saved event log or a live run."""
+    from .telemetry.dashboard import render_dashboard, render_dashboard_from_log
+
+    io = args.io
+    if args.log:
+        io.emit(render_dashboard_from_log(args.log, top_slowest=args.top))
+        return 0
+    telemetry, _ = _run_with_telemetry(args, tracing=True)
+    if args.events:
+        telemetry.events.close()
+        io.status(f"wrote event log to {args.events}")
+    io.emit(
+        render_dashboard(
+            telemetry.registry.as_dict(),
+            traces=telemetry.tracer.traces(),
+            title=f"Run dashboard — live {args.combo} seed={args.seed} "
+            f"probes={args.probes}",
+            top_slowest=args.top,
+        )
+    )
+    return 0
+
+
+def _cmd_bench_diff(args: argparse.Namespace) -> int:
+    """Compare two bench-profile sidecars; non-zero exit on regression."""
+    from .telemetry.regression import SidecarError, diff_sidecar_files
+
+    io = args.io
+    try:
+        diff = diff_sidecar_files(
+            args.base,
+            args.new,
+            phase_threshold=args.phase_threshold,
+            min_seconds=args.min_seconds,
+            counter_threshold=args.counter_threshold,
+            force=args.force,
+        )
+    except SidecarError as exc:
+        io.status(f"bench-diff: {exc}")
+        return 2
+    io.emit(diff.render())
+    return 1 if diff.regressed else 0
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
+    io = args.io
     runs = {}
     for minutes in args.intervals:
-        print(f"running 2C at {minutes}-minute interval ...", file=sys.stderr)
+        io.status(f"running 2C at {minutes}-minute interval ...")
         duration = max(3600.0, minutes * 60.0 * 6)
         result = run_combination(
             "2C",
@@ -204,35 +332,37 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             seed=args.seed,
         )
         runs[float(minutes)] = result.observations
-    print(render_interval_sweep(analyze_interval_sweep(runs, args.reference)))
+    io.emit(render_interval_sweep(analyze_interval_sweep(runs, args.reference)))
     return 0
 
 
 def _cmd_passive(args: argparse.Namespace) -> int:
+    io = args.io
     if args.kind == "root":
         trace = generate_ditl_trace(num_recursives=args.recursives, seed=args.seed)
         target_count, label = 10, "Root, 10 of 13 letters"
     else:
         trace = generate_nl_trace(num_recursives=args.recursives, seed=args.seed)
         target_count, label = 4, ".nl, 4 of 8 NSes"
-    print(f"{trace.query_count} captured queries from {trace.recursive_count()} recursives")
+    io.emit(
+        f"{trace.query_count} captured queries from "
+        f"{trace.recursive_count()} recursives"
+    )
     if args.out:
         save_trace(trace, args.out)
-        print(f"wrote trace to {args.out}")
+        io.status(f"wrote trace to {args.out}")
     result = analyze_rank_bands(
         trace.queries_by_recursive(),
         target_count=target_count,
         min_queries=args.min_queries,
     )
-    print()
-    print(render_rank_bands(result, label))
+    io.emit()
+    io.emit(render_rank_bands(result, label))
     return 0
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     """Serve a zone file over real UDP (and TCP) sockets."""
-    from pathlib import Path
-
     from .dns import (
         AuthoritativeServer,
         TcpAuthoritativeServer,
@@ -240,6 +370,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         parse_zone_text,
     )
 
+    io = args.io
     text = Path(args.zone).read_text()
     zone = parse_zone_text(text, args.origin)
     zone.validate()
@@ -248,8 +379,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     tcp = TcpAuthoritativeServer(engine, host=args.host, port=udp.address[1])
     with udp, tcp:
         host, port = udp.address
-        print(f"serving {zone.origin.to_text()} on {host}:{port} (udp+tcp)")
-        print("Ctrl-C to stop")
+        io.emit(f"serving {zone.origin.to_text()} on {host}:{port} (udp+tcp)")
+        io.status("Ctrl-C to stop")
         try:
             import time as _time
 
@@ -259,7 +390,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                     break
         except KeyboardInterrupt:
             pass
-    print(f"served {engine.stats.queries} queries")
+    io.emit(f"served {engine.stats.queries} queries")
     return 0
 
 
@@ -272,11 +403,12 @@ def _cmd_scorecard(args: argparse.Namespace) -> int:
     from .netsim.geo import Continent
     from .passive import generate_ditl_trace, generate_nl_trace
 
+    io = args.io
     card = Scorecard()
     runs = {}
     probe_all = {}
     for combo_id, combo in COMBINATIONS.items():
-        print(f"running {combo_id} ...", file=sys.stderr)
+        io.status(f"running {combo_id} ...")
         result = run_combination(combo_id, num_probes=args.probes, seed=args.seed)
         runs[combo_id] = result
         probe_all[combo_id] = analyze_probe_all(
@@ -305,7 +437,7 @@ def _cmd_scorecard(args: argparse.Namespace) -> int:
     card.record("table2_2c_eu_fra_rtt", eu.median_rtt_by_site["FRA"])
     card.record("table2_2c_eu_syd_rtt", eu.median_rtt_by_site["SYD"])
 
-    print("running interval sweep ...", file=sys.stderr)
+    io.status("running interval sweep ...")
     sweep_runs = {}
     for minutes in (2, 30):
         result = run_combination(
@@ -320,7 +452,7 @@ def _cmd_scorecard(args: argparse.Namespace) -> int:
     card.record("fig6_eu_2min", eu_series[2.0])
     card.record("fig6_eu_30min_persists", eu_series[30.0])
 
-    print("generating passive traces ...", file=sys.stderr)
+    io.status("generating passive traces ...")
     root = analyze_rank_bands(
         generate_ditl_trace(
             num_recursives=args.recursives, seed=2
@@ -338,9 +470,12 @@ def _cmd_scorecard(args: argparse.Namespace) -> int:
     )
     card.record("fig7_nl_all_four", nl.pct_querying_all())
 
-    print(card.render())
+    io.emit(card.render())
     misses = card.misses()
-    print(f"\n{len(card.measured) - len(misses)}/{len(card.measured)} claims within tolerance")
+    io.emit(
+        f"\n{len(card.measured) - len(misses)}/{len(card.measured)} "
+        "claims within tolerance"
+    )
     return 0 if not misses else 1
 
 
@@ -348,6 +483,7 @@ def _cmd_dig(args: argparse.Namespace) -> int:
     """Query a real DNS server (pairs with ``serve``)."""
     from .dns import RRClass, RRType, query_tcp, query_udp
 
+    io = args.io
     rrtype = RRType.from_text(args.rrtype)
     rrclass = RRClass.from_text(args.rrclass)
     address = (args.server, args.port)
@@ -356,9 +492,9 @@ def _cmd_dig(args: argparse.Namespace) -> int:
     else:
         response = query_udp(address, args.name, rrtype, rrclass, timeout=args.timeout)
         if response.truncated:
-            print(";; truncated — retrying over TCP")
+            io.status(";; truncated — retrying over TCP")
             response = query_tcp(address, args.name, rrtype, rrclass, timeout=args.timeout)
-    print(response.to_text())
+    io.emit(response.to_text())
     return 0 if response.rcode == 0 else 1
 
 
@@ -380,7 +516,7 @@ def _cmd_plan(args: argparse.Namespace) -> int:
         ]
         for ev in planner.rank(designs)
     ]
-    print(
+    args.io.emit(
         render_table(
             ["design", "anycast", "mean(ms)", "p90(ms)", "worst-NS(ms)"],
             rows,
@@ -394,6 +530,19 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-dns",
         description="Reproduction toolkit for 'Recursives in the Wild' (IMC 2017)",
+    )
+    parser.add_argument(
+        "--output", metavar="FILE", default=None,
+        help="write command output to FILE instead of stdout",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true",
+        help="silence progress notes (stderr)",
+    )
+    parser.add_argument(
+        "--log-level", default="warning",
+        choices=("debug", "info", "warning", "error"),
+        help="stderr level for the repro.* loggers (default: warning)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -409,6 +558,10 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--seed", type=int, default=0)
     run_parser.add_argument("--ipv6", action="store_true")
     run_parser.add_argument("--out", help="save observations as JSONL")
+    run_parser.add_argument(
+        "--events", metavar="FILE",
+        help="stream a telemetry event log (JSONL) to FILE",
+    )
     run_parser.set_defaults(func=_cmd_run)
 
     analyze_parser = sub.add_parser("analyze", help="analyze a saved run")
@@ -429,7 +582,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--format", choices=("prom", "json"), default="prom",
         help="Prometheus text (default) or JSON sidecar",
     )
-    metrics_parser.add_argument("--out", help="write the dump to a file")
+    metrics_parser.add_argument(
+        "--events", metavar="FILE",
+        help="also stream a telemetry event log (JSONL) to FILE",
+    )
     metrics_parser.add_argument(
         "--profile", action="store_true",
         help="also print the simulator's wall-clock phase profile",
@@ -449,6 +605,46 @@ def build_parser() -> argparse.ArgumentParser:
         help="include cache hits (default: cache-busting misses only)",
     )
     trace_parser.set_defaults(func=_cmd_trace)
+
+    dashboard_parser = sub.add_parser(
+        "dashboard",
+        help="render the run scorecard from an event log (or a live run)",
+    )
+    dashboard_parser.add_argument(
+        "log", nargs="?", default=None,
+        help="a saved event log (JSONL); omit to run live",
+    )
+    dashboard_parser.add_argument("--top", type=int, default=5,
+                                  help="slowest traces to show")
+    dashboard_parser.add_argument("--combo", default="2C",
+                                  choices=sorted(COMBINATIONS))
+    dashboard_parser.add_argument("--probes", type=int, default=100)
+    dashboard_parser.add_argument("--interval", type=float, default=2.0,
+                                  help="minutes (live mode)")
+    dashboard_parser.add_argument("--duration", type=float, default=30.0,
+                                  help="minutes (live mode)")
+    dashboard_parser.add_argument("--seed", type=int, default=0)
+    dashboard_parser.add_argument(
+        "--events", metavar="FILE",
+        help="live mode: also stream the event log to FILE",
+    )
+    dashboard_parser.set_defaults(func=_cmd_dashboard)
+
+    bench_parser = sub.add_parser(
+        "bench-diff",
+        help="compare two bench-profile sidecars; exit 1 on regression",
+    )
+    bench_parser.add_argument("base", help="baseline sidecar JSON")
+    bench_parser.add_argument("new", help="candidate sidecar JSON")
+    bench_parser.add_argument("--phase-threshold", type=float, default=0.30,
+                              help="relative slowdown a phase may show (0.30 = +30%%)")
+    bench_parser.add_argument("--min-seconds", type=float, default=0.05,
+                              help="absolute slowdown floor before a phase can fail")
+    bench_parser.add_argument("--counter-threshold", type=float, default=0.001,
+                              help="relative drift a deterministic counter may show")
+    bench_parser.add_argument("--force", action="store_true",
+                              help="compare even across sidecar schema versions")
+    bench_parser.set_defaults(func=_cmd_bench_diff)
 
     sweep_parser = sub.add_parser("sweep", help="Figure 6 interval sweep (2C)")
     sweep_parser.add_argument("--probes", type=int, default=150)
@@ -514,7 +710,18 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    _configure_logging(args.log_level)
+    args.io = CliWriter(output=args.output, quiet=args.quiet)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Downstream closed the pipe (| head, a pager): exit quietly
+        # like a unix filter.  Point stdout at devnull first so the
+        # interpreter's shutdown flush cannot raise again.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 141  # 128 + SIGPIPE, the shell convention
+    finally:
+        args.io.close()
 
 
 if __name__ == "__main__":

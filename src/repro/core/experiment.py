@@ -103,6 +103,19 @@ class TestbedExperiment:
 
     def run(self) -> ExperimentResult:
         profiler = self.profiler
+        events = self.telemetry.events
+        if events.enabled:
+            from ..telemetry import RunMeta
+
+            events.emit(RunMeta(run={
+                "domain": self.config.domain,
+                "sites": [list(spec.sites) for spec in self.config.authoritatives],
+                "num_probes": self.config.num_probes,
+                "interval_s": self.config.interval_s,
+                "duration_s": self.config.duration_s,
+                "seed": self.config.seed,
+                "ipv6": self.config.ipv6,
+            }))
         base = "2001:db8:53" if self.config.ipv6 else "10.0"
         with profiler.phase("experiment.deploy"):
             addresses = self.deployment.deploy(self.network, base_address=base)
@@ -131,6 +144,11 @@ class TestbedExperiment:
         profiler.record("config.num_probes", self.config.num_probes)
         profiler.record("config.seed", self.config.seed)
         profiler.count("experiment.runs")
+        profiler.count("experiment.observations", len(run.observations))
+        if events.enabled:
+            # Close out the log: end-state metrics + the phase profile.
+            # (The writer stays open so callers can append more events.)
+            self.telemetry.finalize_events(at=self.network.clock.now)
         return ExperimentResult(
             config=self.config,
             run=run,

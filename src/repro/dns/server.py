@@ -8,6 +8,7 @@ which plays the role of the paper's server-side packet captures.
 
 from __future__ import annotations
 
+import logging
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator
@@ -19,6 +20,8 @@ from .rdata import TXT
 from .records import RRset
 from .types import MAX_UDP_PAYLOAD, Opcode, Rcode, RRClass, RRType
 from .zone import LookupStatus, Zone
+
+log = logging.getLogger("repro.dns.server")
 
 CHAOS_ID_SERVER = Name.from_text("id.server.")
 CHAOS_HOSTNAME_BIND = Name.from_text("hostname.bind.")
@@ -74,6 +77,11 @@ class BoundedQueryLog:
             self.maxlen is not None and len(self._entries) == self.maxlen
         )
         if evicting:
+            if self.dropped == 0:
+                log.warning(
+                    "query log full (maxlen=%d): evicting oldest entries",
+                    self.maxlen,
+                )
             self.dropped += 1
         self._entries.append(entry)
         return evicting

@@ -32,6 +32,24 @@ disabled run pays one attribute check per operation::
 from __future__ import annotations
 
 from .clock import DEFAULT_CLOCK, Clock, ManualClock, MonotonicClock
+from .events import (
+    EVENT_LOG_KIND,
+    EVENT_SCHEMA_VERSION,
+    EventLog,
+    EventLogError,
+    EventLogWriter,
+    MetricsSnapshot,
+    NULL_EVENT_SINK,
+    Note,
+    NullEventSink,
+    ProfileEvent,
+    RawEvent,
+    RunMeta,
+    TraceEvent,
+    ViewComparisonEvent,
+    read_events,
+    span_from_dict,
+)
 from .profiling import NullProfiler, RunProfiler
 from .registry import (
     DEFAULT_RTT_BUCKETS_MS,
@@ -43,18 +61,25 @@ from .registry import (
     NullRegistry,
     Sample,
 )
+from .sketch import EXPORTED_QUANTILES, P2Quantile, quantile_from_buckets
 from .tracing import NULL_SPAN, NullTracer, Span, SpanEvent, Tracer, render_trace
 
 
 class Telemetry:
-    """One run's registry + tracer + profiler, passed through every layer."""
+    """One run's registry + tracer + profiler, passed through every layer.
 
-    __slots__ = ("registry", "tracer", "profiler", "enabled")
+    An optional fourth pillar, ``events``, is the export pipeline: an
+    :class:`EventLogWriter` the tracer streams finished traces into and
+    run drivers append snapshot events to (:meth:`finalize_events`).
+    """
 
-    def __init__(self, registry, tracer, profiler):
+    __slots__ = ("registry", "tracer", "profiler", "events", "enabled")
+
+    def __init__(self, registry, tracer, profiler, events=None):
         self.registry = registry
         self.tracer = tracer
         self.profiler = profiler
+        self.events = events if events is not None else NULL_EVENT_SINK
         #: cached flag hot paths guard on (any pillar live?)
         self.enabled = bool(registry.enabled or tracer.enabled)
 
@@ -65,17 +90,57 @@ class Telemetry:
         tracing: bool = True,
         profiling: bool = True,
         max_traces: int = 100_000,
+        event_log=None,
     ) -> "Telemetry":
-        """A live bundle; switch off individual pillars as needed."""
+        """A live bundle; switch off individual pillars as needed.
+
+        ``event_log`` is a path (or an open :class:`EventLogWriter`):
+        when given, every finished trace streams there as the run
+        progresses, and :meth:`finalize_events` appends the closing
+        metrics/profile snapshots.
+        """
+        if event_log is None:
+            sink = NULL_EVENT_SINK
+        elif isinstance(event_log, (EventLogWriter, NullEventSink)):
+            sink = event_log
+        else:
+            sink = EventLogWriter(event_log)
+        tracer = (
+            Tracer(
+                max_traces=max_traces,
+                sink=sink if sink.enabled else None,
+            )
+            if tracing
+            else NullTracer()
+        )
         return cls(
             registry=MetricsRegistry() if metrics else NullRegistry(),
-            tracer=Tracer(max_traces=max_traces) if tracing else NullTracer(),
+            tracer=tracer,
             profiler=RunProfiler() if profiling else NullProfiler(),
+            events=sink,
         )
 
     @classmethod
     def disabled_bundle(cls) -> "Telemetry":
         return cls(NullRegistry(), NullTracer(), NullProfiler())
+
+    def finalize_events(self, at: float | None = None, close: bool = False) -> None:
+        """Append registry/profiler snapshots to the event log and flush.
+
+        Safe to call with no event sink attached (no-op), and more than
+        once (each call appends fresh snapshots).  ``close=True`` also
+        closes the underlying file; later emits are counted as drops.
+        """
+        sink = self.events
+        if not sink.enabled:
+            return
+        for event in self.registry.to_events(at=at):
+            sink.emit(event)
+        for event in self.profiler.to_events():
+            sink.emit(event)
+        sink.flush()
+        if close:
+            sink.close()
 
     def __repr__(self) -> str:
         return f"Telemetry(enabled={self.enabled})"
@@ -90,22 +155,41 @@ __all__ = [
     "Counter",
     "DEFAULT_CLOCK",
     "DEFAULT_RTT_BUCKETS_MS",
+    "EVENT_LOG_KIND",
+    "EVENT_SCHEMA_VERSION",
+    "EXPORTED_QUANTILES",
+    "EventLog",
+    "EventLogError",
+    "EventLogWriter",
     "Gauge",
     "Histogram",
     "ManualClock",
     "MetricError",
     "MetricsRegistry",
+    "MetricsSnapshot",
     "MonotonicClock",
+    "NULL_EVENT_SINK",
     "NULL_SPAN",
     "NULL_TELEMETRY",
+    "Note",
+    "NullEventSink",
     "NullProfiler",
     "NullRegistry",
     "NullTracer",
+    "P2Quantile",
+    "ProfileEvent",
+    "RawEvent",
+    "RunMeta",
     "RunProfiler",
     "Sample",
     "Span",
     "SpanEvent",
     "Telemetry",
+    "TraceEvent",
     "Tracer",
+    "ViewComparisonEvent",
+    "quantile_from_buckets",
+    "read_events",
     "render_trace",
+    "span_from_dict",
 ]

@@ -1,0 +1,423 @@
+"""Structured event log: stream a run's telemetry to disk as JSONL.
+
+PR 1 put telemetry *in memory*; this module gets it *out*.  An
+:class:`EventLogWriter` is an append-only JSONL sink with a versioned
+header, bounded in-memory buffering, explicit flush, and a drop
+counter — the shape ZDNS and ENTRADA use for high-throughput
+measurement output.  Attach one to a live
+:class:`~repro.telemetry.Telemetry` bundle (``event_log=`` on
+:meth:`Telemetry.enabled_bundle`) and the tracer streams every
+finished query trace to it as the run progresses; the registry and
+profiler contribute snapshot events at run end.
+
+Each line is one event.  The first line is the header::
+
+    {"kind": "repro-event-log", "version": 1, ...}
+
+and every following record carries a ``"kind"`` discriminator:
+
+``trace``
+    One finished root span with its whole subtree (virtual-time query
+    lifecycle: ``resolver.resolve`` → … → ``auth.query``).
+``metrics``
+    A full metrics-registry snapshot (the ``to_json`` document).
+``profile``
+    The run profiler's wall-clock phases, counters, and values.
+``run_meta``
+    Campaign parameters (domain, sites, probes, seed).
+``view_comparison``
+    A §3.1 client-vs-server vantage comparison result.
+``note``
+    Free-form point annotation (benchmarks, ad-hoc markers).
+
+:func:`read_events` reconstructs typed events; unknown kinds survive
+as :class:`RawEvent` so newer logs degrade gracefully in older
+readers.  :class:`EventLog` is the loaded-and-indexed form the
+dashboard consumes.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import logging
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator
+
+from .tracing import Span
+
+log = logging.getLogger("repro.telemetry.events")
+
+#: header discriminator of an event-log file.
+EVENT_LOG_KIND = "repro-event-log"
+#: bump when a record's field list changes incompatibly.
+EVENT_SCHEMA_VERSION = 1
+#: default in-memory buffer, in events, before an automatic flush.
+DEFAULT_MAX_BUFFERED = 1024
+
+
+class EventLogError(ValueError):
+    """The file is not a readable event log (or wrong version)."""
+
+
+# -- typed events -----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One finished trace: the root span and its whole subtree."""
+
+    root: Span
+
+    kind = "trace"
+
+    def to_record(self) -> dict:
+        return {"kind": self.kind, "root": self.root.to_dict()}
+
+
+@dataclass(frozen=True)
+class MetricsSnapshot:
+    """A full registry dump at one point in (virtual) time."""
+
+    metrics: dict
+    at: float | None = None
+
+    kind = "metrics"
+
+    def to_record(self) -> dict:
+        return {"kind": self.kind, "at": self.at, "metrics": self.metrics}
+
+
+@dataclass(frozen=True)
+class ProfileEvent:
+    """The simulator's own wall-clock phases and counters."""
+
+    profile: dict
+
+    kind = "profile"
+
+    def to_record(self) -> dict:
+        return {"kind": self.kind, "profile": self.profile}
+
+
+@dataclass(frozen=True)
+class RunMeta:
+    """Campaign parameters, emitted once at run start."""
+
+    run: dict
+    at: float | None = None
+
+    kind = "run_meta"
+
+    def to_record(self) -> dict:
+        return {"kind": self.kind, "at": self.at, "run": self.run}
+
+
+@dataclass(frozen=True)
+class ViewComparisonEvent:
+    """A §3.1 middlebox-validation result (client vs. server vantage)."""
+
+    comparison: dict
+
+    kind = "view_comparison"
+
+    def to_record(self) -> dict:
+        return {"kind": self.kind, "comparison": self.comparison}
+
+
+@dataclass(frozen=True)
+class Note:
+    """Free-form point annotation."""
+
+    name: str
+    data: dict = field(default_factory=dict)
+    at: float | None = None
+
+    kind = "note"
+
+    def to_record(self) -> dict:
+        return {"kind": self.kind, "at": self.at, "name": self.name,
+                "data": self.data}
+
+
+@dataclass(frozen=True)
+class RawEvent:
+    """An event of a kind this reader does not know (forward compat)."""
+
+    record: dict
+
+    @property
+    def kind(self) -> str:
+        return str(self.record.get("kind", ""))
+
+    def to_record(self) -> dict:
+        return dict(self.record)
+
+
+def span_from_dict(data: dict, parent: Span | None = None) -> Span:
+    """Rebuild a :class:`Span` tree from its ``to_dict`` form."""
+    span = Span(
+        data["name"],
+        int(data["span_id"]),
+        int(data["trace_id"]),
+        float(data["start"]),
+        parent,
+    )
+    span.end = data["end"]
+    span.attributes.update(data.get("attributes", {}))
+    for event in data.get("events", ()):
+        span.event(event["name"], event["time"], **event.get("attributes", {}))
+    for child in data.get("children", ()):
+        span.children.append(span_from_dict(child, span))
+    return span
+
+
+def _event_from_record(record: dict):
+    kind = record.get("kind")
+    if kind == TraceEvent.kind:
+        return TraceEvent(root=span_from_dict(record["root"]))
+    if kind == MetricsSnapshot.kind:
+        return MetricsSnapshot(metrics=record["metrics"], at=record.get("at"))
+    if kind == ProfileEvent.kind:
+        return ProfileEvent(profile=record["profile"])
+    if kind == RunMeta.kind:
+        return RunMeta(run=record["run"], at=record.get("at"))
+    if kind == ViewComparisonEvent.kind:
+        return ViewComparisonEvent(comparison=record["comparison"])
+    if kind == Note.kind:
+        return Note(
+            name=record.get("name", ""),
+            data=record.get("data", {}),
+            at=record.get("at"),
+        )
+    return RawEvent(record=record)
+
+
+# -- the sink ---------------------------------------------------------------
+
+
+class EventLogWriter:
+    """Append-only JSONL sink with bounded buffering and a drop counter.
+
+    Events are serialized immediately (so callers may mutate their
+    objects afterwards) but buffered in memory and written in batches:
+    at most ``max_buffered`` lines are held before an automatic flush.
+    After :meth:`close`, further emits are *dropped* — counted in
+    :attr:`dropped` and logged once at warning level — never raised,
+    so telemetry can never take down a run at shutdown.
+
+    Usable as a context manager; the header line is written eagerly so
+    even an empty log identifies itself.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        path: str | Path,
+        max_buffered: int = DEFAULT_MAX_BUFFERED,
+        meta: dict | None = None,
+    ):
+        if max_buffered <= 0:
+            raise ValueError(f"max_buffered must be positive, got {max_buffered}")
+        self.path = Path(path)
+        self.max_buffered = max_buffered
+        self.emitted = 0
+        self.dropped = 0
+        self._buffer: list[str] = []
+        self._closed = False
+        self._warned = False
+        self._fh: io.TextIOBase = self.path.open("w")
+        header = {"kind": EVENT_LOG_KIND, "version": EVENT_SCHEMA_VERSION}
+        if meta:
+            header["meta"] = meta
+        self._fh.write(json.dumps(header) + "\n")
+        self._fh.flush()
+
+    # -- emitting ----------------------------------------------------------
+
+    def emit(self, event) -> bool:
+        """Queue one typed event; returns False when it was dropped."""
+        if self._closed:
+            self.dropped += 1
+            if not self._warned:
+                self._warned = True
+                log.warning(
+                    "event log %s is closed; dropping further events "
+                    "(dropped=%d)", self.path, self.dropped,
+                )
+            return False
+        self._buffer.append(json.dumps(event.to_record()))
+        self.emitted += 1
+        if len(self._buffer) >= self.max_buffered:
+            self.flush()
+        return True
+
+    def emit_span(self, span: Span) -> bool:
+        """Sink hook for :class:`~repro.telemetry.Tracer`: one root span."""
+        return self.emit(TraceEvent(root=span))
+
+    def flush(self) -> None:
+        """Write every buffered line to disk."""
+        if self._buffer and not self._closed:
+            self._fh.write("\n".join(self._buffer) + "\n")
+            self._fh.flush()
+            self._buffer.clear()
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self.flush()
+        self._fh.close()
+        self._closed = True
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __enter__(self) -> "EventLogWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"EventLogWriter({str(self.path)!r}, emitted={self.emitted}, "
+            f"dropped={self.dropped}, closed={self._closed})"
+        )
+
+
+class NullEventSink:
+    """Same surface as :class:`EventLogWriter`, all no-ops."""
+
+    enabled = False
+    emitted = 0
+    dropped = 0
+    closed = False
+    path = None
+
+    def emit(self, event) -> bool:
+        return False
+
+    def emit_span(self, span) -> bool:
+        return False
+
+    def flush(self) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+    def __enter__(self) -> "NullEventSink":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        pass
+
+
+NULL_EVENT_SINK = NullEventSink()
+
+
+# -- the reader -------------------------------------------------------------
+
+
+def read_events(path: str | Path) -> Iterator[object]:
+    """Yield typed events from an event-log file, in write order."""
+    path = Path(path)
+    with path.open() as fh:
+        header_line = fh.readline()
+        try:
+            header = json.loads(header_line)
+        except json.JSONDecodeError as exc:
+            raise EventLogError(f"{path}: not an event log ({exc})") from None
+        if header.get("kind") != EVENT_LOG_KIND:
+            raise EventLogError(f"{path}: not an event log (header {header!r})")
+        version = header.get("version")
+        if version != EVENT_SCHEMA_VERSION:
+            raise EventLogError(
+                f"{path}: event-log version {version!r}, "
+                f"this reader understands {EVENT_SCHEMA_VERSION}"
+            )
+        for line in fh:
+            line = line.strip()
+            if line:
+                yield _event_from_record(json.loads(line))
+
+
+@dataclass
+class EventLog:
+    """A fully loaded event log, indexed for consumers.
+
+    The dashboard renders from one of these; analyses iterate
+    :attr:`events` or use the typed accessors.
+    """
+
+    path: Path
+    meta: dict
+    events: list = field(default_factory=list)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "EventLog":
+        path = Path(path)
+        with path.open() as fh:
+            header = json.loads(fh.readline())
+        if header.get("kind") != EVENT_LOG_KIND:
+            raise EventLogError(f"{path}: not an event log")
+        return cls(
+            path=path,
+            meta=header.get("meta", {}),
+            events=list(read_events(path)),
+        )
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def of_kind(self, kind: str) -> list:
+        return [event for event in self.events if event.kind == kind]
+
+    def traces(self) -> list[Span]:
+        """Every streamed trace's root span, in finish order."""
+        return [event.root for event in self.events
+                if isinstance(event, TraceEvent)]
+
+    def last_metrics(self) -> dict | None:
+        """The final metrics snapshot (the run's end state), if any."""
+        for event in reversed(self.events):
+            if isinstance(event, MetricsSnapshot):
+                return event.metrics
+        return None
+
+    def profile(self) -> dict | None:
+        for event in reversed(self.events):
+            if isinstance(event, ProfileEvent):
+                return event.profile
+        return None
+
+    def run_meta(self) -> dict | None:
+        for event in self.events:
+            if isinstance(event, RunMeta):
+                return event.run
+        return None
+
+
+__all__ = [
+    "DEFAULT_MAX_BUFFERED",
+    "EVENT_LOG_KIND",
+    "EVENT_SCHEMA_VERSION",
+    "EventLog",
+    "EventLogError",
+    "EventLogWriter",
+    "MetricsSnapshot",
+    "NULL_EVENT_SINK",
+    "Note",
+    "NullEventSink",
+    "ProfileEvent",
+    "RawEvent",
+    "RunMeta",
+    "TraceEvent",
+    "ViewComparisonEvent",
+    "read_events",
+    "span_from_dict",
+]

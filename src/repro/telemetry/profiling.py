@@ -87,6 +87,12 @@ class RunProfiler:
     def to_json(self, indent: int | None = 2) -> str:
         return json.dumps(self.as_dict(), indent=indent, sort_keys=True)
 
+    def to_events(self) -> list:
+        """The phase/counter profile as one event-log record."""
+        from .events import ProfileEvent
+
+        return [ProfileEvent(profile=self.as_dict())]
+
     def write(self, path: str | Path) -> Path:
         """Write the JSON sidecar; returns the path written."""
         path = Path(path)
@@ -139,6 +145,9 @@ class NullProfiler:
 
     def to_json(self, indent: int | None = 2) -> str:
         return "{}"
+
+    def to_events(self) -> list:
+        return []
 
     def render(self) -> str:
         return ""

@@ -26,6 +26,8 @@ import math
 from dataclasses import dataclass
 from typing import Iterable, Mapping
 
+from .sketch import EXPORTED_QUANTILES, quantile_from_buckets
+
 #: default histogram buckets, in milliseconds — tuned for simulated RTTs
 #: (a few ms same-city up to intercontinental multi-hundred-ms paths).
 DEFAULT_RTT_BUCKETS_MS = (
@@ -175,17 +177,23 @@ class Gauge(_Family):
 
 
 class _HistogramChild:
-    __slots__ = ("buckets", "counts", "sum", "count")
+    __slots__ = ("buckets", "counts", "sum", "count", "min", "max")
 
     def __init__(self, buckets: tuple[float, ...]):
         self.buckets = buckets
         self.counts = [0] * len(buckets)  # per-bucket (non-cumulative)
         self.sum = 0.0
         self.count = 0
+        self.min: float | None = None
+        self.max: float | None = None
 
     def observe(self, value: float) -> None:
         self.sum += value
         self.count += 1
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
         for index, upper in enumerate(self.buckets):
             if value <= upper:
                 self.counts[index] += 1
@@ -200,6 +208,22 @@ class _HistogramChild:
             out.append((upper, running))
         out.append((math.inf, self.count))
         return out
+
+    def quantile(self, q: float) -> float:
+        """Bucket-interpolated q-quantile (NaN while empty).
+
+        Error is bounded by the width of the bucket the quantile lands
+        in; the tracked min/max tighten the edge buckets.
+        """
+        return quantile_from_buckets(
+            self.buckets, self.counts, self.count, q,
+            minimum=self.min, maximum=self.max,
+        )
+
+    def quantiles(
+        self, qs: Iterable[float] = EXPORTED_QUANTILES
+    ) -> dict[float, float]:
+        return {q: self.quantile(q) for q in qs}
 
 
 class Histogram(_Family):
@@ -227,6 +251,32 @@ class Histogram(_Family):
 
     def observe(self, value: float) -> None:
         self._default_child().observe(value)
+
+    def quantile(self, q: float) -> float:
+        """The q-quantile over *all* children merged (NaN while empty).
+
+        Children share one bucket layout, so merging is a per-bucket
+        count sum — the same estimate a Prometheus ``sum by (le)``
+        aggregation would give.
+        """
+        children = [child for _, child in self.children()]
+        if not children:
+            return math.nan
+        merged = [0] * len(self.buckets)
+        total = 0
+        minimum: float | None = None
+        maximum: float | None = None
+        for child in children:
+            total += child.count
+            for index, count in enumerate(child.counts):
+                merged[index] += count
+            if child.min is not None and (minimum is None or child.min < minimum):
+                minimum = child.min
+            if child.max is not None and (maximum is None or child.max > maximum):
+                maximum = child.max
+        return quantile_from_buckets(
+            self.buckets, merged, total, q, minimum=minimum, maximum=maximum
+        )
 
 
 @dataclass(frozen=True)
@@ -335,6 +385,17 @@ class MetricsRegistry:
                         f"{family.name}_sum{suffix} {_format_value(child.sum)}"
                     )
                     lines.append(f"{family.name}_count{suffix} {child.count}")
+                    if child.count:
+                        # summary-style streaming quantile estimates
+                        for q in EXPORTED_QUANTILES:
+                            qsuffix = _label_suffix(
+                                family.labelnames + ("quantile",),
+                                labelvalues + (_format_value(q),),
+                            )
+                            lines.append(
+                                f"{family.name}{qsuffix} "
+                                f"{_format_value(round(child.quantile(q), 6))}"
+                            )
                 else:
                     lines.append(
                         f"{family.name}{suffix} {_format_value(child.value)}"
@@ -344,6 +405,12 @@ class MetricsRegistry:
     def to_json(self, indent: int | None = None) -> str:
         """A machine-readable dump (the benchmark sidecar format)."""
         return json.dumps(self.as_dict(), indent=indent, sort_keys=True)
+
+    def to_events(self, at: float | None = None) -> list:
+        """This registry as one metrics-snapshot event for an event log."""
+        from .events import MetricsSnapshot
+
+        return [MetricsSnapshot(at=at, metrics=self.as_dict())]
 
     def as_dict(self) -> dict:
         out: dict[str, dict] = {}
@@ -357,9 +424,19 @@ class MetricsRegistry:
                             "labels": labels,
                             "count": child.count,
                             "sum": child.sum,
+                            "min": child.min,
+                            "max": child.max,
                             "buckets": {
                                 _format_value(upper): cumulative
                                 for upper, cumulative in child.cumulative()
+                            },
+                            "quantiles": {
+                                _format_value(q): (
+                                    round(child.quantile(q), 6)
+                                    if child.count
+                                    else None
+                                )
+                                for q in EXPORTED_QUANTILES
                             },
                         }
                     )
@@ -380,6 +457,8 @@ class _NullChild:
     value = 0.0
     count = 0
     sum = 0.0
+    min = None
+    max = None
 
     def inc(self, amount: float = 1.0) -> None:
         pass
@@ -392,6 +471,12 @@ class _NullChild:
 
     def observe(self, value: float) -> None:
         pass
+
+    def quantile(self, q: float) -> float:
+        return math.nan
+
+    def quantiles(self, qs=EXPORTED_QUANTILES) -> dict:
+        return {q: math.nan for q in qs}
 
     def labels(self, **labelvalues):
         return self
@@ -431,6 +516,9 @@ class NullRegistry:
         return []
 
     def samples(self, name: str) -> list:
+        return []
+
+    def to_events(self, at: float | None = None) -> list:
         return []
 
     def to_prometheus_text(self) -> str:

@@ -1,0 +1,224 @@
+"""Bench regression gate: compare two profile sidecars, fail on drift.
+
+The benchmark harness writes a JSON sidecar of per-run phase timings
+and work counters (``benchmarks/conftest.py``).  This module turns
+those sidecars from write-only artifacts into a gate:
+
+* **phase timings** are wall-clock and therefore noisy — a phase only
+  *regresses* when it slows beyond a relative threshold AND by more
+  than an absolute floor (so microsecond phases cannot trip the gate);
+* **work counters** (observations made, runs executed) are seeded and
+  deterministic — any relative drift beyond a tight threshold is a
+  behavioural regression, the strongest signal the sidecar carries.
+
+``repro-dns bench-diff`` is the CLI: exit 0 when clean, 1 on
+regression, 2 when the files cannot be compared (missing, wrong
+schema).  Sidecars carry a schema tag and the producing git commit so
+incompatible files are refused instead of mis-compared.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+#: the sidecar schema this gate understands (see benchmarks/conftest.py).
+SIDECAR_SCHEMA = "repro-bench-profile/2"
+
+#: default gates: phases may slow 30% (and ≥50 ms) before failing;
+#: deterministic counters may drift 0.1%.
+DEFAULT_PHASE_THRESHOLD = 0.30
+DEFAULT_MIN_SECONDS = 0.05
+DEFAULT_COUNTER_THRESHOLD = 0.001
+
+
+class SidecarError(ValueError):
+    """The file is not a comparable bench-profile sidecar."""
+
+
+def load_sidecar(path: str | Path, force: bool = False) -> dict:
+    """Load and validate one sidecar; ``force`` skips the schema check."""
+    path = Path(path)
+    if not path.exists():
+        raise SidecarError(f"{path}: no such sidecar")
+    try:
+        data = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise SidecarError(f"{path}: not JSON ({exc})") from None
+    if not isinstance(data, dict) or "runs" not in data:
+        raise SidecarError(f"{path}: no 'runs' section — not a bench sidecar")
+    schema = data.get("schema")
+    if schema != SIDECAR_SCHEMA and not force:
+        raise SidecarError(
+            f"{path}: sidecar schema {schema!r} != {SIDECAR_SCHEMA!r} "
+            "(re-generate it, or pass force to compare anyway)"
+        )
+    return data
+
+
+@dataclass(frozen=True)
+class PhaseDelta:
+    """One phase's wall-clock change between base and new."""
+
+    run: str
+    phase: str
+    base_s: float
+    new_s: float
+    regressed: bool
+
+    @property
+    def ratio(self) -> float:
+        if self.base_s <= 0.0:
+            return float("inf") if self.new_s > 0.0 else 1.0
+        return self.new_s / self.base_s
+
+
+@dataclass(frozen=True)
+class CounterDelta:
+    """One deterministic work counter's change."""
+
+    run: str
+    counter: str
+    base: float
+    new: float
+    regressed: bool
+
+
+@dataclass
+class BenchDiff:
+    """Everything ``bench-diff`` found between two sidecars."""
+
+    base_path: str
+    new_path: str
+    phases: list[PhaseDelta] = field(default_factory=list)
+    counters: list[CounterDelta] = field(default_factory=list)
+    missing_runs: list[str] = field(default_factory=list)  # in base, not new
+    added_runs: list[str] = field(default_factory=list)    # in new, not base
+
+    @property
+    def regressions(self) -> list:
+        return [d for d in self.phases if d.regressed] + [
+            d for d in self.counters if d.regressed
+        ]
+
+    @property
+    def regressed(self) -> bool:
+        return bool(self.regressions) or bool(self.missing_runs)
+
+    def render(self) -> str:
+        lines = [
+            f"bench-diff: {self.base_path} -> {self.new_path}",
+        ]
+        if self.missing_runs:
+            lines.append(
+                f"  MISSING runs (in base, absent in new): "
+                f"{', '.join(self.missing_runs)}"
+            )
+        if self.added_runs:
+            lines.append(f"  new runs (not gated): {', '.join(self.added_runs)}")
+        slowest = sorted(self.phases, key=lambda d: -d.ratio)
+        for delta in slowest:
+            marker = "REGRESSED" if delta.regressed else "ok"
+            lines.append(
+                f"  [{marker:>9}] {delta.run:<12} {delta.phase:<28} "
+                f"{delta.base_s:>8.3f}s -> {delta.new_s:>8.3f}s "
+                f"({delta.ratio:.2f}x)"
+            )
+        for delta in self.counters:
+            if delta.regressed:
+                lines.append(
+                    f"  [REGRESSED] {delta.run:<12} counter {delta.counter}: "
+                    f"{delta.base:g} -> {delta.new:g}"
+                )
+        verdict = "REGRESSION" if self.regressed else "clean"
+        lines.append(f"  verdict: {verdict} ({len(self.regressions)} finding(s))")
+        return "\n".join(lines)
+
+
+def diff_sidecars(
+    base: dict,
+    new: dict,
+    phase_threshold: float = DEFAULT_PHASE_THRESHOLD,
+    min_seconds: float = DEFAULT_MIN_SECONDS,
+    counter_threshold: float = DEFAULT_COUNTER_THRESHOLD,
+    base_path: str = "base",
+    new_path: str = "new",
+) -> BenchDiff:
+    """Compare two loaded sidecars run-by-run, phase-by-phase."""
+    diff = BenchDiff(base_path=base_path, new_path=new_path)
+    base_runs = base.get("runs", {})
+    new_runs = new.get("runs", {})
+    diff.missing_runs = sorted(set(base_runs) - set(new_runs))
+    diff.added_runs = sorted(set(new_runs) - set(base_runs))
+    for run_key in sorted(set(base_runs) & set(new_runs)):
+        base_profile = base_runs[run_key] or {}
+        new_profile = new_runs[run_key] or {}
+        base_phases = base_profile.get("phases", {})
+        new_phases = new_profile.get("phases", {})
+        for phase in sorted(set(base_phases) & set(new_phases)):
+            base_s = float(base_phases[phase].get("seconds", 0.0))
+            new_s = float(new_phases[phase].get("seconds", 0.0))
+            regressed = (
+                new_s > base_s * (1.0 + phase_threshold)
+                and new_s - base_s > min_seconds
+            )
+            diff.phases.append(
+                PhaseDelta(run_key, phase, base_s, new_s, regressed)
+            )
+        base_counters = base_profile.get("counters", {})
+        new_counters = new_profile.get("counters", {})
+        # Only counters present on BOTH sides are gated: an added or
+        # removed counter is an instrumentation change, not a drift.
+        for counter in sorted(set(base_counters) & set(new_counters)):
+            base_value = float(base_counters[counter])
+            new_value = float(new_counters[counter])
+            if base_value == new_value:
+                drift = 0.0
+            elif base_value == 0.0:
+                drift = float("inf")
+            else:
+                drift = abs(new_value - base_value) / abs(base_value)
+            diff.counters.append(
+                CounterDelta(
+                    run_key, counter, base_value, new_value,
+                    regressed=drift > counter_threshold,
+                )
+            )
+    return diff
+
+
+def diff_sidecar_files(
+    base_path: str | Path,
+    new_path: str | Path,
+    phase_threshold: float = DEFAULT_PHASE_THRESHOLD,
+    min_seconds: float = DEFAULT_MIN_SECONDS,
+    counter_threshold: float = DEFAULT_COUNTER_THRESHOLD,
+    force: bool = False,
+) -> BenchDiff:
+    """File-path front end of :func:`diff_sidecars`."""
+    base = load_sidecar(base_path, force=force)
+    new = load_sidecar(new_path, force=force)
+    return diff_sidecars(
+        base, new,
+        phase_threshold=phase_threshold,
+        min_seconds=min_seconds,
+        counter_threshold=counter_threshold,
+        base_path=str(base_path),
+        new_path=str(new_path),
+    )
+
+
+__all__ = [
+    "BenchDiff",
+    "CounterDelta",
+    "DEFAULT_COUNTER_THRESHOLD",
+    "DEFAULT_MIN_SECONDS",
+    "DEFAULT_PHASE_THRESHOLD",
+    "PhaseDelta",
+    "SIDECAR_SCHEMA",
+    "SidecarError",
+    "diff_sidecar_files",
+    "diff_sidecars",
+    "load_sidecar",
+]

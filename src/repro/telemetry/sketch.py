@@ -1,0 +1,163 @@
+"""Streaming quantile estimation without sample retention.
+
+Two estimators, two trade-offs:
+
+:class:`P2Quantile`
+    The P² algorithm (Jain & Chlamtac, 1985): one target quantile,
+    five markers, O(1) memory and update.  Accurate to a few percent
+    on smooth distributions of any shape — no bucket layout needed.
+
+:func:`quantile_from_buckets`
+    Linear interpolation inside fixed histogram buckets — the classic
+    Prometheus ``histogram_quantile`` estimate.  Error is bounded by
+    the width of the bucket the quantile lands in, so accuracy is a
+    property of the bucket layout, not of the data.
+
+:class:`Histogram <repro.telemetry.registry.Histogram>` children carry
+their bucket counts already, so they get :meth:`quantile` via the
+bucket estimator for free; :class:`P2Quantile` serves callers that
+need quantiles of unbucketed streams (e.g. ad-hoc analysis over an
+event log).
+"""
+
+from __future__ import annotations
+
+import math
+
+#: the quantiles every exporter publishes for a histogram.
+EXPORTED_QUANTILES = (0.5, 0.9, 0.95, 0.99)
+
+
+class P2Quantile:
+    """One streaming quantile via the P² algorithm.
+
+    Keeps five markers whose heights approximate the q-quantile and
+    its neighbourhood; each :meth:`observe` adjusts marker positions
+    with a piecewise-parabolic fit.  Until five samples have arrived
+    the estimate falls back to the exact order statistic.
+    """
+
+    __slots__ = ("q", "count", "_heights", "_positions", "_desired", "_rates")
+
+    def __init__(self, q: float):
+        if not 0.0 < q < 1.0:
+            raise ValueError(f"q={q} must be inside (0, 1)")
+        self.q = q
+        self.count = 0
+        self._heights: list[float] = []
+        self._positions = [1.0, 2.0, 3.0, 4.0, 5.0]
+        self._desired = [1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0]
+        self._rates = [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0]
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        heights = self._heights
+        if len(heights) < 5:
+            heights.append(value)
+            heights.sort()
+            return
+        positions = self._positions
+        # locate the cell containing the new observation
+        if value < heights[0]:
+            heights[0] = value
+            cell = 0
+        elif value >= heights[4]:
+            heights[4] = value
+            cell = 3
+        else:
+            cell = 0
+            while value >= heights[cell + 1]:
+                cell += 1
+        for index in range(cell + 1, 5):
+            positions[index] += 1.0
+        for index in range(5):
+            self._desired[index] += self._rates[index]
+        # adjust interior markers toward their desired positions
+        for index in (1, 2, 3):
+            delta = self._desired[index] - positions[index]
+            if (delta >= 1.0 and positions[index + 1] - positions[index] > 1.0) or (
+                delta <= -1.0 and positions[index - 1] - positions[index] < -1.0
+            ):
+                step = 1.0 if delta >= 1.0 else -1.0
+                candidate = self._parabolic(index, step)
+                if heights[index - 1] < candidate < heights[index + 1]:
+                    heights[index] = candidate
+                else:
+                    heights[index] = self._linear(index, step)
+                positions[index] += step
+
+    def _parabolic(self, i: int, step: float) -> float:
+        h, n = self._heights, self._positions
+        return h[i] + step / (n[i + 1] - n[i - 1]) * (
+            (n[i] - n[i - 1] + step) * (h[i + 1] - h[i]) / (n[i + 1] - n[i])
+            + (n[i + 1] - n[i] - step) * (h[i] - h[i - 1]) / (n[i] - n[i - 1])
+        )
+
+    def _linear(self, i: int, step: float) -> float:
+        h, n = self._heights, self._positions
+        j = i + int(step)
+        return h[i] + step * (h[j] - h[i]) / (n[j] - n[i])
+
+    @property
+    def value(self) -> float:
+        """The current estimate (NaN before any observation)."""
+        if not self._heights:
+            return math.nan
+        if self.count <= 5:
+            # exact order statistic on the retained samples
+            position = self.q * (len(self._heights) - 1)
+            low = int(position)
+            high = min(low + 1, len(self._heights) - 1)
+            fraction = position - low
+            return self._heights[low] + (
+                self._heights[high] - self._heights[low]
+            ) * fraction
+        return self._heights[2]
+
+
+def quantile_from_buckets(
+    buckets: tuple[float, ...] | list[float],
+    counts: list[int],
+    total: int,
+    q: float,
+    minimum: float | None = None,
+    maximum: float | None = None,
+) -> float:
+    """Estimate the q-quantile from per-bucket (non-cumulative) counts.
+
+    Linear interpolation within the bucket the quantile falls in, the
+    same estimate ``histogram_quantile`` makes: error is bounded by one
+    bucket width.  ``minimum``/``maximum``, when tracked, tighten the
+    edge buckets (the first bucket's lower bound is otherwise 0, and a
+    quantile landing above the last finite bound is otherwise clamped
+    to it).
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"q={q} out of [0, 1]")
+    if total <= 0:
+        return math.nan
+    rank = q * total
+    running = 0
+    for index, upper in enumerate(buckets):
+        count = counts[index]
+        if count == 0:
+            continue
+        if running + count >= rank:
+            lower = 0.0 if index == 0 else float(buckets[index - 1])
+            upper = float(upper)
+            if minimum is not None:
+                lower = max(lower, min(minimum, upper))
+            if maximum is not None:
+                upper = min(upper, max(maximum, lower))
+            fraction = (rank - running) / count
+            return lower + (upper - lower) * fraction
+        running += count
+    # q falls in the overflow (+Inf) bucket: the best bound available
+    # is the largest observed value, else the last finite bound.
+    if maximum is not None:
+        return float(maximum)
+    return float(buckets[-1])
+
+
+__all__ = ["EXPORTED_QUANTILES", "P2Quantile", "quantile_from_buckets"]

@@ -125,12 +125,19 @@ class Tracer:
     ``max_traces`` bounds memory on long campaigns: once that many root
     spans are retained, further finished traces are counted in
     :attr:`dropped_traces` and discarded whole.
+
+    ``sink`` is an optional event-log writer (anything with an
+    ``emit_span(span)`` method, e.g.
+    :class:`~repro.telemetry.events.EventLogWriter`): every finished
+    *root* span is streamed to it, whether or not it was retained in
+    memory — disk is the unbounded store, ``roots`` the working set.
     """
 
     enabled = True
 
-    def __init__(self, max_traces: int = 100_000):
+    def __init__(self, max_traces: int = 100_000, sink=None):
         self.max_traces = max_traces
+        self.sink = sink
         self.roots: list[Span] = []
         self.dropped_traces = 0
         self._stack: list[Span] = []
@@ -164,6 +171,8 @@ class Tracer:
         elif span in self._stack:  # defensive: unbalanced finish
             self._stack.remove(span)
         if span.parent is None:
+            if self.sink is not None:
+                self.sink.emit_span(span)
             if len(self.roots) < self.max_traces:
                 self.roots.append(span)
             else:
@@ -210,6 +219,12 @@ class Tracer:
     def traces(self) -> list[Span]:
         """Retained root spans, in finish order."""
         return list(self.roots)
+
+    def to_events(self) -> list:
+        """Every retained trace as an event-log record."""
+        from .events import TraceEvent
+
+        return [TraceEvent(root=root) for root in self.roots]
 
     def clear(self) -> None:
         self.roots.clear()
@@ -260,6 +275,7 @@ class NullTracer:
     roots: list = []
     dropped_traces = 0
     active = None
+    sink = None
 
     def start_span(self, name: str, at: float, **attributes) -> _NullSpan:
         return NULL_SPAN
@@ -277,6 +293,9 @@ class NullTracer:
         return []
 
     def traces(self) -> list:
+        return []
+
+    def to_events(self) -> list:
         return []
 
     def clear(self) -> None:

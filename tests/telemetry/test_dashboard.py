@@ -1,0 +1,82 @@
+"""Dashboard: live registry and saved event log render identically."""
+
+import pytest
+
+from repro.core import ExperimentConfig, TestbedExperiment
+from repro.telemetry import Telemetry
+from repro.telemetry.dashboard import (
+    render_dashboard,
+    render_dashboard_from_log,
+)
+from repro.telemetry.events import EventLogWriter
+
+
+@pytest.fixture(scope="module")
+def run_with_log(tmp_path_factory):
+    path = tmp_path_factory.mktemp("dash") / "run.jsonl"
+    telemetry = Telemetry.enabled_bundle(event_log=path)
+    config = ExperimentConfig.for_combination(
+        "2C", num_probes=10, interval_s=120.0, duration_s=600.0, seed=3
+    )
+    TestbedExperiment(config, telemetry=telemetry).run()
+    telemetry.events.close()
+    return telemetry, path
+
+
+class TestRenderDashboard:
+    def test_sections_present(self, run_with_log):
+        telemetry, _ = run_with_log
+        text = render_dashboard(
+            telemetry.registry.as_dict(), traces=telemetry.tracer.traces()
+        )
+        assert "Per-NS query share" in text
+        assert "cache outcomes" in text
+        assert "Loss and failure" in text
+        assert "Slowest" in text
+
+    def test_share_sums_to_hundred(self, run_with_log):
+        telemetry, _ = run_with_log
+        text = render_dashboard(telemetry.registry.as_dict())
+        shares = [
+            float(cell.rstrip("%"))
+            for line in text.splitlines()
+            for cell in line.split()
+            if cell.endswith("%") and line.startswith("10.")
+        ]
+        assert sum(shares) == pytest.approx(100.0, abs=0.2)
+
+    def test_empty_metrics_render(self):
+        text = render_dashboard({}, title="empty")
+        assert "empty" in text
+        assert "measured queries: 0" in text
+
+
+class TestLiveLogParity:
+    def test_log_dashboard_matches_live_registry(self, run_with_log):
+        """Acceptance criterion: offline rendering equals the live one."""
+        telemetry, path = run_with_log
+        live = render_dashboard(
+            telemetry.registry.as_dict(),
+            traces=telemetry.tracer.traces(),
+            title="X",
+        )
+        # Same title so only the data can differ.
+        from repro.telemetry.events import EventLog
+
+        log = EventLog.load(path)
+        offline = render_dashboard(
+            log.last_metrics(), traces=log.traces(), title="X"
+        )
+        assert offline == live
+
+    def test_render_from_log_titles_from_run_meta(self, run_with_log):
+        _, path = run_with_log
+        text = render_dashboard_from_log(path)
+        assert "seed=3" in text
+        assert "probes=10" in text
+
+    def test_log_without_metrics_raises(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        EventLogWriter(path).close()
+        with pytest.raises(ValueError, match="no metrics snapshot"):
+            render_dashboard_from_log(path)

@@ -1,0 +1,210 @@
+"""Event-log pipeline: write → read round-trips, buffering, drops."""
+
+import json
+import logging
+
+import pytest
+
+from repro.core import ExperimentConfig, TestbedExperiment
+from repro.telemetry import (
+    EVENT_LOG_KIND,
+    EVENT_SCHEMA_VERSION,
+    EventLog,
+    EventLogError,
+    EventLogWriter,
+    MetricsSnapshot,
+    Note,
+    ProfileEvent,
+    RawEvent,
+    RunMeta,
+    Telemetry,
+    TraceEvent,
+    Tracer,
+    read_events,
+    span_from_dict,
+)
+
+
+def small_config(**overrides):
+    defaults = dict(
+        num_probes=10, interval_s=120.0, duration_s=600.0, seed=7
+    )
+    defaults.update(overrides)
+    return ExperimentConfig.for_combination("2C", **defaults)
+
+
+class TestWriter:
+    def test_header_written_eagerly(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        EventLogWriter(path, meta={"purpose": "test"}).close()
+        header = json.loads(path.read_text().splitlines()[0])
+        assert header["kind"] == EVENT_LOG_KIND
+        assert header["version"] == EVENT_SCHEMA_VERSION
+        assert header["meta"] == {"purpose": "test"}
+
+    def test_buffering_and_explicit_flush(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        writer = EventLogWriter(path, max_buffered=100)
+        writer.emit(Note("marker", {"n": 1}))
+        assert len(path.read_text().splitlines()) == 1  # header only
+        writer.flush()
+        assert len(path.read_text().splitlines()) == 2
+        writer.close()
+
+    def test_auto_flush_at_capacity(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        writer = EventLogWriter(path, max_buffered=3)
+        for index in range(3):
+            writer.emit(Note("marker", {"n": index}))
+        assert len(path.read_text().splitlines()) == 4  # header + 3
+        writer.close()
+
+    def test_emit_after_close_drops_and_warns(self, tmp_path, caplog):
+        writer = EventLogWriter(tmp_path / "log.jsonl")
+        writer.close()
+        with caplog.at_level(logging.WARNING, logger="repro.telemetry.events"):
+            assert writer.emit(Note("late")) is False
+            assert writer.emit(Note("later")) is False
+        assert writer.dropped == 2
+        assert sum("dropping" in r.message for r in caplog.records) == 1
+
+    def test_serializes_at_emit_time(self, tmp_path):
+        """Mutating an event's dict after emit must not change the log."""
+        path = tmp_path / "log.jsonl"
+        data = {"value": 1}
+        with EventLogWriter(path) as writer:
+            writer.emit(Note("snap", data))
+            data["value"] = 2
+        (event,) = list(read_events(path))
+        assert event.data == {"value": 1}
+
+    def test_rejects_nonpositive_buffer(self, tmp_path):
+        with pytest.raises(ValueError):
+            EventLogWriter(tmp_path / "log.jsonl", max_buffered=0)
+
+
+class TestReader:
+    def test_rejects_non_event_log(self, tmp_path):
+        path = tmp_path / "not.jsonl"
+        path.write_text('{"kind": "something-else"}\n')
+        with pytest.raises(EventLogError):
+            list(read_events(path))
+
+    def test_rejects_future_version(self, tmp_path):
+        path = tmp_path / "future.jsonl"
+        path.write_text(
+            json.dumps({"kind": EVENT_LOG_KIND, "version": 999}) + "\n"
+        )
+        with pytest.raises(EventLogError):
+            list(read_events(path))
+
+    def test_unknown_kind_survives_as_raw_event(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        path.write_text(
+            json.dumps({"kind": EVENT_LOG_KIND, "version": EVENT_SCHEMA_VERSION})
+            + "\n"
+            + json.dumps({"kind": "from-the-future", "payload": 42})
+            + "\n"
+        )
+        (event,) = list(read_events(path))
+        assert isinstance(event, RawEvent)
+        assert event.kind == "from-the-future"
+        assert event.record["payload"] == 42
+
+
+class TestSpanRoundTrip:
+    def test_span_tree_survives_dict_round_trip(self):
+        tracer = Tracer()
+        with tracer.span("resolver.resolve", at=0.0, qname="x.nl.") as root:
+            with tracer.span("resolver.exchange", at=0.010) as child:
+                child.event("udp.sent", 0.011, size=64)
+        rebuilt = span_from_dict(root.to_dict())
+        assert rebuilt.to_dict() == root.to_dict()
+        assert rebuilt.find("resolver.exchange").events[0].name == "udp.sent"
+
+
+class TestSeededRunRoundTrip:
+    def test_seeded_run_streams_and_round_trips(self, tmp_path):
+        """Acceptance criterion: a seeded 2C run's event log is lossless."""
+        path = tmp_path / "run.jsonl"
+        telemetry = Telemetry.enabled_bundle(event_log=path)
+        TestbedExperiment(small_config(), telemetry=telemetry).run()
+        telemetry.events.close()
+        assert telemetry.events.dropped == 0
+
+        log = EventLog.load(path)
+        # run_meta first, then traces, then the closing snapshots
+        meta = log.run_meta()
+        assert meta["seed"] == 7 and meta["num_probes"] == 10
+        assert log.last_metrics() == telemetry.registry.as_dict()
+        # total_seconds is recomputed per as_dict() call; the rest is stable
+        profile = telemetry.profiler.as_dict()
+        profile.pop("total_seconds", None)
+        logged = log.profile()
+        logged.pop("total_seconds", None)
+        assert logged == profile
+        live = [root.to_dict() for root in telemetry.tracer.traces()]
+        replayed = [root.to_dict() for root in log.traces()]
+        assert replayed == live
+        assert len(replayed) > 0
+
+    def test_streaming_outlives_tracer_retention(self, tmp_path):
+        """Disk is the unbounded store: traces stream even when the
+        in-memory tracer retains only a handful."""
+        path = tmp_path / "run.jsonl"
+        telemetry = Telemetry.enabled_bundle(event_log=path, max_traces=2)
+        TestbedExperiment(small_config(), telemetry=telemetry).run()
+        telemetry.events.close()
+        log = EventLog.load(path)
+        assert len(telemetry.tracer.traces()) == 2
+        assert len(log.traces()) > 2
+
+    def test_same_seed_same_log_payload(self, tmp_path):
+        def run(path):
+            telemetry = Telemetry.enabled_bundle(event_log=path)
+            TestbedExperiment(small_config(), telemetry=telemetry).run()
+            telemetry.events.close()
+            return path.read_text()
+
+        first = run(tmp_path / "a.jsonl")
+        second = run(tmp_path / "b.jsonl")
+        # drop the wall-clock profile line (perf_counter is not seeded)
+        def stable(text):
+            return [
+                line for line in text.splitlines()
+                if json.loads(line).get("kind") != ProfileEvent.kind
+            ]
+
+        assert stable(first) == stable(second)
+
+    def test_disabled_bundle_writes_nothing(self, tmp_path):
+        telemetry = Telemetry.disabled_bundle()
+        TestbedExperiment(small_config(), telemetry=telemetry).run()
+        assert telemetry.events.emitted == 0
+
+    def test_finalize_is_idempotent_per_call(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        telemetry = Telemetry.enabled_bundle(event_log=path)
+        telemetry.finalize_events(at=1.0)
+        telemetry.finalize_events(at=2.0, close=True)
+        log = EventLog.load(path)
+        snapshots = log.of_kind(MetricsSnapshot.kind)
+        assert [snap.at for snap in snapshots] == [1.0, 2.0]
+
+
+class TestEventLogAccessors:
+    def test_of_kind_and_typed_accessors(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        with EventLogWriter(path) as writer:
+            writer.emit(RunMeta({"domain": "x.nl."}, at=0.0))
+            writer.emit(Note("checkpoint", at=5.0))
+            writer.emit(MetricsSnapshot({"m": {}}, at=9.0))
+        log = EventLog.load(path)
+        assert len(log) == 3
+        assert [event.kind for event in log.events] == [
+            "run_meta", "note", "metrics",
+        ]
+        assert log.run_meta() == {"domain": "x.nl."}
+        assert log.last_metrics() == {"m": {}}
+        assert log.traces() == []
+        assert log.profile() is None

@@ -1,0 +1,145 @@
+"""Bench regression gate: sidecar validation and drift detection."""
+
+import json
+
+import pytest
+
+from repro.telemetry.regression import (
+    SIDECAR_SCHEMA,
+    SidecarError,
+    diff_sidecar_files,
+    diff_sidecars,
+    load_sidecar,
+)
+
+
+def sidecar(phases=None, counters=None, run="2C@120s", schema=SIDECAR_SCHEMA):
+    return {
+        "schema": schema,
+        "git_commit": "deadbeef",
+        "runs": {
+            run: {
+                "phases": phases or {},
+                "counters": counters or {},
+            }
+        },
+    }
+
+
+def write(tmp_path, name, data):
+    path = tmp_path / name
+    path.write_text(json.dumps(data))
+    return path
+
+
+class TestLoadSidecar:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(SidecarError, match="no such sidecar"):
+            load_sidecar(tmp_path / "absent.json")
+
+    def test_not_json(self, tmp_path):
+        path = tmp_path / "garbage.json"
+        path.write_text("not json {")
+        with pytest.raises(SidecarError, match="not JSON"):
+            load_sidecar(path)
+
+    def test_no_runs_section(self, tmp_path):
+        path = write(tmp_path, "empty.json", {"schema": SIDECAR_SCHEMA})
+        with pytest.raises(SidecarError, match="no 'runs' section"):
+            load_sidecar(path)
+
+    def test_schema_mismatch_refused(self, tmp_path):
+        path = write(tmp_path, "old.json", sidecar(schema="repro-bench-profile/1"))
+        with pytest.raises(SidecarError, match="schema"):
+            load_sidecar(path)
+
+    def test_force_overrides_schema_check(self, tmp_path):
+        path = write(tmp_path, "old.json", sidecar(schema="repro-bench-profile/1"))
+        assert load_sidecar(path, force=True)["runs"]
+
+
+class TestDiffSidecars:
+    def test_identical_sidecars_are_clean(self):
+        base = sidecar(
+            phases={"measure": {"seconds": 1.0}},
+            counters={"experiment.observations": 10170},
+        )
+        diff = diff_sidecars(base, json.loads(json.dumps(base)))
+        assert not diff.regressed
+        assert diff.regressions == []
+
+    def test_slow_phase_regresses(self):
+        base = sidecar(phases={"measure": {"seconds": 1.0}})
+        new = sidecar(phases={"measure": {"seconds": 1.5}})
+        diff = diff_sidecars(base, new)
+        assert diff.regressed
+        (delta,) = diff.regressions
+        assert delta.phase == "measure"
+        assert delta.ratio == pytest.approx(1.5)
+
+    def test_small_absolute_slowdown_is_not_gated(self):
+        """A microsecond phase tripling must not trip the gate."""
+        base = sidecar(phases={"deploy": {"seconds": 0.001}})
+        new = sidecar(phases={"deploy": {"seconds": 0.003}})
+        assert not diff_sidecars(base, new).regressed
+
+    def test_speedup_is_clean(self):
+        base = sidecar(phases={"measure": {"seconds": 2.0}})
+        new = sidecar(phases={"measure": {"seconds": 1.0}})
+        assert not diff_sidecars(base, new).regressed
+
+    def test_counter_drift_regresses(self):
+        base = sidecar(counters={"experiment.observations": 10170})
+        new = sidecar(counters={"experiment.observations": 10183})
+        diff = diff_sidecars(base, new)
+        assert diff.regressed
+        (delta,) = diff.regressions
+        assert delta.counter == "experiment.observations"
+
+    def test_added_or_removed_counter_is_not_drift(self):
+        """Instrumentation changes (new counters) must not trip the gate."""
+        base = sidecar(counters={"experiment.runs": 1})
+        new = sidecar(counters={"experiment.runs": 1, "experiment.new": 5})
+        assert not diff_sidecars(base, new).regressed
+        assert not diff_sidecars(new, base).regressed
+
+    def test_missing_run_regresses(self):
+        base = sidecar(run="2C@120s")
+        new = sidecar(run="2A@120s")
+        diff = diff_sidecars(base, new)
+        assert diff.missing_runs == ["2C@120s"]
+        assert diff.added_runs == ["2A@120s"]
+        assert diff.regressed
+
+    def test_render_mentions_verdict(self):
+        base = sidecar(phases={"measure": {"seconds": 1.0}})
+        new = sidecar(phases={"measure": {"seconds": 3.0}})
+        text = diff_sidecars(base, new).render()
+        assert "REGRESSED" in text and "verdict: REGRESSION" in text
+        clean = diff_sidecars(base, json.loads(json.dumps(base))).render()
+        assert "verdict: clean" in clean
+
+
+class TestDiffSidecarFiles:
+    def test_file_front_end(self, tmp_path):
+        base = write(
+            tmp_path, "base.json", sidecar(phases={"measure": {"seconds": 1.0}})
+        )
+        new = write(
+            tmp_path, "new.json", sidecar(phases={"measure": {"seconds": 9.0}})
+        )
+        diff = diff_sidecar_files(base, new)
+        assert diff.regressed
+        assert diff.base_path == str(base)
+
+    def test_committed_baseline_is_loadable(self):
+        """The repo's own baseline must always satisfy the gate's schema."""
+        from pathlib import Path
+
+        baseline = (
+            Path(__file__).resolve().parents[2] / "benchmarks" / "baseline.json"
+        )
+        data = load_sidecar(baseline)
+        assert data["runs"]
+        diff = diff_sidecars(data, data)
+        assert not diff.regressed

@@ -1,0 +1,135 @@
+"""Streaming-quantile accuracy: P² markers and bucket interpolation."""
+
+import math
+import random
+
+import pytest
+
+from repro.analysis.stats import quantile as exact_quantile
+from repro.telemetry import (
+    DEFAULT_RTT_BUCKETS_MS,
+    Histogram,
+    MetricsRegistry,
+    P2Quantile,
+    quantile_from_buckets,
+)
+
+
+class TestP2Quantile:
+    def test_exact_until_five_samples(self):
+        sketch = P2Quantile(0.5)
+        for value in (10.0, 30.0, 20.0):
+            sketch.observe(value)
+        assert sketch.value == 20.0  # true median of {10, 20, 30}
+
+    def test_empty_is_nan(self):
+        assert math.isnan(P2Quantile(0.9).value)
+
+    @pytest.mark.parametrize("q", [0.5, 0.9, 0.95, 0.99])
+    def test_within_two_percent_on_uniform(self, q):
+        rng = random.Random(42)
+        values = [rng.uniform(0.0, 1000.0) for _ in range(5000)]
+        sketch = P2Quantile(q)
+        for value in values:
+            sketch.observe(value)
+        exact = exact_quantile(values, q)
+        assert sketch.value == pytest.approx(exact, rel=0.02, abs=1.0)
+
+    @pytest.mark.parametrize("q", [0.5, 0.9, 0.95])
+    def test_within_two_percent_on_lognormal(self, q):
+        """Skewed like RTTs: most answers fast, a heavy slow tail."""
+        rng = random.Random(7)
+        values = [rng.lognormvariate(4.0, 0.5) for _ in range(5000)]
+        sketch = P2Quantile(q)
+        for value in values:
+            sketch.observe(value)
+        exact = exact_quantile(values, q)
+        assert sketch.value == pytest.approx(exact, rel=0.02)
+
+    def test_constant_stream(self):
+        sketch = P2Quantile(0.99)
+        for _ in range(100):
+            sketch.observe(5.0)
+        assert sketch.value == 5.0
+
+
+class TestQuantileFromBuckets:
+    def test_overflow_bucket_uses_maximum(self):
+        # all mass beyond the last finite bound
+        value = quantile_from_buckets(
+            [10.0], [0], total=4, q=0.99, minimum=50.0, maximum=320.5
+        )
+        assert value == 320.5
+
+    def test_single_bucket_interpolates_between_min_and_bound(self):
+        value = quantile_from_buckets([100.0], [10], total=10, q=0.0, minimum=5.0)
+        assert value == 5.0
+
+    def test_empty_is_nan(self):
+        assert math.isnan(quantile_from_buckets([10.0], [0], total=0, q=0.5))
+
+    @pytest.mark.parametrize("q", [0.5, 0.9, 0.95, 0.99])
+    def test_within_one_bucket_width_of_exact(self, q):
+        """Acceptance criterion: estimate within one bucket width."""
+        rng = random.Random(2017)
+        values = [rng.uniform(0.0, 700.0) for _ in range(3000)]
+        bounds = list(DEFAULT_RTT_BUCKETS_MS)
+        counts = [0] * len(bounds)
+        overflow = 0
+        for value in values:
+            for index, bound in enumerate(bounds):
+                if value <= bound:
+                    counts[index] += 1
+                    break
+            else:
+                overflow += 1
+        estimate = quantile_from_buckets(
+            bounds, counts, total=len(values), q=q,
+            minimum=min(values), maximum=max(values),
+        )
+        exact = exact_quantile(values, q)
+        # widest applicable bucket width bounds the error
+        widths = [bounds[0]] + [
+            bounds[i] - bounds[i - 1] for i in range(1, len(bounds))
+        ]
+        assert abs(estimate - exact) <= max(widths)
+
+
+class TestHistogramQuantiles:
+    def _histogram(self) -> Histogram:
+        registry = MetricsRegistry()
+        return registry.histogram(
+            "rtt_ms", "test", buckets=(50.0, 100.0, 250.0, 500.0)
+        )
+
+    def test_quantile_without_retained_samples(self):
+        histogram = self._histogram()
+        rng = random.Random(99)
+        values = [rng.uniform(0.0, 400.0) for _ in range(2000)]
+        for value in values:
+            histogram.observe(value)
+        for q in (0.5, 0.9, 0.95, 0.99):
+            estimate = histogram.quantile(q)
+            exact = exact_quantile(values, q)
+            assert abs(estimate - exact) <= 250.0  # max bucket width
+
+    def test_min_max_tighten_edge_buckets(self):
+        histogram = self._histogram()
+        for value in (60.0, 70.0, 80.0):
+            histogram.observe(value)
+        # p99 falls in the (50, 100] bucket; max caps it at 80
+        assert histogram.quantile(0.99) <= 80.0
+        assert histogram.quantile(0.0) >= 60.0
+
+    def test_empty_histogram_quantile_is_nan(self):
+        assert math.isnan(self._histogram().quantile(0.5))
+
+    def test_merges_children(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram(
+            "rtt_ms", "test", ("site",), buckets=(50.0, 250.0)
+        )
+        histogram.labels(site="FRA").observe(10.0)
+        histogram.labels(site="SYD").observe(300.0)
+        merged_p99 = histogram.quantile(0.99)
+        assert merged_p99 == 300.0  # max across children tightens overflow

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -95,6 +97,87 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "all-anycast" in out
         assert "all-unicast" in out
+
+
+class TestOutputRouting:
+    def test_output_flag_writes_file(self, capsys, tmp_path):
+        out_file = tmp_path / "combos.txt"
+        assert main(["--output", str(out_file), "combos"]) == 0
+        assert capsys.readouterr().out == ""
+        assert "FRA, SYD" in out_file.read_text()
+
+    def test_quiet_silences_progress(self, capsys):
+        main(["--quiet", "run", "--probes", "10", "--duration", "10"])
+        captured = capsys.readouterr()
+        assert "running 2C" not in captured.err
+        assert "Figure 2" in captured.out
+
+    def test_progress_goes_to_stderr(self, capsys):
+        main(["run", "--probes", "10", "--duration", "10"])
+        captured = capsys.readouterr()
+        assert "running 2C" in captured.err
+        assert "running 2C" not in captured.out
+
+
+class TestEventLogCommands:
+    def test_run_writes_event_log(self, capsys, tmp_path):
+        log = tmp_path / "run.events.jsonl"
+        code = main(
+            ["--quiet", "run", "--probes", "10", "--duration", "10",
+             "--events", str(log)]
+        )
+        assert code == 0
+        header = json.loads(log.read_text().splitlines()[0])
+        assert header["kind"] == "repro-event-log"
+
+    def test_dashboard_from_event_log(self, capsys, tmp_path):
+        log = tmp_path / "run.events.jsonl"
+        main(["--quiet", "metrics", "--probes", "10", "--duration", "10",
+              "--events", str(log)])
+        capsys.readouterr()
+        assert main(["dashboard", str(log)]) == 0
+        out = capsys.readouterr().out
+        assert "Per-NS query share" in out
+        assert "Slowest" in out
+
+    def test_dashboard_live(self, capsys):
+        code = main(
+            ["--quiet", "dashboard", "--probes", "10", "--duration", "10"]
+        )
+        assert code == 0
+        assert "Run dashboard" in capsys.readouterr().out
+
+
+class TestBenchDiffCommand:
+    @staticmethod
+    def _sidecar(tmp_path, name, seconds, observations):
+        from repro.telemetry.regression import SIDECAR_SCHEMA
+
+        path = tmp_path / name
+        path.write_text(json.dumps({
+            "schema": SIDECAR_SCHEMA,
+            "runs": {"2C@120s": {
+                "phases": {"measure": {"seconds": seconds}},
+                "counters": {"experiment.observations": observations},
+            }},
+        }))
+        return str(path)
+
+    def test_clean_diff_exits_zero(self, capsys, tmp_path):
+        base = self._sidecar(tmp_path, "base.json", 1.0, 10170)
+        new = self._sidecar(tmp_path, "new.json", 1.0, 10170)
+        assert main(["bench-diff", base, new]) == 0
+        assert "verdict: clean" in capsys.readouterr().out
+
+    def test_regression_exits_one(self, capsys, tmp_path):
+        base = self._sidecar(tmp_path, "base.json", 1.0, 10170)
+        new = self._sidecar(tmp_path, "new.json", 2.0, 10183)
+        assert main(["bench-diff", base, new]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_unreadable_sidecar_exits_two(self, capsys, tmp_path):
+        base = self._sidecar(tmp_path, "base.json", 1.0, 10170)
+        assert main(["bench-diff", base, str(tmp_path / "absent.json")]) == 2
 
 
 class TestScorecardCommand:
