@@ -54,6 +54,15 @@ class RunCache:
             )
         return self._runs[key]
 
+    def put(self, run_id: str, interval_s: float, result) -> None:
+        """Register a run produced outside :meth:`get` for the sidecar.
+
+        Benches that build runs themselves (e.g. the sharded engine)
+        use this to get their phase profile into the sidecar under
+        ``{run_id}@{interval_s:g}s`` alongside the cached runs.
+        """
+        self._runs[(run_id, interval_s)] = result
+
     def profiles(self) -> dict[str, dict]:
         """Phase profiles of every run this session, keyed for the sidecar."""
         return {

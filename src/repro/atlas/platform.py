@@ -19,8 +19,13 @@ from ..netsim.geo import Continent, cities_by_continent
 from ..netsim.network import SimNetwork
 from ..resolvers.population import ResolverPopulation
 from ..resolvers.resolver import RecursiveResolver
+from ..seeding import derive_rng
 from ..telemetry import NULL_TELEMETRY
 from .probes import Probe
+
+#: vp_id = probe_id * VPS_PER_PROBE + ordinal — derivable from the probe
+#: alone, so shard workers assign the same ids the serial run would.
+VPS_PER_PROBE = 2
 
 
 @dataclass(frozen=True)
@@ -90,6 +95,7 @@ class AtlasPlatform:
         public_services: list | None = None,
         public_resolver_share: float = 0.0,
         telemetry=None,
+        seed: int | None = None,
     ):
         self.network = network
         self.probes = probes
@@ -97,7 +103,15 @@ class AtlasPlatform:
         if telemetry is None:
             telemetry = getattr(network, "telemetry", None)
         self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
-        self.rng = rng if rng is not None else random.Random(0)
+        # Every stochastic decision derives from (seed, probe/vp path),
+        # never from a shared sequential stream — this is what makes a
+        # probe's vantage points identical whether the platform holds
+        # the whole population or one shard of it.  ``rng`` remains as a
+        # compatibility spelling: it contributes only the seed.
+        if seed is None:
+            seed = (rng if rng is not None else random.Random(0)).getrandbits(63)
+        self.seed = seed
+        self.rng = rng if rng is not None else derive_rng(seed, "platform.shared")
         self.second_resolver_share = second_resolver_share
         self.remote_resolver_share = remote_resolver_share
         self.resolver_sharing_share = resolver_sharing_share
@@ -108,62 +122,79 @@ class AtlasPlatform:
         self.vantage_points: list[VantagePoint] = []
         self._resolver_by_as: dict[int, RecursiveResolver] = {}
         self._impl_by_resolver: dict[str, str] = {}
-        self._next_resolver_ip = 1
 
     # -- construction -------------------------------------------------------
 
-    def _new_resolver(self, probe: Probe) -> tuple[RecursiveResolver, str]:
-        """Create a recursive near the probe (ISP resolver model)."""
-        sample = self.population.sample()
+    def _new_resolver(
+        self, probe: Probe, ordinal: int, rng: random.Random
+    ) -> tuple[RecursiveResolver, str]:
+        """Create a recursive near the probe (ISP resolver model).
+
+        Address, implementation draw, and internal streams all derive
+        from (probe id, ordinal), so the resolver is bit-identical no
+        matter how many other probes exist or which shard builds it.
+        ``rng`` is the probe's decision stream (placement draws only).
+        """
+        sample = self.population.sample(
+            rng=derive_rng(self.seed, "impl", probe.probe_id, ordinal)
+        )
         location = probe.location
-        if self.rng.random() < self.remote_resolver_share:
+        if rng.random() < self.remote_resolver_share:
             # ISP resolver in another city on the same continent.
-            location = self.rng.choice(cities_by_continent(probe.continent))
-        address = f"10.53.{self._next_resolver_ip // 250}.{self._next_resolver_ip % 250 + 1}"
-        self._next_resolver_ip += 1
+            location = rng.choice(cities_by_continent(probe.continent))
+        address = (
+            f"10.{53 + ordinal}.{probe.probe_id // 250}"
+            f".{probe.probe_id % 250 + 1}"
+        )
         resolver = RecursiveResolver(
             address,
             location,
             self.network,
             sample.selector,
             infra_ttl_s=sample.infra_ttl_s,
-            rng=random.Random(self.rng.randrange(2**63)),
+            rng=derive_rng(self.seed, "resolver", probe.probe_id, ordinal),
         )
         self._impl_by_resolver[address] = sample.impl_name
         return resolver, sample.impl_name
 
     def build_vantage_points(self) -> list[VantagePoint]:
-        """Assign recursives to probes: shared within AS, sometimes two."""
+        """Assign recursives to probes: shared within AS, sometimes two.
+
+        Probes are processed in probe-id order and each consults only
+        its own derived stream plus per-AS sharing state.  An AS's
+        probes must all be built by the same platform instance (the
+        sharded engine partitions by ASN) for sharing to match a
+        whole-population build.
+        """
         self.vantage_points = []
-        vp_id = 0
-        for probe in self.probes:
+        for probe in sorted(self.probes, key=lambda p: p.probe_id):
+            rng = derive_rng(self.seed, "vp", probe.probe_id)
             resolvers: list[tuple[RecursiveResolver, str]] = []
             if (
                 self.public_services
-                and self.rng.random() < self.public_resolver_share
+                and rng.random() < self.public_resolver_share
             ):
-                service = self.rng.choice(self.public_services)
+                service = rng.choice(self.public_services)
                 instance = service.instance_for(probe, self.network)
                 resolvers.append((instance, "public"))
-                for resolver, impl in resolvers:
-                    self.vantage_points.append(
-                        VantagePoint(vp_id, probe, resolver, impl)
-                    )
-                    vp_id += 1
-                continue
-            shared = self._resolver_by_as.get(probe.asn)
-            if shared is not None and self.rng.random() < self.resolver_sharing_share:
-                resolvers.append((shared, self._impl_by_resolver[shared.address]))
             else:
-                resolver, impl = self._new_resolver(probe)
-                self._resolver_by_as.setdefault(probe.asn, resolver)
-                resolvers.append((resolver, impl))
-            if self.rng.random() < self.second_resolver_share:
-                resolver, impl = self._new_resolver(probe)
-                resolvers.append((resolver, impl))
-            for resolver, impl in resolvers:
-                self.vantage_points.append(VantagePoint(vp_id, probe, resolver, impl))
-                vp_id += 1
+                shared = self._resolver_by_as.get(probe.asn)
+                if shared is not None and rng.random() < self.resolver_sharing_share:
+                    resolvers.append(
+                        (shared, self._impl_by_resolver[shared.address])
+                    )
+                else:
+                    resolver, impl = self._new_resolver(probe, 0, rng)
+                    self._resolver_by_as.setdefault(probe.asn, resolver)
+                    resolvers.append((resolver, impl))
+                if rng.random() < self.second_resolver_share:
+                    resolver, impl = self._new_resolver(probe, 1, rng)
+                    resolvers.append((resolver, impl))
+            for ordinal, (resolver, impl) in enumerate(resolvers):
+                vp_id = probe.probe_id * VPS_PER_PROBE + ordinal
+                self.vantage_points.append(
+                    VantagePoint(vp_id, probe, resolver, impl)
+                )
         return self.vantage_points
 
     def configure_zone(self, origin: Name | str, addresses: list[str]) -> None:
@@ -311,7 +342,11 @@ class AtlasPlatform:
                 scheduler.schedule_at(next_at, lambda: fire(vp, tick + 1))
 
         for vp in self.vantage_points:
-            phase = self.rng.uniform(0.0, interval_s)
+            # Phase derives from the VP identity, not a shared stream, so
+            # the firing schedule survives population resharding.
+            phase = derive_rng(self.seed, "phase", vp.vp_id).uniform(
+                0.0, interval_s
+            )
             scheduler.schedule_at(
                 epoch + phase, lambda vp=vp: fire(vp, 0)
             )

@@ -17,6 +17,7 @@ from ..netsim.geo import (
     Location,
     cities_by_continent,
 )
+from ..seeding import derive_rng
 
 
 @dataclass(frozen=True)
@@ -40,7 +41,14 @@ class Probe:
 
 
 class ProbeGenerator:
-    """Draws probes with the Atlas continent skew and AS clustering."""
+    """Draws probes with the Atlas continent skew and AS clustering.
+
+    Every probe's attributes come from a stream derived from ``seed``
+    and the probe id alone — probe N is the same probe whether the
+    population is generated whole or any subset of ids is regenerated
+    in a shard worker.  ``rng`` is accepted for backward compatibility;
+    when only an rng is given, the seed is drawn from it once.
+    """
 
     def __init__(
         self,
@@ -48,8 +56,11 @@ class ProbeGenerator:
         continent_weights: dict[Continent, float] | None = None,
         ases_per_continent: int = 550,
         ipv6_share: float = 0.31,
+        seed: int | None = None,
     ):
-        self.rng = rng if rng is not None else random.Random(0)
+        if seed is None:
+            seed = (rng if rng is not None else random.Random(0)).getrandbits(63)
+        self.seed = seed
         self.ipv6_share = ipv6_share
         self.weights = dict(
             ATLAS_CONTINENT_WEIGHTS if continent_weights is None else continent_weights
@@ -69,21 +80,26 @@ class ProbeGenerator:
 
     def generate(self, count: int, address_prefix: str = "172.16") -> list[Probe]:
         """Generate ``count`` probes; addresses are unique per probe."""
+        return [
+            self.generate_one(probe_id, address_prefix=address_prefix)
+            for probe_id in range(count)
+        ]
+
+    def generate_one(
+        self, probe_id: int, address_prefix: str = "172.16"
+    ) -> Probe:
+        """Probe ``probe_id``, identical no matter which ids co-generate."""
+        rng = derive_rng(self.seed, "probe", probe_id)
         continents = list(self.weights)
         weights = [self.weights[c] for c in continents]
-        probes = []
-        for probe_id in range(count):
-            continent = self.rng.choices(continents, weights=weights, k=1)[0]
-            city = self.rng.choice(cities_by_continent(continent))
-            asn = self.rng.choice(self._as_pools[continent])
-            address = f"{address_prefix}.{probe_id // 250}.{probe_id % 250 + 1}"
-            probes.append(
-                Probe(
-                    probe_id, city, asn, address,
-                    ipv6_capable=self.rng.random() < self.ipv6_share,
-                )
-            )
-        return probes
+        continent = rng.choices(continents, weights=weights, k=1)[0]
+        city = rng.choice(cities_by_continent(continent))
+        asn = rng.choice(self._as_pools[continent])
+        address = f"{address_prefix}.{probe_id // 250}.{probe_id % 250 + 1}"
+        return Probe(
+            probe_id, city, asn, address,
+            ipv6_capable=rng.random() < self.ipv6_share,
+        )
 
 
 def continent_counts(probes: list[Probe]) -> dict[Continent, int]:

@@ -17,6 +17,7 @@ from ..dns.name import Name
 from ..netsim.anycast import AnycastGroup, AnycastSite
 from ..netsim.geo import PROBE_CITIES, Location
 from ..netsim.network import SimNetwork
+from ..seeding import default_rng, derive_rng
 from ..resolvers.bind import BindSelector
 from ..resolvers.resolver import RecursiveResolver
 from .probes import Probe
@@ -42,7 +43,10 @@ class PublicResolverService:
         selector_factory=BindSelector,
         rng: random.Random | None = None,
     ) -> "PublicResolverService":
-        rng = rng if rng is not None else random.Random(0)
+        # Per-service namespace: two services built without an rng (e.g.
+        # 8.8.8.8 and 1.1.1.1) must not make identical instance draws.
+        rng = rng if rng is not None else default_rng("atlas.public", address)
+        seed = rng.getrandbits(63)
         instances: dict[str, RecursiveResolver] = {}
         group = AnycastGroup(f"public-{address}", suboptimal_rate=0.05)
         for index, code in enumerate(instance_cities):
@@ -51,8 +55,8 @@ class PublicResolverService:
                 address,  # all instances share the well-known address
                 location,
                 network,
-                selector_factory(rng=random.Random(rng.randrange(2**63))),
-                rng=random.Random(rng.randrange(2**63)),
+                selector_factory(rng=derive_rng(seed, "selector", code)),
+                rng=derive_rng(seed, "resolver", code),
             )
             instances[code] = resolver
             group.add_site(AnycastSite(code, location, lambda *a: None))

@@ -143,7 +143,20 @@ def _cmd_run(args: argparse.Namespace) -> int:
         from .telemetry import Telemetry
 
         telemetry = Telemetry.enabled_bundle(event_log=args.events)
-    result = TestbedExperiment(config, telemetry=telemetry).run()
+    if args.workers > 1 or args.shards:
+        from .core import run_parallel
+
+        result = run_parallel(
+            config,
+            workers=args.workers,
+            shards=args.shards or None,
+            telemetry=telemetry,
+        )
+        io.status(
+            f"merged {result.shards} shards from {result.workers} worker(s)"
+        )
+    else:
+        result = TestbedExperiment(config, telemetry=telemetry).run()
     io.status(
         f"{len(result.observations)} observations from {result.run.vp_count} VPs"
     )
@@ -557,6 +570,17 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--duration", type=float, default=60.0, help="minutes")
     run_parser.add_argument("--seed", type=int, default=0)
     run_parser.add_argument("--ipv6", action="store_true")
+    run_parser.add_argument(
+        "--workers", type=int, default=1,
+        help="shard the probe population over N processes; merged output "
+        "is identical for any N (default: 1, in-process)",
+    )
+    run_parser.add_argument(
+        "--shards", type=int, default=0,
+        help="shard count when it should differ from --workers "
+        "(0 = one shard per worker); forces the sharded engine even "
+        "with --workers 1",
+    )
     run_parser.add_argument("--out", help="save observations as JSONL")
     run_parser.add_argument(
         "--events", metavar="FILE",

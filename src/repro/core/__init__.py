@@ -21,6 +21,11 @@ from .experiment import (
     TestbedExperiment,
     run_combination,
 )
+from .parallel import (
+    ParallelExperimentResult,
+    partition_probes,
+    run_parallel,
+)
 from .planner import (
     ClientLatency,
     DeploymentEvaluation,
@@ -61,6 +66,9 @@ __all__ = [
     "ExperimentConfig",
     "ExperimentResult",
     "FIGURE6_INTERVALS_MIN",
+    "ParallelExperimentResult",
+    "partition_probes",
+    "run_parallel",
     "ResilienceEvaluator",
     "ResilienceReport",
     "SelectionModel",

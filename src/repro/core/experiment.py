@@ -8,14 +8,14 @@ configuration always reproduces the same observations.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass, field
 
 from ..atlas.platform import AtlasPlatform, MeasurementRun
-from ..atlas.probes import ProbeGenerator
+from ..atlas.probes import Probe, ProbeGenerator
 from ..netsim.latency import LatencyModel, LatencyParameters
 from ..netsim.network import SimNetwork
 from ..resolvers.population import ResolverPopulation
+from ..seeding import derive
 from ..telemetry import NULL_TELEMETRY, RunProfiler
 from .combinations import COMBINATIONS
 from .deployment import AuthoritativeSpec, Deployment
@@ -75,7 +75,12 @@ class TestbedExperiment:
 
     __test__ = False  # not a pytest class, despite the name
 
-    def __init__(self, config: ExperimentConfig, telemetry=None):
+    def __init__(
+        self,
+        config: ExperimentConfig,
+        telemetry=None,
+        probes: list[Probe] | None = None,
+    ):
         self.config = config
         self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         # Phase timings are always collected: a handful of perf_counter
@@ -85,10 +90,13 @@ class TestbedExperiment:
             if self.telemetry.profiler.enabled
             else RunProfiler()
         )
-        root = random.Random(config.seed)
+        # Component seeds derive from the config seed by *path*, never by
+        # sequential draws from one root stream: construction order and
+        # population sharding cannot perturb any component's randomness.
+        seed = config.seed
         self.network = SimNetwork(
             latency=LatencyModel(
-                config.latency_params, rng=random.Random(root.randrange(2**63))
+                config.latency_params, seed=derive(seed, "latency")
             ),
             telemetry=self.telemetry,
         )
@@ -96,10 +104,12 @@ class TestbedExperiment:
             config.domain, config.authoritatives, telemetry=self.telemetry
         )
         self.population = ResolverPopulation(
-            config.resolver_mix, rng=random.Random(root.randrange(2**63))
+            config.resolver_mix, seed=derive(seed, "population")
         )
-        self.probe_rng = random.Random(root.randrange(2**63))
-        self.platform_rng = random.Random(root.randrange(2**63))
+        self.probe_seed = derive(seed, "probes")
+        self.platform_seed = derive(seed, "platform")
+        #: pre-generated probe subset (shard workers); None = generate all
+        self._probes = probes
 
     def run(self) -> ExperimentResult:
         profiler = self.profiler
@@ -120,13 +130,16 @@ class TestbedExperiment:
         with profiler.phase("experiment.deploy"):
             addresses = self.deployment.deploy(self.network, base_address=base)
         with profiler.phase("experiment.probes"):
-            probes = ProbeGenerator(rng=self.probe_rng).generate(
-                self.config.num_probes
-            )
-            if self.config.ipv6:
-                probes = [probe for probe in probes if probe.ipv6_capable]
+            if self._probes is not None:
+                probes = list(self._probes)
+            else:
+                probes = ProbeGenerator(seed=self.probe_seed).generate(
+                    self.config.num_probes
+                )
+                if self.config.ipv6:
+                    probes = [probe for probe in probes if probe.ipv6_capable]
         platform = AtlasPlatform(
-            self.network, probes, self.population, rng=self.platform_rng,
+            self.network, probes, self.population, seed=self.platform_seed,
             telemetry=self.telemetry,
         )
         with profiler.phase("experiment.build_vps"):
@@ -162,8 +175,17 @@ class TestbedExperiment:
 
 
 def run_combination(
-    combo_id: str, telemetry=None, **overrides
-) -> ExperimentResult:
-    """Convenience: run one Table 1 combination end to end."""
+    combo_id: str, telemetry=None, workers: int = 1, **overrides
+):
+    """Convenience: run one Table 1 combination end to end.
+
+    ``workers > 1`` routes through the sharded engine
+    (:func:`repro.core.parallel.run_parallel`); the merged result is
+    identical to the serial one for any worker count.
+    """
     config = ExperimentConfig.for_combination(combo_id, **overrides)
+    if workers > 1:
+        from .parallel import run_parallel
+
+        return run_parallel(config, workers=workers, telemetry=telemetry)
     return TestbedExperiment(config, telemetry=telemetry).run()

@@ -1,0 +1,349 @@
+"""Sharded parallel experiment engine (scatter-gather).
+
+A campaign over N probes is embarrassingly parallel *if* no random
+stream and no piece of shared state crosses probe boundaries.  PR 3
+made that true: every stochastic decision in the simulator derives
+from ``(seed, path)`` (see :mod:`repro.seeding`), vantage-point ids
+and resolver addresses are computed from the probe alone, and the only
+cross-probe coupling left — resolver sharing — is scoped to one AS.
+
+This module exploits it.  :func:`run_parallel` partitions the probe
+population into shards *by ASN* (an AS never straddles shards, so the
+per-AS sharing state each worker sees matches the serial build), runs
+one :class:`~repro.core.experiment.TestbedExperiment` per shard in a
+spawn-safe ``multiprocessing`` worker, and scatter-gathers the pieces
+back through mergeable reducers:
+
+observations
+    concatenated and sorted by ``(timestamp, vp_id)`` — exactly the
+    serial emission order (tick-major, vp ascending).
+metrics
+    :meth:`MetricsRegistry.merge`: counters/gauges add, histogram
+    sketches add per-bucket counts and take min/max envelopes.
+event log
+    per-worker records are shard-tagged in flight and normalized on
+    merge (:func:`~repro.telemetry.events.normalize_trace_records`):
+    traces sort by content, tracer-private ids are renumbered, and
+    wall-clock profile events are dropped — so the merged log is
+    byte-identical for any worker count, including one.
+
+The invariant — serial and K-worker runs produce identical merged
+analysis output for any K — is what makes ``--workers`` safe to flip
+on without re-validating any result.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass, field
+
+from ..atlas.platform import MeasurementRun
+from ..atlas.probes import Probe, ProbeGenerator
+from ..seeding import derive
+from ..telemetry import (
+    MetricsRegistry,
+    MetricsSnapshot,
+    NULL_TELEMETRY,
+    Note,
+    NullRegistry,
+    NullTracer,
+    RawEvent,
+    RecordingEventSink,
+    RunMeta,
+    RunProfiler,
+    Telemetry,
+    Tracer,
+    normalize_trace_records,
+    span_from_dict,
+)
+from .experiment import ExperimentConfig, TestbedExperiment
+
+
+@dataclass
+class ParallelExperimentResult:
+    """Merged outputs of one sharded campaign.
+
+    Mirrors :class:`~repro.core.experiment.ExperimentResult` for the
+    fields analyses consume; adds the scatter-gather bookkeeping.
+    """
+
+    config: ExperimentConfig
+    run: MeasurementRun
+    addresses: list[str]
+    site_of_address: dict[str, str]
+    server_query_counts: dict[str, int]
+    workers: int
+    shards: int
+    telemetry: object = NULL_TELEMETRY
+    #: each shard worker's wall-clock phase profile, in shard order
+    shard_profiles: list[dict] = field(default_factory=list)
+    #: the engine's own phase profile (scatter, gather, merge)
+    profile: dict = field(default_factory=dict)
+
+    @property
+    def observations(self):
+        return self.run.observations
+
+
+def partition_probes(probes: list[Probe], shards: int) -> list[list[Probe]]:
+    """Split probes into ``shards`` buckets without splitting any AS.
+
+    Resolver sharing (§3.1) is per-AS state inside one platform
+    instance, so correctness requires every probe of an AS to land in
+    the same bucket.  Within that constraint the split is a greedy
+    deterministic bin-packing: AS groups, largest first (ties by ASN),
+    onto the least-loaded bucket.  Empty buckets are possible when
+    ``shards`` exceeds the number of distinct ASNs.
+    """
+    if shards <= 0:
+        raise ValueError(f"shards must be positive, got {shards}")
+    groups: dict[int, list[Probe]] = {}
+    for probe in sorted(probes, key=lambda p: p.probe_id):
+        groups.setdefault(probe.asn, []).append(probe)
+    buckets: list[list[Probe]] = [[] for _ in range(shards)]
+    loads = [0] * shards
+    ordered = sorted(groups.items(), key=lambda item: (-len(item[1]), item[0]))
+    for _, group in ordered:
+        target = min(range(shards), key=lambda index: (loads[index], index))
+        buckets[target].extend(group)
+        loads[target] += len(group)
+    for bucket in buckets:
+        bucket.sort(key=lambda p: p.probe_id)
+    return buckets
+
+
+def _run_shard(payload: tuple) -> dict:
+    """One shard, in its own process (or inline for ``workers=1``).
+
+    Top-level so it pickles under the spawn start method.  The worker
+    bundle mirrors the caller's pillar enablement; the tracer streams
+    into a shard-tagged :class:`RecordingEventSink` and retains nothing
+    in memory (``max_traces=0``) — records are the transport.
+    """
+    shard_index, config, probes, want_metrics, want_events = payload
+    sink = RecordingEventSink(shard=shard_index) if want_events else None
+    telemetry = Telemetry(
+        registry=MetricsRegistry() if want_metrics else NullRegistry(),
+        tracer=Tracer(max_traces=0, sink=sink) if want_events else NullTracer(),
+        profiler=RunProfiler(),
+        events=sink,
+    )
+    result = TestbedExperiment(config, telemetry=telemetry, probes=probes).run()
+    return {
+        "shard": shard_index,
+        "observations": result.run.observations,
+        "registry": telemetry.registry if want_metrics else None,
+        "records": sink.records if sink is not None else [],
+        "server_query_counts": result.server_query_counts,
+        "addresses": result.addresses,
+        "site_of_address": result.site_of_address,
+        "profile": result.profile,
+    }
+
+
+def _merged_note(shard_records: list[list[dict]], name: str) -> Note | None:
+    """One campaign note, with per-shard additive fields summed.
+
+    ``vantage_points`` and ``observations`` are per-shard quantities;
+    everything else (domain, interval, duration, virtual timestamp) is
+    identical across shards by construction.
+    """
+    notes = [
+        record
+        for records in shard_records
+        for record in records
+        if record.get("kind") == "note" and record.get("name") == name
+    ]
+    if not notes:
+        return None
+    base = notes[0]["data"]
+    data = {
+        "domain": base["domain"],
+        "interval_s": base["interval_s"],
+        "duration_s": base["duration_s"],
+        "vantage_points": sum(n["data"]["vantage_points"] for n in notes),
+    }
+    if "observations" in base:
+        data["observations"] = sum(n["data"]["observations"] for n in notes)
+    return Note(name=name, data=data, at=max(n["at"] for n in notes))
+
+
+def run_parallel(
+    config: ExperimentConfig,
+    workers: int = 1,
+    shards: int | None = None,
+    telemetry=None,
+) -> ParallelExperimentResult:
+    """Run one campaign sharded over ``workers`` processes and merge.
+
+    ``shards`` defaults to ``workers``; any (workers, shards) choice
+    yields identical merged output — the shard layout never touches a
+    random stream.  ``workers=1`` runs the shards inline (no process
+    pool), through the *same* merge path, so its artifacts — including
+    the event log, byte for byte — are the reference the parallel runs
+    are tested against.
+    """
+    if workers <= 0:
+        raise ValueError(f"workers must be positive, got {workers}")
+    telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+    profiler = (
+        telemetry.profiler if telemetry.profiler.enabled else RunProfiler()
+    )
+    shards = workers if shards is None else shards
+    want_events = telemetry.tracer.enabled or telemetry.events.enabled
+    want_metrics = telemetry.registry.enabled or telemetry.events.enabled
+
+    with profiler.phase("parallel.probes"):
+        generator = ProbeGenerator(seed=derive(config.seed, "probes"))
+        probes = generator.generate(config.num_probes)
+        if config.ipv6:
+            probes = [probe for probe in probes if probe.ipv6_capable]
+        buckets = [
+            bucket for bucket in partition_probes(probes, shards) if bucket
+        ]
+        if not buckets:
+            buckets = [[]]
+    payloads = [
+        (index, config, bucket, want_metrics, want_events)
+        for index, bucket in enumerate(buckets)
+    ]
+
+    with profiler.phase("parallel.scatter"):
+        if workers == 1 or len(payloads) == 1:
+            shard_results = [_run_shard(payload) for payload in payloads]
+        else:
+            context = multiprocessing.get_context("spawn")
+            processes = min(workers, len(payloads))
+            with context.Pool(processes=processes) as pool:
+                shard_results = pool.map(_run_shard, payloads)
+
+    with profiler.phase("parallel.merge"):
+        observations = [
+            obs for result in shard_results for obs in result["observations"]
+        ]
+        # (timestamp, vp_id) reproduces the serial emission order:
+        # ticks share one timestamp and VPs fire in vp_id order.
+        observations.sort(key=lambda obs: (obs.timestamp, obs.vp_id))
+        template = shard_results[0]
+        run = MeasurementRun(
+            domain=config.domain.rstrip("."),
+            interval_s=config.interval_s,
+            duration_s=config.duration_s,
+            observations=observations,
+        )
+        server_query_counts: dict[str, int] = {}
+        for result in shard_results:
+            for address, count in result["server_query_counts"].items():
+                server_query_counts[address] = (
+                    server_query_counts.get(address, 0) + count
+                )
+        server_query_counts = {
+            address: server_query_counts[address]
+            for address in sorted(server_query_counts)
+        }
+
+        merged_registry = (
+            telemetry.registry
+            if telemetry.registry.enabled
+            else MetricsRegistry()
+        )
+        if want_metrics:
+            for result in shard_results:
+                if result["registry"] is not None:
+                    merged_registry.merge(result["registry"])
+
+        normalized: list[dict] = []
+        if want_events:
+            trace_records = [
+                record
+                for result in shard_results
+                for record in result["records"]
+                if record.get("kind") == "trace"
+            ]
+            normalized = normalize_trace_records(trace_records)
+
+        if telemetry.tracer.enabled:
+            tracer = telemetry.tracer
+            for record in normalized:
+                if len(tracer.roots) < tracer.max_traces:
+                    tracer.roots.append(span_from_dict(record["root"]))
+                else:
+                    tracer.dropped_traces += 1
+
+        if telemetry.events.enabled:
+            _write_merged_log(
+                telemetry.events,
+                shard_results,
+                normalized,
+                merged_registry,
+            )
+
+    profiler.record("parallel.workers", workers)
+    profiler.record("parallel.shards", len(payloads))
+    profiler.record("config.num_probes", config.num_probes)
+    profiler.record("config.seed", config.seed)
+    profiler.count("experiment.runs")
+    profiler.count("experiment.observations", len(observations))
+    return ParallelExperimentResult(
+        config=config,
+        run=run,
+        addresses=list(template["addresses"]),
+        site_of_address=dict(template["site_of_address"]),
+        server_query_counts=server_query_counts,
+        workers=workers,
+        shards=len(payloads),
+        telemetry=telemetry,
+        shard_profiles=[result["profile"] for result in shard_results],
+        profile=profiler.as_dict(),
+    )
+
+
+def _write_merged_log(
+    sink, shard_results: list[dict], normalized: list[dict],
+    registry: MetricsRegistry,
+) -> None:
+    """Append the canonical merged event stream to the caller's sink.
+
+    Canonical order mirrors a serial run: run_meta, measure.start,
+    traces (normalized), measure.end, final metrics snapshot.  Profile
+    events are deliberately absent — wall-clock phases differ between
+    runs and would break byte-identity.
+    """
+    shard_records = [result["records"] for result in shard_results]
+    run_meta = next(
+        (
+            record
+            for records in shard_records
+            for record in records
+            if record.get("kind") == "run_meta"
+        ),
+        None,
+    )
+    if run_meta is not None:
+        sink.emit(RunMeta(run=run_meta["run"], at=run_meta.get("at")))
+    start = _merged_note(shard_records, "measure.start")
+    if start is not None:
+        sink.emit(start)
+    for record in normalized:
+        sink.emit(RawEvent(record=record))
+    end = _merged_note(shard_records, "measure.end")
+    if end is not None:
+        sink.emit(end)
+    snapshot_at = max(
+        (
+            record["at"]
+            for records in shard_records
+            for record in records
+            if record.get("kind") == "metrics" and record.get("at") is not None
+        ),
+        default=None,
+    )
+    sink.emit(MetricsSnapshot(at=snapshot_at, metrics=registry.as_dict()))
+    sink.flush()
+
+
+__all__ = [
+    "ParallelExperimentResult",
+    "partition_probes",
+    "run_parallel",
+]

@@ -25,6 +25,7 @@ from ..netsim.geo import (
     cities_by_continent,
 )
 from ..netsim.latency import LatencyModel
+from ..seeding import default_rng
 from .deployment import AuthoritativeSpec
 
 
@@ -102,7 +103,7 @@ class ResilienceEvaluator:
         self.legit_qps_per_client = legit_qps_per_client
         self.max_retries = max_retries
         self.retry_penalty_ms = retry_penalty_ms
-        self.rng = rng if rng is not None else random.Random(0)
+        self.rng = rng if rng is not None else default_rng("core.resilience")
 
     # -- internals ---------------------------------------------------------
 

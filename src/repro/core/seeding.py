@@ -1,0 +1,15 @@
+"""Canonical import path for the seed-derivation utility.
+
+The implementation lives in :mod:`repro.seeding` (package root, stdlib
+only) so low-level layers — :mod:`repro.netsim`, :mod:`repro.resolvers`
+— can import it without creating an import cycle through
+``repro.core.__init__``.  Application code should import from here::
+
+    from repro.core.seeding import derive, derive_rng
+"""
+
+from __future__ import annotations
+
+from ..seeding import SEED_BITS, SpawnKey, default_rng, derive, derive_rng
+
+__all__ = ["SEED_BITS", "SpawnKey", "default_rng", "derive", "derive_rng"]

@@ -8,7 +8,6 @@ from __future__ import annotations
 
 import socket
 import threading
-import time
 
 from ..telemetry.clock import DEFAULT_CLOCK, Clock
 from .message import Message
@@ -89,15 +88,21 @@ def query_udp(
     rrclass: RRClass = RRClass.IN,
     timeout: float = 2.0,
     msg_id: int = 1,
+    clock: Clock = DEFAULT_CLOCK,
 ) -> Message:
-    """Send one UDP query and wait for the matching response."""
+    """Send one UDP query and wait for the matching response.
+
+    The receive deadline runs on the injectable ``clock`` — the same one
+    the server side stamps its query log with — so tests can drive the
+    timeout deterministically instead of racing ``time.monotonic()``.
+    """
     query = Message.make_query(qname, qtype, rrclass, msg_id=msg_id)
     with socket.socket(socket.AF_INET, socket.SOCK_DGRAM) as sock:
         sock.settimeout(timeout)
         sock.sendto(query.to_wire(), address)
-        deadline = time.monotonic() + timeout
+        deadline = clock.now() + timeout
         while True:
-            remaining = deadline - time.monotonic()
+            remaining = deadline - clock.now()
             if remaining <= 0:
                 raise TimeoutError(f"no response from {address}")
             sock.settimeout(remaining)

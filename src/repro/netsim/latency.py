@@ -18,6 +18,7 @@ import math
 import random
 from dataclasses import dataclass
 
+from ..seeding import default_rng, derive_rng
 from .geo import GeoPoint, great_circle_km
 
 # Speed of light in fiber, km per second (~0.67 c).
@@ -46,15 +47,38 @@ class LatencyModel:
 
     The *base* RTT for a pair is deterministic; individual samples add
     jitter and may be lost.  A seeded RNG keeps runs reproducible.
+
+    Two sampling surfaces coexist:
+
+    * :meth:`sample_rtt_ms` / :meth:`is_lost` draw from one shared
+      stream (``rng``) — fine for callers that own the whole draw order
+      (the resilience evaluator, ad-hoc scripts).
+    * :meth:`sample_exchange` draws from a *per-(client, destination)*
+      stream derived from ``seed``.  Each pair's stream depends only on
+      the pair's identity and its own exchange count, never on how other
+      pairs' draws interleave — the property that lets the sharded
+      experiment engine reproduce a serial run bit-for-bit.
     """
 
     def __init__(
         self,
         params: LatencyParameters | None = None,
         rng: random.Random | None = None,
+        seed: int | None = None,
     ):
         self.params = params if params is not None else LatencyParameters()
-        self.rng = rng if rng is not None else random.Random(0)
+        if rng is None:
+            rng = (
+                derive_rng(seed, "latency.shared")
+                if seed is not None
+                else default_rng("netsim.latency")
+            )
+        self.rng = rng
+        #: root of the per-pair streams; falls back to a value drawn from
+        #: the shared rng so legacy ``rng=``-only construction stays
+        #: deterministic end to end.
+        self.seed = seed if seed is not None else self.rng.getrandbits(63)
+        self._pair_streams: dict[tuple[str, str], random.Random] = {}
 
     def base_rtt_ms(self, a: GeoPoint, b: GeoPoint) -> float:
         """Deterministic RTT for the pair, without jitter."""
@@ -73,3 +97,29 @@ class LatencyModel:
     def is_lost(self) -> bool:
         """Whether one query/response round trip is lost."""
         return self.rng.random() < self.params.loss_rate
+
+    # -- per-pair sampling (layout-invariant) -------------------------------
+
+    def _pair_rng(self, client_key: str, dst_key: str) -> random.Random:
+        key = (client_key, dst_key)
+        stream = self._pair_streams.get(key)
+        if stream is None:
+            stream = derive_rng(self.seed, "pair", client_key, dst_key)
+            self._pair_streams[key] = stream
+        return stream
+
+    def sample_exchange(
+        self, client_key: str, dst_key: str, a: GeoPoint, b: GeoPoint
+    ) -> tuple[bool, float | None]:
+        """One (lost?, rtt_ms) draw from the pair's private stream.
+
+        The n-th exchange between a given client and destination sees
+        the same loss and jitter draws no matter what any other pair is
+        doing — serial and sharded runs agree exchange for exchange.
+        """
+        stream = self._pair_rng(client_key, dst_key)
+        if stream.random() < self.params.loss_rate:
+            return True, None
+        base = self.base_rtt_ms(a, b)
+        multiplier = math.exp(stream.gauss(0.0, self.params.jitter_sigma))
+        return False, base * multiplier

@@ -140,11 +140,13 @@ class SimNetwork:
             site_location, handler, code = self.route(
                 client_location, client_address, dst_address
             )
-            if self.latency.is_lost():
+            lost, rtt_ms = self.latency.sample_exchange(
+                client_address, dst_address,
+                client_location.point, site_location.point,
+            )
+            if lost:
                 return RoundTrip(response=None, rtt_ms=None, lost=True, served_by="")
-            rtt_ms = self.latency.sample_rtt_ms(
-                client_location.point, site_location.point
-            ) * _path_diversity_multiplier(
+            rtt_ms *= _path_diversity_multiplier(
                 client_address, dst_address, self.latency.params.path_diversity_sigma
             )
             response = handler(payload, client_address, self.clock.now)
@@ -165,7 +167,11 @@ class SimNetwork:
             span.set(site=code)
             if dst_address in self._anycast:
                 span.event("anycast_catchment", at=now, site=code)
-            if self.latency.is_lost():
+            lost, rtt_ms = self.latency.sample_exchange(
+                client_address, dst_address,
+                client_location.point, site_location.point,
+            )
+            if lost:
                 span.set(lost=True)
                 span.event("loss", at=now)
                 registry.counter(
@@ -174,9 +180,7 @@ class SimNetwork:
                     ("dst",),
                 ).labels(dst=dst_address).inc()
                 return RoundTrip(response=None, rtt_ms=None, lost=True, served_by="")
-            rtt_ms = self.latency.sample_rtt_ms(
-                client_location.point, site_location.point
-            ) * _path_diversity_multiplier(
+            rtt_ms *= _path_diversity_multiplier(
                 client_address, dst_address, self.latency.params.path_diversity_sigma
             )
             span.set(lost=False, rtt_ms=round(rtt_ms, 3))

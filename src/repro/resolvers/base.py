@@ -11,6 +11,7 @@ from __future__ import annotations
 import abc
 import random
 
+from ..seeding import default_rng
 from ..telemetry import NULL_TELEMETRY
 from .infracache import InfrastructureCache
 
@@ -27,7 +28,13 @@ class ServerSelector(abc.ABC):
     telemetry = NULL_TELEMETRY
 
     def __init__(self, rng: random.Random | None = None):
-        self.rng = rng if rng is not None else random.Random(0)
+        # Namespaced per selector family: two different selector classes
+        # falling back to the default must not tie-break identically
+        # (the old Random(0) default synchronized them).
+        self.rng = (
+            rng if rng is not None
+            else default_rng("resolvers.selector", type(self).name)
+        )
 
     @abc.abstractmethod
     def select(

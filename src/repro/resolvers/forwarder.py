@@ -15,6 +15,7 @@ import enum
 import random
 
 from ..dns.name import Name
+from ..seeding import default_rng
 from ..dns.types import RRClass, RRType
 from .resolver import RecursiveResolver, ResolutionResult
 from .rrcache import RecordCache
@@ -51,7 +52,12 @@ class DnsForwarder:
         self.upstreams = list(upstreams)
         self.policy = policy
         self.cache = RecordCache(max_entries=1000) if cache_enabled else None
-        self.rng = rng if rng is not None else random.Random(0)
+        # Keyed by the forwarder's own address: distinct middleboxes must
+        # not rotate/choose upstreams in lockstep.
+        self.rng = (
+            rng if rng is not None
+            else default_rng("resolvers.forwarder", address)
+        )
         self._rr_index = self.rng.randrange(len(upstreams))
         self._primary_index = 0
         self.forwarded = 0

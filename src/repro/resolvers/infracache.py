@@ -22,6 +22,10 @@ class InfraEntry:
     samples: int = 0
     timeouts: int = 0
 
+    def expired(self, now: float) -> bool:
+        """True once ``now`` reaches ``expires_at`` (boundary is expired)."""
+        return now >= self.expires_at
+
 
 @dataclass
 class InfrastructureCache:
@@ -46,18 +50,28 @@ class InfrastructureCache:
         implementations achieve by not fully discarding latency history.
         """
         entry = self._entries.get(address)
-        if entry is None:
-            return None
-        if now >= entry.expires_at:
+        if entry is None or entry.expired(now):
             return None
         return entry
+
+    #: canonical accessor name; every liveness-respecting read goes
+    #: through this so expiry semantics cannot drift between accessors.
+    def entry(self, address: str, now: float) -> InfraEntry | None:
+        """Alias of :meth:`get` — the live entry, or None if expired."""
+        return self.get(address, now)
 
     def stale_entry(self, address: str, now: float) -> InfraEntry | None:
         """The last known entry even if expired (None if never observed)."""
         return self._entries.get(address)
 
     def srtt(self, address: str, now: float) -> float | None:
-        entry = self.get(address, now)
+        """The live SRTT — exactly when :meth:`entry` returns an entry.
+
+        An address whose entry has reached ``expires_at`` reports None
+        here too; it never serves a latency figure :meth:`entry` would
+        reject as expired.
+        """
+        entry = self.entry(address, now)
         return entry.srtt_ms if entry is not None else None
 
     def observe_rtt(
@@ -109,5 +123,10 @@ class InfrastructureCache:
     def known_addresses(self, now: float) -> list[str]:
         return [addr for addr in list(self._entries) if self.get(addr, now)]
 
+    def live_count(self, now: float) -> int:
+        """Entries :meth:`entry` would still serve at ``now``."""
+        return len(self.known_addresses(now))
+
     def __len__(self) -> int:
+        """Stored entries, *including* expired-but-retained stale hints."""
         return len(self._entries)

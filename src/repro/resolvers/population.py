@@ -13,6 +13,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 
+from ..seeding import default_rng, derive_rng
 from .base import ServerSelector
 from .bind import BindSelector
 from .naive import RandomSelector, RoundRobinSelector, StickySelector
@@ -76,6 +77,7 @@ class ResolverPopulation:
         mix: dict[str, float] | None = None,
         rng: random.Random | None = None,
         selector_overrides: dict[str, dict] | None = None,
+        seed: int | None = None,
     ):
         self.mix = dict(DEFAULT_MIX if mix is None else mix)
         self.selector_overrides = dict(selector_overrides or {})
@@ -86,15 +88,28 @@ class ResolverPopulation:
         if total <= 0:
             raise ValueError("mix weights must sum to a positive value")
         self.mix = {name: weight / total for name, weight in self.mix.items()}
-        self.rng = rng if rng is not None else random.Random(0)
+        if rng is None:
+            rng = (
+                derive_rng(seed, "population.shared")
+                if seed is not None
+                else default_rng("resolvers.population")
+            )
+        self.rng = rng
 
-    def sample(self) -> PopulationSample:
-        """Draw one implementation and instantiate its selector."""
+    def sample(self, rng: random.Random | None = None) -> PopulationSample:
+        """Draw one implementation and instantiate its selector.
+
+        Pass a per-entity ``rng`` (derived from a seed path) to make the
+        draw independent of every other sample — the sharded experiment
+        engine relies on this; the shared fallback stream remains for
+        callers that own the whole draw order.
+        """
+        rng = rng if rng is not None else self.rng
         names = list(self.mix)
         weights = [self.mix[name] for name in names]
-        name = self.rng.choices(names, weights=weights, k=1)[0]
+        name = rng.choices(names, weights=weights, k=1)[0]
         selector = SELECTOR_CLASSES[name](
-            rng=random.Random(self.rng.randrange(2**63)),
+            rng=random.Random(rng.randrange(2**63)),
             **self.selector_overrides.get(name, {}),
         )
         return PopulationSample(

@@ -24,6 +24,7 @@ CHAOS_SELF_NAMES = (
 )
 from ..netsim.geo import Location
 from ..netsim.network import SimNetwork
+from ..seeding import default_rng
 from ..telemetry import NULL_SPAN, NULL_TELEMETRY
 from .base import ServerSelector
 from .infracache import InfrastructureCache
@@ -101,7 +102,13 @@ class RecursiveResolver:
         self.record_cache = RecordCache()
         self.timeout_ms = timeout_ms
         self.max_retries = max_retries
-        self.rng = rng if rng is not None else random.Random(hash(address) & 0xFFFF)
+        # Derived, not hash()-based: str hashes vary per process under
+        # PYTHONHASHSEED randomization, which silently made the default
+        # stream differ between spawned workers and the parent.
+        self.rng = (
+            rng if rng is not None
+            else default_rng("resolvers.resolver", address)
+        )
         #: zone origin -> authoritative service addresses
         self.stub_zones: dict[Name, list[str]] = {}
         self.queries_sent = 0

@@ -1,0 +1,132 @@
+"""Hierarchical seed derivation: one root seed, many independent streams.
+
+The simulator used to thread randomness through components by drawing
+``root.randrange(2**63)`` sequentially — which makes every stream a
+function of *construction order*.  Reordering components, skipping one,
+or running a subset of the probe population in a worker process silently
+changes every stream after the edit.  Worse, several modules defaulted
+to ``random.Random(0)``, handing byte-identical streams to components
+that are supposed to be independent.
+
+This module replaces both patterns with SeedSequence-style *path
+derivation*: a child seed is a pure function of the root seed and a
+hierarchical path of tokens::
+
+    derive(seed, "platform")                  # component stream
+    derive(seed, "resolver", probe_id, 0)     # per-entity stream
+
+Two properties make the sharded experiment engine
+(:mod:`repro.core.parallel`) correct:
+
+* **Layout invariance** — a stream depends only on its path, never on
+  how many other streams exist or in which order they were created, so
+  partitioning the probe population over K workers cannot perturb any
+  draw.
+* **Platform stability** — derivation is SHA-256 over canonical token
+  bytes, not Python's randomized ``hash()``, so every process (and
+  every ``PYTHONHASHSEED``) derives identical seeds.
+
+Only the standard library is used and nothing from ``repro`` is
+imported, so any layer may depend on this module without cycles.  The
+canonical import path is :mod:`repro.core.seeding` (a re-export).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+
+#: derived seeds are 63-bit non-negative ints (fits ``randrange(2**63)``)
+SEED_BITS = 63
+
+#: token-type domain separators: "city" must never collide with b"city"
+#: or 0x63697479, so each token is tagged before hashing.
+_TAG_INT = b"i"
+_TAG_STR = b"s"
+_TAG_BYTES = b"b"
+_SEPARATOR = b"\x1f"
+
+Token = "int | str | bytes"
+
+
+def _token_bytes(token) -> bytes:
+    """Canonical, collision-safe byte encoding of one path token."""
+    if isinstance(token, bool):  # bool is an int subclass; be explicit
+        return _TAG_INT + str(int(token)).encode("ascii")
+    if isinstance(token, int):
+        return _TAG_INT + str(token).encode("ascii")
+    if isinstance(token, str):
+        return _TAG_STR + token.encode("utf-8")
+    if isinstance(token, bytes):
+        return _TAG_BYTES + token
+    raise TypeError(
+        f"seed-path tokens must be int, str, or bytes, got {type(token).__name__}"
+    )
+
+
+def derive(root: int, *path) -> int:
+    """A child seed: a pure function of ``root`` and the token ``path``.
+
+    The same (root, path) always yields the same seed on every platform
+    and in every process; distinct paths yield independent seeds (SHA-256
+    collision resistance).  At least one path token is required — a
+    derivation with no path would be indistinguishable from the root.
+    """
+    if not path:
+        raise ValueError("derive() needs at least one path token")
+    digest = hashlib.sha256()
+    digest.update(_TAG_INT + str(int(root)).encode("ascii"))
+    for token in path:
+        digest.update(_SEPARATOR)
+        digest.update(_token_bytes(token))
+    return int.from_bytes(digest.digest()[:8], "big") >> (64 - SEED_BITS)
+
+
+def derive_rng(root: int, *path) -> random.Random:
+    """A :class:`random.Random` seeded by :func:`derive`."""
+    return random.Random(derive(root, *path))
+
+
+def default_rng(*path) -> random.Random:
+    """The stream a component falls back to when no rng/seed is given.
+
+    Replaces the old ``random.Random(0)`` defaults: still deterministic,
+    but namespaced per component so two different components that both
+    omit an rng no longer share one stream (the synchronization bug the
+    old defaults caused).  Components should pass their qualified name,
+    e.g. ``default_rng("resolvers.forwarder")``.
+    """
+    return derive_rng(0, "default", *path)
+
+
+class SpawnKey:
+    """A bound (root, path prefix) that spawns child seeds and streams.
+
+    Mirrors :class:`numpy.random.SeedSequence.spawn` ergonomics for code
+    that hands sub-keys down a hierarchy::
+
+        key = SpawnKey(config.seed, "platform")
+        vp_rng = key.rng("vp", probe_id)
+        child = key.child("resolver")       # SpawnKey one level down
+    """
+
+    __slots__ = ("root", "path")
+
+    def __init__(self, root: int, *path):
+        self.root = int(root)
+        self.path = tuple(path)
+
+    def derive(self, *path) -> int:
+        return derive(self.root, *self.path, *path)
+
+    def rng(self, *path) -> random.Random:
+        return derive_rng(self.root, *self.path, *path)
+
+    def child(self, *path) -> "SpawnKey":
+        return SpawnKey(self.root, *self.path, *path)
+
+    def __repr__(self) -> str:
+        return f"SpawnKey({self.root}, {', '.join(map(repr, self.path))})"
+
+
+__all__ = ["SEED_BITS", "SpawnKey", "default_rng", "derive", "derive_rng"]

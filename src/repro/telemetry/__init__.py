@@ -44,9 +44,11 @@ from .events import (
     NullEventSink,
     ProfileEvent,
     RawEvent,
+    RecordingEventSink,
     RunMeta,
     TraceEvent,
     ViewComparisonEvent,
+    normalize_trace_records,
     read_events,
     span_from_dict,
 )
@@ -179,6 +181,7 @@ __all__ = [
     "P2Quantile",
     "ProfileEvent",
     "RawEvent",
+    "RecordingEventSink",
     "RunMeta",
     "RunProfiler",
     "Sample",
@@ -188,6 +191,7 @@ __all__ = [
     "TraceEvent",
     "Tracer",
     "ViewComparisonEvent",
+    "normalize_trace_records",
     "quantile_from_buckets",
     "read_events",
     "render_trace",

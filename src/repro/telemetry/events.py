@@ -320,6 +320,111 @@ class NullEventSink:
 NULL_EVENT_SINK = NullEventSink()
 
 
+class RecordingEventSink:
+    """In-memory sink with the :class:`EventLogWriter` surface.
+
+    Shard workers of the parallel experiment engine emit into one of
+    these; the engine ships the recorded dicts back over the process
+    boundary and merges them into one canonical log.  Records are
+    JSON round-tripped at emit time — same contract as the writer:
+    callers may mutate their objects afterwards, and every stored
+    record is guaranteed plain-JSON (what the merge helpers sort on).
+
+    ``shard`` tags every record with the emitting shard's index so a
+    merged stream stays attributable until normalization strips it.
+    """
+
+    enabled = True
+    path = None
+
+    def __init__(self, shard: int | None = None):
+        self.shard = shard
+        self.records: list[dict] = []
+        self.emitted = 0
+        self.dropped = 0
+        self.closed = False
+
+    def emit(self, event) -> bool:
+        record = json.loads(json.dumps(event.to_record()))
+        if self.shard is not None:
+            record["shard"] = self.shard
+        self.records.append(record)
+        self.emitted += 1
+        return True
+
+    def emit_span(self, span: Span) -> bool:
+        return self.emit(TraceEvent(root=span))
+
+    def flush(self) -> None:
+        pass
+
+    def close(self) -> None:
+        self.closed = True
+
+    def of_kind(self, kind: str) -> list[dict]:
+        return [record for record in self.records if record.get("kind") == kind]
+
+    def __enter__(self) -> "RecordingEventSink":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"RecordingEventSink(shard={self.shard}, "
+            f"emitted={self.emitted})"
+        )
+
+
+def _strip_span_ids(node: dict) -> dict:
+    """A span dict without its tracer-private ids, children recursed."""
+    clean = {
+        key: value
+        for key, value in node.items()
+        if key not in ("span_id", "trace_id", "children")
+    }
+    clean["children"] = [
+        _strip_span_ids(child) for child in node.get("children", ())
+    ]
+    return clean
+
+
+def _renumber_span(node: dict, trace_id: int, counter: list[int]) -> None:
+    node["trace_id"] = trace_id
+    node["span_id"] = counter[0]
+    counter[0] += 1
+    for child in node.get("children", ()):
+        _renumber_span(child, trace_id, counter)
+
+
+def normalize_trace_records(records: list[dict]) -> list[dict]:
+    """Canonical, shard-independent form of a set of trace records.
+
+    Each worker's tracer hands out trace/span ids from its own private
+    sequence, so the same logical traces differ between a serial run
+    and any sharded partition.  Normalization erases that: traces sort
+    by (virtual start time, id-stripped content) — a total order up to
+    genuinely identical traces — then trace ids are reassigned 1..N in
+    that order and span ids depth-first from one global counter.  Any
+    partition of the same traces normalizes to the same byte sequence;
+    shard tags are dropped.
+    """
+    keyed: list[tuple[float, str, dict]] = []
+    for record in records:
+        root = _strip_span_ids(record["root"])
+        keyed.append(
+            (float(root["start"]), json.dumps(root, sort_keys=True), root)
+        )
+    keyed.sort(key=lambda item: (item[0], item[1]))
+    counter = [1]
+    normalized: list[dict] = []
+    for index, (_, _, root) in enumerate(keyed):
+        _renumber_span(root, index + 1, counter)
+        normalized.append({"kind": TraceEvent.kind, "root": root})
+    return normalized
+
+
 # -- the reader -------------------------------------------------------------
 
 
@@ -415,9 +520,11 @@ __all__ = [
     "NullEventSink",
     "ProfileEvent",
     "RawEvent",
+    "RecordingEventSink",
     "RunMeta",
     "TraceEvent",
     "ViewComparisonEvent",
+    "normalize_trace_records",
     "read_events",
     "span_from_dict",
 ]

@@ -176,19 +176,46 @@ class Gauge(_Family):
         return sum(child.value for _, child in self.children())
 
 
+def _grow_partials(partials: list[float], value: float) -> None:
+    """Fold ``value`` into Shewchuk non-overlapping partials, in place.
+
+    The partials represent the *exact* real-number sum of everything
+    observed so far (the ``math.fsum`` core), so the rounded total is
+    independent of observation order — and of how a sharded run
+    partitioned the observations.  That order-independence is what
+    keeps merged registries byte-identical to serial ones.
+    """
+    index = 0
+    for partial in partials:
+        if abs(value) < abs(partial):
+            value, partial = partial, value
+        high = value + partial
+        low = partial - (high - value)
+        if low:
+            partials[index] = low
+            index += 1
+        value = high
+    partials[index:] = [value]
+
+
 class _HistogramChild:
-    __slots__ = ("buckets", "counts", "sum", "count", "min", "max")
+    __slots__ = ("buckets", "counts", "_sum_partials", "count", "min", "max")
 
     def __init__(self, buckets: tuple[float, ...]):
         self.buckets = buckets
         self.counts = [0] * len(buckets)  # per-bucket (non-cumulative)
-        self.sum = 0.0
+        self._sum_partials: list[float] = []
         self.count = 0
         self.min: float | None = None
         self.max: float | None = None
 
+    @property
+    def sum(self) -> float:
+        """Exactly rounded sum of all observations (order-independent)."""
+        return math.fsum(self._sum_partials)
+
     def observe(self, value: float) -> None:
-        self.sum += value
+        _grow_partials(self._sum_partials, float(value))
         self.count += 1
         if self.min is None or value < self.min:
             self.min = value
@@ -198,6 +225,20 @@ class _HistogramChild:
             if value <= upper:
                 self.counts[index] += 1
                 break
+
+    def merge(self, other: "_HistogramChild") -> None:
+        """Fold another child's state in (identical bucket layout only)."""
+        if other.buckets != self.buckets:
+            raise MetricError("cannot merge histograms with different buckets")
+        for partial in other._sum_partials:
+            _grow_partials(self._sum_partials, partial)
+        self.count += other.count
+        for index, count in enumerate(other.counts):
+            self.counts[index] += count
+        if other.min is not None and (self.min is None or other.min < self.min):
+            self.min = other.min
+        if other.max is not None and (self.max is None or other.max > self.max):
+            self.max = other.max
 
     def cumulative(self) -> list[tuple[float, int]]:
         """(upper_bound, cumulative count) pairs, ending at +Inf."""
@@ -335,6 +376,43 @@ class MetricsRegistry:
         return self._get_or_create(
             Histogram, name, help, labelnames, buckets=buckets
         )
+
+    # -- merging -----------------------------------------------------------
+
+    def merge(self, other: "MetricsRegistry") -> "MetricsRegistry":
+        """Fold another registry's state into this one (scatter-gather).
+
+        The mergeable-reducer contract of the sharded experiment engine:
+        counters and gauges add, histograms add per-bucket counts and
+        take min/max envelopes.  Families present in only one side are
+        kept as-is; a family present in both must agree on type, label
+        set, and (for histograms) bucket layout, or :class:`MetricError`
+        is raised.  Merging is associative and commutative over disjoint
+        workloads, so any shard arrival order yields the same registry.
+        """
+        for family in other.families():
+            if isinstance(family, Histogram):
+                mine = self.histogram(
+                    family.name, family.help, family.labelnames,
+                    buckets=family.buckets,
+                )
+            elif isinstance(family, Counter):
+                mine = self.counter(family.name, family.help, family.labelnames)
+            elif isinstance(family, Gauge):
+                mine = self.gauge(family.name, family.help, family.labelnames)
+            else:  # pragma: no cover - no other family kinds exist
+                raise MetricError(f"unmergeable family kind {family.kind!r}")
+            for labelvalues, child in family.children():
+                target = mine.labels(
+                    **dict(zip(family.labelnames, labelvalues))
+                )
+                if isinstance(child, _HistogramChild):
+                    target.merge(child)
+                elif isinstance(family, Counter):
+                    target.inc(child.value)
+                else:
+                    target.set(target.value + child.value)
+        return self
 
     # -- access ------------------------------------------------------------
 

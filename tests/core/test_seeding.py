@@ -1,0 +1,113 @@
+"""Tests for hierarchical seed derivation (``repro.seeding``)."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.core.seeding import (
+    SEED_BITS,
+    SpawnKey,
+    default_rng,
+    derive,
+    derive_rng,
+)
+
+
+class TestDerive:
+    def test_golden_values(self):
+        # Frozen outputs: any change here silently reshuffles every
+        # seeded experiment in the repo.  Bump only with a changelog
+        # entry explaining the break.
+        assert derive(0, "latency") == 5659011886844080970
+        assert derive(0, "probes") == 3827489538339967242
+        assert derive(12345, "probe", 7) == 1627122152541863405
+        assert derive(12345, "pair", "a", "b") == 8483601207912038476
+
+    def test_deterministic(self):
+        assert derive(42, "x", 1) == derive(42, "x", 1)
+
+    def test_in_seed_range(self):
+        for path in (("a",), ("a", 2), ("deep", "er", 3, "path")):
+            seed = derive(99, *path)
+            assert 0 <= seed < 2**SEED_BITS
+
+    def test_root_separates_streams(self):
+        assert derive(0, "x") != derive(1, "x")
+
+    def test_path_separates_streams(self):
+        assert derive(0, "x") != derive(0, "y")
+        assert derive(0, "x", 0) != derive(0, "x", 1)
+
+    def test_type_tagging_keeps_int_and_str_apart(self):
+        # 1, "1", and b"1" are different path tokens, not different
+        # spellings of the same one.
+        assert derive(0, 1) != derive(0, "1")
+        assert derive(0, "1") != derive(0, b"1")
+        assert derive(0, 1) == 9134221727717832181
+        assert derive(0, "1") == 3041598954393920278
+        assert derive(0, b"1") == 505464548230264904
+
+    def test_token_boundaries_are_unambiguous(self):
+        # ("ab",) must not collide with ("a", "b").
+        assert derive(0, "ab") != derive(0, "a", "b")
+        assert derive(0, "a", "bc") != derive(0, "ab", "c")
+
+    def test_empty_path_rejected(self):
+        with pytest.raises(ValueError):
+            derive(0)
+
+    def test_hashseed_independent(self):
+        # The whole point over hash(): stable across interpreter runs
+        # and PYTHONHASHSEED values (spawned workers!).
+        script = (
+            "from repro.seeding import derive; "
+            "print(derive(7, 'probe', 3, 'addr'))"
+        )
+        import os
+        from pathlib import Path
+
+        import repro
+
+        src = str(Path(repro.__file__).parents[1])
+        outputs = set()
+        for hashseed in ("0", "12345"):
+            env = dict(os.environ, PYTHONHASHSEED=hashseed, PYTHONPATH=src)
+            result = subprocess.run(
+                [sys.executable, "-c", script],
+                capture_output=True, text=True, check=True, env=env,
+            )
+            outputs.add(result.stdout.strip())
+        assert len(outputs) == 1
+        assert outputs == {str(derive(7, "probe", 3, "addr"))}
+
+
+class TestDeriveRng:
+    def test_same_path_same_stream(self):
+        a = derive_rng(5, "latency", "pair", 1)
+        b = derive_rng(5, "latency", "pair", 1)
+        assert [a.random() for _ in range(8)] == [b.random() for _ in range(8)]
+
+    def test_different_path_different_stream(self):
+        a = derive_rng(5, "x")
+        b = derive_rng(5, "y")
+        assert [a.random() for _ in range(4)] != [b.random() for _ in range(4)]
+
+    def test_default_rng_namespaces(self):
+        a = default_rng("resolvers.selector", "bind")
+        b = default_rng("resolvers.selector", "unbound")
+        assert a.random() != b.random()
+
+
+class TestSpawnKey:
+    def test_matches_derive(self):
+        key = SpawnKey(123)
+        assert key.derive("a", 1) == derive(123, "a", 1)
+
+    def test_child_extends_path(self):
+        key = SpawnKey(123).child("platform")
+        assert key.derive("vp", 9) == derive(123, "platform", "vp", 9)
+
+    def test_rng_stream_matches_derive_rng(self):
+        key = SpawnKey(7)
+        assert key.rng("x").random() == derive_rng(7, "x").random()

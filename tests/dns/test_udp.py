@@ -84,3 +84,40 @@ class TestUdpServer:
                 server.address, "probe.ourtestdomain.nl.", RRType.TXT, msg_id=4321
             )
         assert response.msg_id == 4321
+
+
+class SteppingClock:
+    """now() advances itself on every read — no real waiting needed."""
+
+    def __init__(self, step: float):
+        self.step = step
+        self._now = 0.0
+
+    def now(self) -> float:
+        current = self._now
+        self._now += self.step
+        return current
+
+
+class TestInjectableDeadline:
+    def test_query_works_with_injected_clock(self, engine):
+        from repro.telemetry.clock import ManualClock
+
+        with UdpAuthoritativeServer(engine) as server:
+            response = query_udp(
+                server.address, "probe.ourtestdomain.nl.", RRType.TXT,
+                clock=ManualClock(),
+            )
+        assert response.answers[0].rdata.value == "site-GRU"
+
+    def test_deadline_runs_on_injected_clock(self, engine):
+        # Regression: the receive deadline used time.monotonic()
+        # directly, ignoring the injected clock.  With a clock that
+        # jumps past the deadline between reads, the timeout must fire
+        # immediately — no wall-clock waiting, no socket timeout.
+        with UdpAuthoritativeServer(engine) as server:
+            with pytest.raises(TimeoutError):
+                query_udp(
+                    server.address, "probe.ourtestdomain.nl.", RRType.TXT,
+                    timeout=5.0, clock=SteppingClock(step=10.0),
+                )

@@ -102,3 +102,57 @@ class TestHousekeeping:
         cache.observe_rtt("b", 1.0, now=0.0)
         cache.clear()
         assert len(cache) == 0
+
+
+class TestAccessorConsistency:
+    """`srtt()` must agree with `entry()` on expiry, boundary included."""
+
+    def test_entry_is_get(self):
+        cache = InfrastructureCache(ttl_s=600.0)
+        cache.observe_rtt("10.0.0.1", 50.0, now=0.0)
+        assert cache.entry("10.0.0.1", 10.0) is cache.get("10.0.0.1", 10.0)
+
+    def test_srtt_matches_entry_when_live(self):
+        cache = InfrastructureCache(ttl_s=600.0)
+        cache.observe_rtt("10.0.0.1", 50.0, now=0.0)
+        entry = cache.entry("10.0.0.1", 599.999)
+        assert entry is not None
+        assert cache.srtt("10.0.0.1", 599.999) == entry.srtt_ms
+
+    def test_srtt_none_exactly_at_expiry_boundary(self):
+        # Regression: at now == expires_at the entry is expired for
+        # entry(); srtt() must not serve a value entry() would reject.
+        cache = InfrastructureCache(ttl_s=600.0)
+        cache.observe_rtt("10.0.0.1", 50.0, now=0.0)
+        assert cache.entry("10.0.0.1", 600.0) is None
+        assert cache.srtt("10.0.0.1", 600.0) is None
+
+    def test_accessors_agree_across_the_boundary(self):
+        cache = InfrastructureCache(ttl_s=10.0)
+        cache.observe_rtt("10.0.0.1", 25.0, now=0.0)
+        for now in (0.0, 5.0, 9.999, 10.0, 10.001, 60.0):
+            entry = cache.entry("10.0.0.1", now)
+            srtt = cache.srtt("10.0.0.1", now)
+            assert (entry is None) == (srtt is None)
+            if entry is not None:
+                assert srtt == entry.srtt_ms
+
+    def test_expired_helper_matches_accessors(self):
+        cache = InfrastructureCache(ttl_s=10.0)
+        entry = cache.observe_rtt("10.0.0.1", 25.0, now=0.0)
+        assert not entry.expired(9.999)
+        assert entry.expired(10.0)
+
+    def test_stale_entry_still_served_after_expiry(self):
+        cache = InfrastructureCache(ttl_s=10.0)
+        cache.observe_rtt("10.0.0.1", 25.0, now=0.0)
+        assert cache.entry("10.0.0.1", 20.0) is None
+        stale = cache.stale_entry("10.0.0.1", 20.0)
+        assert stale is not None and stale.srtt_ms == 25.0
+
+    def test_live_count_vs_len(self):
+        cache = InfrastructureCache(ttl_s=10.0)
+        cache.observe_rtt("a", 1.0, now=0.0)
+        cache.observe_rtt("b", 1.0, now=5.0)
+        assert len(cache) == 2          # stale hints retained
+        assert cache.live_count(12.0) == 1
