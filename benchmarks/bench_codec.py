@@ -1,0 +1,145 @@
+"""Wire-codec microbenchmarks: decode, encode, and the server fast path.
+
+Times the primitives the campaign hot loop lives in — ``Name.from_wire``
+over compressed names, whole-``Message`` decode/encode round trips, and
+the authoritative engine's response path with and without the
+response-template cache — and records the phase timings in the bench
+sidecar (``codec@0s``) so ``repro-dns bench-diff`` can gate regressions
+commit-to-commit.
+
+The template fast path must stay a multiple of the slow path, not a few
+percent: the assertion bounds it at 2x so a silent cache-defeating
+change fails loudly here before it shows up in campaign wall-clock.
+"""
+
+import gc
+import random
+
+from repro.dns import AuthoritativeServer, Message, Name, Zone
+from repro.dns.rdata import NS, SOA, TXT, A
+from repro.dns.types import RRType
+from repro.telemetry.profiling import RunProfiler
+
+from .conftest import BENCH_SEED
+
+NAME_DECODES = 20_000
+MESSAGE_ROUNDTRIPS = 5_000
+SERVER_QUERIES = 5_000
+
+
+class _CodecRun:
+    """Minimal result object carrying a profile into the bench sidecar."""
+
+    def __init__(self, profile: dict):
+        self.profile = profile
+
+
+def _testbed_zone() -> Zone:
+    zone = Zone("example.org.")
+    zone.add(
+        "example.org.",
+        RRType.SOA,
+        SOA(
+            Name.from_text("ns1.example.org."),
+            Name.from_text("admin.example.org."),
+            1, 3600, 900, 86400, 300,
+        ),
+    )
+    zone.add("example.org.", RRType.NS, NS(Name.from_text("ns1.example.org.")))
+    zone.add("ns1.example.org.", RRType.A, A("192.0.2.53"))
+    zone.add("*.probe.example.org.", RRType.TXT, TXT.from_value("anycast-ams"), ttl=5)
+    return zone
+
+
+def _query_wires(count: int) -> list[bytes]:
+    """Campaign-shaped queries: unique label, shared suffix, EDNS mix."""
+    rng = random.Random(BENCH_SEED)
+    wires = []
+    for i in range(count):
+        query = Message.make_query(
+            f"m-{rng.randrange(10_000)}-{i}.probe.example.org.",
+            RRType.TXT,
+            msg_id=i & 0xFFFF,
+        )
+        if i % 2:
+            query.use_edns(1232)
+        wires.append(query.to_wire())
+    return wires
+
+
+def _response_corpus() -> list[bytes]:
+    """Responses as the authoritative emits them (compressed, EDNS)."""
+    engine = AuthoritativeServer("bench", [_testbed_zone()])
+    return [engine.handle_wire(wire) for wire in _query_wires(200)]
+
+
+def run_codec_benchmarks() -> _CodecRun:
+    # Earlier benchmarks in the same process (the scorecard runs) leave
+    # large live heaps behind; a generational collection landing inside
+    # a sub-100ms timed phase would swamp it.  Collect once, then keep
+    # the collector out of the measured windows.
+    gc.collect()
+    gc.disable()
+    try:
+        return _run_codec_benchmarks()
+    finally:
+        gc.enable()
+
+
+def _run_codec_benchmarks() -> _CodecRun:
+    profiler = RunProfiler()
+    corpus = _response_corpus()
+
+    with profiler.phase("codec.name_from_wire"):
+        for i in range(NAME_DECODES):
+            wire = corpus[i % len(corpus)]
+            Name.from_wire(wire, 12)
+    profiler.count("codec.names_decoded", NAME_DECODES)
+
+    with profiler.phase("codec.message_from_wire"):
+        for i in range(MESSAGE_ROUNDTRIPS):
+            Message.from_wire(corpus[i % len(corpus)])
+    messages = [Message.from_wire(wire) for wire in corpus]
+    with profiler.phase("codec.message_to_wire"):
+        for i in range(MESSAGE_ROUNDTRIPS):
+            messages[i % len(messages)].to_wire()
+    profiler.count("codec.message_roundtrips", 2 * MESSAGE_ROUNDTRIPS)
+
+    queries = _query_wires(SERVER_QUERIES)
+
+    slow = AuthoritativeServer("bench", [_testbed_zone()])
+    slow._parse_fast_query = lambda wire: None  # disable the template path
+    with profiler.phase("codec.server_slow_path"):
+        for wire in queries:
+            slow.handle_wire(wire)
+
+    fast = AuthoritativeServer("bench", [_testbed_zone()])
+    fast.handle_wire(queries[0])  # warm the templates
+    fast.handle_wire(queries[1])
+    with profiler.phase("codec.server_fast_path"):
+        for wire in queries:
+            fast.handle_wire(wire)
+    profiler.count("codec.server_queries", 2 * SERVER_QUERIES)
+
+    slow_s = profiler.phases["codec.server_slow_path"]["seconds"]
+    fast_s = profiler.phases["codec.server_fast_path"]["seconds"]
+    profiler.record("codec.template_speedup_x", round(slow_s / fast_s, 3))
+    return _CodecRun(profiler.as_dict())
+
+
+def test_codec_fast_path(benchmark, run_cache):
+    result = benchmark.pedantic(run_codec_benchmarks, rounds=1, iterations=1)
+    run_cache.put("codec", 0.0, result)
+
+    phases = result.profile["phases"]
+    speedup = result.profile["values"]["codec.template_speedup_x"]
+    print()
+    for name in sorted(phases):
+        entry = phases[name]
+        print(f"{name:<28} {entry['seconds']:.3f}s")
+    print(f"template fast path speedup: {speedup:.2f}x over the slow path")
+
+    # The template cache must stay a multiple of the decode-everything
+    # path; 2x is far under the ~5x it delivers, so only a genuinely
+    # broken cache (every query missing) trips this.
+    assert speedup >= 2.0

@@ -203,6 +203,9 @@ class AtlasPlatform:
         Keyed by resolver *instance*, not address: anycast public
         services run many instances behind one address.
         """
+        if isinstance(origin, str):
+            origin = Name.from_text(origin)
+        origin = origin.intern()  # parse once, share across all resolvers
         seen: set[int] = set()
         for vp in self.vantage_points:
             if id(vp.resolver) not in seen:
@@ -212,10 +215,19 @@ class AtlasPlatform:
     # -- measurement ------------------------------------------------------------
 
     def _observe(
-        self, run: MeasurementRun, vp: VantagePoint, qname: str, now: float
+        self,
+        run: MeasurementRun,
+        vp: VantagePoint,
+        qname: str,
+        now: float,
+        name: Name | None = None,
     ) -> QueryObservation:
-        """Fire one measurement query and record the observation."""
-        result = vp.resolver.resolve(qname, RRType.TXT)
+        """Fire one measurement query and record the observation.
+
+        ``name`` is an optional pre-parsed form of ``qname``; observations
+        always record the text form, so event logs are unaffected.
+        """
+        result = vp.resolver.resolve(qname if name is None else name, RRType.TXT)
         site = ""
         if result.succeeded:
             marker = result.txt_value() or ""
@@ -276,12 +288,19 @@ class AtlasPlatform:
         self._emit_campaign_note(
             "measure.start", domain, interval_s, duration_s,
         )
+        # Parse the invariant suffix once; each query name is then one
+        # prepended label instead of a full text parse per query.
+        suffix = Name.from_text(f"probe.{domain}").intern()
+        suffix_text = f".probe.{domain}"
         with self.telemetry.profiler.phase("platform.measure"):
             for tick in range(ticks):
                 now = self.network.clock.now
                 for vp in self.vantage_points:
-                    qname = f"{label_prefix}-{vp.vp_id}-{tick}.probe.{domain}"
-                    self._observe(run, vp, qname, now)
+                    label = f"{label_prefix}-{vp.vp_id}-{tick}"
+                    self._observe(
+                        run, vp, label + suffix_text, now,
+                        name=suffix.child(label.encode("ascii")),
+                    )
                 self.network.clock.advance(interval_s)
         self._emit_campaign_note(
             "measure.end", domain, interval_s, duration_s,
@@ -333,10 +352,16 @@ class AtlasPlatform:
         )
         epoch = self.network.clock.now
 
+        suffix = Name.from_text(f"probe.{domain}").intern()
+        suffix_text = f".probe.{domain}"
+
         def fire(vp: VantagePoint, tick: int) -> None:
             now = self.network.clock.now
-            qname = f"{label_prefix}-{vp.vp_id}-{tick}.probe.{domain}"
-            self._observe(run, vp, qname, now)
+            label = f"{label_prefix}-{vp.vp_id}-{tick}"
+            self._observe(
+                run, vp, label + suffix_text, now,
+                name=suffix.child(label.encode("ascii")),
+            )
             next_at = now + interval_s
             if next_at - epoch < duration_s:
                 scheduler.schedule_at(next_at, lambda: fire(vp, tick + 1))

@@ -323,6 +323,11 @@ def _cmd_bench_diff(args: argparse.Namespace) -> int:
             min_seconds=args.min_seconds,
             counter_threshold=args.counter_threshold,
             force=args.force,
+            phases=(
+                [p for p in args.phases.split(",") if p]
+                if args.phases
+                else None
+            ),
         )
     except SidecarError as exc:
         io.status(f"bench-diff: {exc}")
@@ -668,6 +673,9 @@ def build_parser() -> argparse.ArgumentParser:
                               help="relative drift a deterministic counter may show")
     bench_parser.add_argument("--force", action="store_true",
                               help="compare even across sidecar schema versions")
+    bench_parser.add_argument("--phases", metavar="PREFIXES",
+                              help="comma-separated phase-name prefixes to gate "
+                                   "(default: every phase)")
     bench_parser.set_defaults(func=_cmd_bench_diff)
 
     sweep_parser = sub.add_parser("sweep", help="Figure 6 interval sweep (2C)")

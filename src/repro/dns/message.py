@@ -20,6 +20,10 @@ from .types import (
     FLAG_RA,
     FLAG_RD,
     FLAG_TC,
+    OPCODE_BY_CODE,
+    RCODE_BY_CODE,
+    RRCLASS_BY_CODE,
+    RRTYPE_BY_CODE,
     Opcode,
     Rcode,
     RRClass,
@@ -27,6 +31,7 @@ from .types import (
 )
 
 HEADER_STRUCT = struct.Struct("!HHHHHH")
+QUESTION_TAIL_STRUCT = struct.Struct("!HH")
 
 
 @dataclass(frozen=True)
@@ -38,24 +43,27 @@ class Question:
     rrclass: RRClass = RRClass.IN
 
     def to_wire(self, compress: dict[Name, int] | None = None, offset: int = 0) -> bytes:
-        return self.name.to_wire(compress, offset) + struct.pack(
-            "!HH", int(self.rrtype), int(self.rrclass)
+        return self.name.to_wire(compress, offset) + QUESTION_TAIL_STRUCT.pack(
+            int(self.rrtype), int(self.rrclass)
         )
 
+    def wire_into(
+        self, out: bytearray, compress: dict[Name, int] | None = None
+    ) -> None:
+        """Append this question to a whole-message buffer (fast path)."""
+        self.name.wire_into(out, compress)
+        out += QUESTION_TAIL_STRUCT.pack(int(self.rrtype), int(self.rrclass))
+
     @classmethod
-    def from_wire(cls, wire: bytes, offset: int) -> tuple["Question", int]:
-        name, cursor = Name.from_wire(wire, offset)
+    def from_wire(
+        cls, wire: bytes, offset: int, _memo: dict | None = None
+    ) -> tuple["Question", int]:
+        name, cursor = Name.from_wire(wire, offset, _memo)
         if cursor + 4 > len(wire):
             raise TruncatedMessageError("question truncated")
-        type_code, class_code = struct.unpack_from("!HH", wire, cursor)
-        try:
-            rrtype = RRType(type_code)
-        except ValueError:
-            rrtype = type_code  # type: ignore[assignment]
-        try:
-            rrclass = RRClass(class_code)
-        except ValueError:
-            rrclass = class_code  # type: ignore[assignment]
+        type_code, class_code = QUESTION_TAIL_STRUCT.unpack_from(wire, cursor)
+        rrtype = RRTYPE_BY_CODE.get(type_code, type_code)
+        rrclass = RRCLASS_BY_CODE.get(class_code, class_code)
         return cls(name, rrtype, rrclass), cursor + 4
 
     def to_text(self) -> str:
@@ -202,20 +210,30 @@ class Message:
         """Encode with name compression.
 
         When ``max_size`` is given and the message does not fit, the answer
-        sections are dropped and the TC bit is set (UDP truncation).
+        sections are dropped and the TC bit is set (UDP truncation).  The
+        truncated form reuses the already-encoded header + question bytes
+        instead of building and re-encoding a second :class:`Message`:
+        questions are the first names emitted, so their encoding (and the
+        compression state it implies) is identical in both renderings.
         """
-        wire = self._encode()
+        wire, question_end = self._encode()
         if max_size is not None and len(wire) > max_size:
-            truncated = Message(
-                msg_id=self.msg_id,
-                flags=self.flags | FLAG_TC,
-                opcode=self.opcode,
-                rcode=self.rcode,
-                questions=list(self.questions),
-                edns_payload=self.edns_payload,
-                edns_options=list(self.edns_options),
+            out = bytearray(wire[:question_end])
+            arcount = 1 if self.edns_payload is not None else 0
+            HEADER_STRUCT.pack_into(
+                out,
+                0,
+                self.msg_id,
+                self._header_flags() | FLAG_TC,
+                len(self.questions),
+                0,
+                0,
+                arcount,
             )
-            wire = truncated._encode()
+            if arcount:
+                # OPT owns the root name: no compression state involved.
+                out += self._opt_record().to_wire(None, 0)
+            wire = bytes(out)
         return wire
 
     def _opt_record(self) -> ResourceRecord:
@@ -231,48 +249,86 @@ class Message:
             OPT.encode_options(self.edns_options) if self.edns_options else OPT(),
         )
 
-    def _encode(self) -> bytes:
-        flags = (
+    def _header_flags(self) -> int:
+        return (
             (self.flags & ~0x7800 & ~0x000F)
             | (int(self.opcode) << 11)
             | (int(self.rcode) & 0x000F)
         )
-        additionals = list(self.additionals)
-        if self.edns_payload is not None:
-            additionals.append(self._opt_record())
+
+    def _encode(self) -> tuple[bytes, int]:
+        """Render the full message; returns (wire, end-of-question offset).
+
+        One shared bytearray is grown in place: names, fixed fields, and
+        rdata append directly via ``wire_into`` instead of concatenating
+        per-record byte strings, and the section lists are walked without
+        building a combined list first.
+        """
+        opt = self._opt_record() if self.edns_payload is not None else None
         out = bytearray(
             HEADER_STRUCT.pack(
                 self.msg_id,
-                flags,
+                self._header_flags(),
                 len(self.questions),
                 len(self.answers),
                 len(self.authorities),
-                len(additionals),
+                len(self.additionals) + (1 if opt is not None else 0),
             )
         )
+        if (
+            len(self.questions) == 1
+            and not self.answers
+            and not self.authorities
+            and not self.additionals
+        ):
+            # Query shape: one question, no records (OPT owns the root
+            # name and never consults the compression dict).  The sole
+            # name can never compress, so skip the dict and reuse the
+            # name's cached uncompressed wire — byte-identical output.
+            self.questions[0].wire_into(out, None)
+            question_end = len(out)
+            if opt is not None:
+                opt.wire_into(out, None)
+            return bytes(out), question_end
         compress: dict[Name, int] = {}
         for question in self.questions:
-            out += question.to_wire(compress, len(out))
-        for record in self.answers + self.authorities + additionals:
-            out += record.to_wire(compress, len(out))
-        return bytes(out)
+            question.wire_into(out, compress)
+        question_end = len(out)
+        for record in self.answers:
+            record.wire_into(out, compress)
+        for record in self.authorities:
+            record.wire_into(out, compress)
+        for record in self.additionals:
+            record.wire_into(out, compress)
+        if opt is not None:
+            opt.wire_into(out, compress)
+        return bytes(out), question_end
 
     @classmethod
     def from_wire(cls, wire: bytes) -> "Message":
         if len(wire) < HEADER_STRUCT.size:
             raise TruncatedMessageError("message shorter than header")
         msg_id, flags, qdcount, ancount, nscount, arcount = HEADER_STRUCT.unpack_from(wire)
+        opcode = OPCODE_BY_CODE.get((flags >> 11) & 0xF)
+        if opcode is None:
+            opcode = Opcode((flags >> 11) & 0xF)  # raise as before
+        rcode = RCODE_BY_CODE.get(flags & 0xF)
+        if rcode is None:
+            rcode = Rcode(flags & 0xF)  # raise as before
         # Keep AA/TC/RD/RA/AD/CD bits; opcode and rcode live in fields.
         message = cls(
             msg_id=msg_id,
             flags=flags
             & (FLAG_QR | FLAG_AA | FLAG_TC | FLAG_RD | FLAG_RA | FLAG_AD | FLAG_CD),
-            opcode=Opcode((flags >> 11) & 0xF),
-            rcode=Rcode(flags & 0xF),
+            opcode=opcode,
+            rcode=rcode,
         )
         cursor = HEADER_STRUCT.size
+        # One decode memo per message: compression pointers back to an
+        # already-decoded owner name reuse that Name (and its cached hash).
+        memo: dict[int, tuple[Name, int]] = {}
         for _ in range(qdcount):
-            question, cursor = Question.from_wire(wire, cursor)
+            question, cursor = Question.from_wire(wire, cursor, memo)
             message.questions.append(question)
         for count, section in (
             (ancount, message.answers),
@@ -280,16 +336,17 @@ class Message:
             (arcount, message.additionals),
         ):
             for _ in range(count):
-                record, cursor = ResourceRecord.from_wire(wire, cursor)
+                record, cursor = ResourceRecord.from_wire(wire, cursor, memo)
                 section.append(record)
         # Absorb the OPT pseudo-record into EDNS state (RFC 6891 §6.1.1).
-        for record in list(message.additionals):
-            if record.rrtype == RRType.OPT:
-                message.edns_payload = int(record.rrclass)
-                decode = getattr(record.rdata, "decode_options", None)
-                if decode is not None:
-                    message.edns_options = decode()
-                message.additionals.remove(record)
+        if any(record.rrtype == RRType.OPT for record in message.additionals):
+            for record in list(message.additionals):
+                if record.rrtype == RRType.OPT:
+                    message.edns_payload = int(record.rrclass)
+                    decode = getattr(record.rdata, "decode_options", None)
+                    if decode is not None:
+                        message.edns_options = decode()
+                    message.additionals.remove(record)
         return message
 
     def to_text(self) -> str:
@@ -310,3 +367,155 @@ class Message:
                 lines.append(f";; {title}")
                 lines.extend(record.to_text() for record in section)
         return "\n".join(lines)
+
+
+class ResponseDecodeMemo:
+    """Memoizes decoded responses that repeat a known template shape.
+
+    Authoritatives built on the response-template cache answer every
+    probe query with bytes that differ only in the message id and the
+    unique first label of the echoed question name.  The memo keys a
+    decoded skeleton on every *other* byte of the wire — header flags
+    and counts, the first label's length, the question suffix, and the
+    entire post-question tail — and rebuilds a hit by swapping the
+    caller's already-validated query name into the skeleton.
+
+    Two wires with equal keys can only differ in the id bytes and the
+    first label's content.  Any name whose decoding depends on an
+    absolute offset shows that offset in the keyed bytes (pointers
+    between tail names encode absolute targets, so a different label
+    length can never alias a key), which pins the byte layout.  The one
+    remaining hazard — a name decoded *through* the first label's
+    content, e.g. a pointer into its interior — is ruled out per entry
+    by a canary decode: the wire is re-decoded with a different label
+    of the same length, and the entry is built only when the two
+    decodes differ exactly in names equal to the query name.  Shapes
+    that fail the canary (or embed the query name in rdata) fall back
+    to a full decode forever.
+    """
+
+    __slots__ = ("_entries",)
+
+    MAX_ENTRIES = 256
+
+    def __init__(self) -> None:
+        self._entries: dict[tuple, tuple | None] = {}
+
+    def decode(self, wire: bytes, qname: Name) -> Message:
+        """Decode ``wire``, which is expected to echo ``qname``.
+
+        Byte-equivalent to :meth:`Message.from_wire` whenever the wire's
+        question section echoes ``qname`` exactly; falls back to a full
+        decode otherwise (or for shapes the canary cannot certify).
+        """
+        qwire = qname.to_wire()
+        split = 12 + len(qwire)
+        if len(wire) <= split or wire[12:split] != qwire:
+            return Message.from_wire(wire)
+        first_len = qwire[0]
+        key = (wire[2:12], first_len, qwire[1 + first_len :], wire[split:])
+        entries = self._entries
+        entry = entries.get(key, False)
+        if entry is False:
+            message = Message.from_wire(wire)
+            if len(entries) < self.MAX_ENTRIES:
+                entries[key] = self._build(wire, message, qname, first_len)
+            return message
+        if entry is None:
+            return Message.from_wire(wire)
+        flags, opcode, rcode, payload, options, qplan, applan, auplan, adplan = entry
+        return Message(
+            msg_id=(wire[0] << 8) | wire[1],
+            flags=flags,
+            opcode=opcode,
+            rcode=rcode,
+            questions=[
+                Question(qname, q.rrtype, q.rrclass) if swap else q
+                for q, swap in qplan
+            ],
+            answers=[
+                ResourceRecord(qname, r.rrtype, r.rrclass, r.ttl, r.rdata)
+                if swap
+                else r
+                for r, swap in applan
+            ],
+            authorities=[
+                ResourceRecord(qname, r.rrtype, r.rrclass, r.ttl, r.rdata)
+                if swap
+                else r
+                for r, swap in auplan
+            ],
+            additionals=[
+                ResourceRecord(qname, r.rrtype, r.rrclass, r.ttl, r.rdata)
+                if swap
+                else r
+                for r, swap in adplan
+            ],
+            edns_payload=payload,
+            edns_options=list(options),
+        )
+
+    @staticmethod
+    def _build(
+        wire: bytes, message: Message, qname: Name, first_len: int
+    ) -> tuple | None:
+        """Certify a template entry via a canary decode, or return None."""
+        labels = qname.labels
+        canary_label = b"z" * first_len
+        if canary_label == labels[0]:
+            canary_label = b"y" * first_len
+        canary_wire = wire[:13] + canary_label + wire[13 + first_len :]
+        try:
+            canary = Message.from_wire(canary_wire)
+        except Exception:
+            return None
+        if (
+            message.flags != canary.flags
+            or message.opcode != canary.opcode
+            or message.rcode != canary.rcode
+            or message.edns_payload != canary.edns_payload
+            or message.edns_options != canary.edns_options
+        ):
+            return None
+        canary_labels = (canary_label,) + labels[1:]
+
+        def plan(real_section, canary_section, is_question):
+            if len(real_section) != len(canary_section):
+                return None
+            out = []
+            for a, b in zip(real_section, canary_section):
+                if a.rrtype != b.rrtype or a.rrclass != b.rrclass:
+                    return None
+                if not is_question and (a.ttl != b.ttl or a.rdata != b.rdata):
+                    return None
+                a_labels = a.name.labels
+                if a_labels == b.name.labels:
+                    # Name spelled in (or pointing into) the keyed bytes:
+                    # constant across hits, reuse the decoded object.
+                    out.append((a, False))
+                elif a_labels == labels and b.name.labels == canary_labels:
+                    # Name tracks the question: swap in the live qname.
+                    out.append((a, True))
+                else:
+                    return None
+            return tuple(out)
+
+        plans = []
+        for real_section, canary_section, is_question in (
+            (message.questions, canary.questions, True),
+            (message.answers, canary.answers, False),
+            (message.authorities, canary.authorities, False),
+            (message.additionals, canary.additionals, False),
+        ):
+            section_plan = plan(real_section, canary_section, is_question)
+            if section_plan is None:
+                return None
+            plans.append(section_plan)
+        return (
+            message.flags,
+            message.opcode,
+            message.rcode,
+            message.edns_payload,
+            tuple(message.edns_options),
+            *plans,
+        )

@@ -4,6 +4,18 @@ A :class:`Name` is an immutable, case-preserving but case-insensitively
 comparable sequence of labels, plus conversions between presentation
 format (``www.example.nl.``), wire format (length-prefixed labels), and
 the compression-pointer scheme of RFC 1035 §4.1.4.
+
+Names are *the* hot object of the wire codec: every decoded message,
+zone lookup, and cache key allocates and hashes them.  Two disciplines
+keep that cheap:
+
+* a validation-free flyweight constructor (:meth:`Name._from_validated`)
+  for labels that are already known-good — decoded wire labels, slices
+  of an existing name — with lazily cached hash and uncompressed wire
+  bytes;
+* a small intern table (:meth:`Name.intern`) so long-lived hot names
+  (zone origins, stub-zone keys, well-known names) share one instance
+  and therefore one cached hash/wire encoding.
 """
 
 from __future__ import annotations
@@ -21,6 +33,11 @@ MAX_LABEL_LENGTH = 63
 MAX_NAME_LENGTH = 255  # total wire length including the root label
 
 _ESCAPED = {ord("."), ord("\\")}
+
+#: interned names: exact label tuple -> canonical instance.  Bounded so
+#: adversarial or cache-busting callers cannot grow it without limit.
+_INTERN: dict[tuple[bytes, ...], "Name"] = {}
+_INTERN_MAX = 4096
 
 
 def _escape_label(label: bytes) -> str:
@@ -81,10 +98,11 @@ class Name:
     §2.3.3, while the original spelling is preserved for display.
     """
 
-    __slots__ = ("_labels", "_folded")
+    __slots__ = ("_labels", "_folded", "_hash", "_wire", "_wlen")
 
     def __init__(self, labels: Iterable[bytes] = ()):
         labels = tuple(labels)
+        total = 1
         for label in labels:
             if not label:
                 raise NameError_("empty label")
@@ -92,12 +110,67 @@ class Name:
                 raise NameError_(
                     f"label {label!r} exceeds {MAX_LABEL_LENGTH} bytes"
                 )
-        if sum(len(label) + 1 for label in labels) + 1 > MAX_NAME_LENGTH:
+            total += len(label) + 1
+        if total > MAX_NAME_LENGTH:
             raise NameError_("name exceeds 255 wire bytes")
         self._labels = labels
-        self._folded = tuple(label.lower() for label in labels)
+        self._wlen = total
+        self._hash = None
+        self._wire = None
+
+    def __getattr__(self, attr):
+        # ``_folded`` is computed on first use: many decoded names (e.g.
+        # response question names) are never compared or hashed, so the
+        # per-label fold would be pure waste.  With __slots__, reading
+        # the unset slot lands here exactly once per instance.
+        if attr == "_folded":
+            folded = tuple(label.lower() for label in self._labels)
+            self._folded = folded
+            return folded
+        if attr == "_wlen":
+            labels = self._labels
+            length = sum(map(len, labels)) + len(labels) + 1
+            self._wlen = length
+            return length
+        raise AttributeError(attr)
 
     # -- constructors ---------------------------------------------------
+
+    @classmethod
+    def _from_validated(
+        cls,
+        labels: tuple[bytes, ...],
+        folded: tuple[bytes, ...] | None = None,
+    ) -> "Name":
+        """Flyweight constructor for labels that are already known-good.
+
+        Invariants the caller must guarantee: every label is non-empty,
+        at most :data:`MAX_LABEL_LENGTH` bytes, and the total wire
+        length fits :data:`MAX_NAME_LENGTH`.  Slices of an existing
+        name and freshly decoded wire labels (whose length byte bounds
+        them at 63) satisfy this by construction.
+        """
+        self = object.__new__(cls)
+        self._labels = labels
+        if folded is not None:
+            self._folded = folded
+        self._hash = None
+        self._wire = None
+        return self
+
+    def intern(self) -> "Name":
+        """Return the canonical shared instance for this exact spelling.
+
+        Interned instances accumulate cached hash/wire state once and
+        keep it for the process lifetime — use for long-lived hot names
+        (zone origins, stub-zone keys), not per-query unique labels.
+        """
+        cached = _INTERN.get(self._labels)
+        if cached is not None:
+            return cached
+        if len(_INTERN) < _INTERN_MAX:
+            _INTERN[self._labels] = self
+        return self
 
     @classmethod
     def from_text(cls, text: str) -> "Name":
@@ -106,52 +179,100 @@ class Name:
             return ROOT
         if text.endswith("."):
             text = text[:-1]
-        return cls(_parse_labels(text))
+        labels = tuple(_parse_labels(text))
+        interned = _INTERN.get(labels)
+        if interned is not None:
+            return interned
+        return cls(labels)
 
     @classmethod
-    def from_wire(cls, wire: bytes, offset: int) -> tuple["Name", int]:
+    def from_wire(
+        cls,
+        wire: bytes,
+        offset: int,
+        _memo: dict[int, tuple["Name", int]] | None = None,
+    ) -> tuple["Name", int]:
         """Decode a (possibly compressed) name starting at ``offset``.
 
         Returns the name and the offset just past its encoding in the
         original stream (compression targets do not advance the cursor).
+
+        ``_memo`` is a per-message decode cache (offset -> (name, end)):
+        when a compression pointer targets an offset decoded earlier in
+        the same message, the already-built name is reused instead of
+        re-walking the label chain.
         """
+        if _memo is not None:
+            hit = _memo.get(offset)
+            if hit is not None:
+                return hit
         labels: list[bytes] = []
         cursor = offset
         end: int | None = None  # offset after the name in the original stream
-        seen_pointers: set[int] = set()
+        seen_pointers: set[int] | None = None  # allocated on first pointer
+        total = 1  # running wire length: root byte + (len+1) per label
+        wire_len = len(wire)
         while True:
-            if cursor >= len(wire):
+            if cursor >= wire_len:
                 raise TruncatedMessageError("name runs past end of message")
             length = wire[cursor]
             if length == 0:
                 if end is None:
                     end = cursor + 1
-                return cls(labels), end
+                if labels:
+                    name = cls._from_validated(tuple(labels))
+                    name._wlen = total
+                else:
+                    name = ROOT
+                if _memo is not None:
+                    _memo[offset] = (name, end)
+                return name, end
             if length & 0xC0 == 0xC0:
-                if cursor + 1 >= len(wire):
+                if cursor + 1 >= wire_len:
                     raise TruncatedMessageError("truncated compression pointer")
                 target = ((length & 0x3F) << 8) | wire[cursor + 1]
                 if target >= cursor:
                     raise BadPointerError(
                         f"forward compression pointer {target} at {cursor}"
                     )
-                if target in seen_pointers:
+                if seen_pointers is None:
+                    seen_pointers = {target}
+                elif target in seen_pointers:
                     raise CompressionLoopError(
                         f"compression pointer loop at {target}"
                     )
-                seen_pointers.add(target)
+                else:
+                    seen_pointers.add(target)
                 if end is None:
                     end = cursor + 2
+                if _memo is not None:
+                    hit = _memo.get(target)
+                    if hit is not None:
+                        tail = hit[0]
+                        if total + tail.wire_length() - 1 > MAX_NAME_LENGTH:
+                            raise NameError_(
+                                "decoded name exceeds 255 wire bytes"
+                            )
+                        if labels:
+                            name = cls._from_validated(
+                                tuple(labels) + tail._labels
+                            )
+                            name._wlen = total + tail._wlen - 1
+                        else:
+                            name = tail
+                        _memo[offset] = (name, end)
+                        return name, end
                 cursor = target
             elif length & 0xC0:
                 raise BadPointerError(f"reserved label type 0x{length:02x}")
             else:
-                if cursor + 1 + length > len(wire):
+                if cursor + 1 + length > wire_len:
                     raise TruncatedMessageError("label runs past end of message")
+                total += 1 + length
+                if total > MAX_NAME_LENGTH:
+                    raise NameError_("decoded name exceeds 255 wire bytes")
                 labels.append(wire[cursor + 1 : cursor + 1 + length])
                 cursor += 1 + length
-                if sum(len(lab) + 1 for lab in labels) + 1 > MAX_NAME_LENGTH:
-                    raise NameError_("decoded name exceeds 255 wire bytes")
 
     # -- conversions ----------------------------------------------------
 
@@ -171,22 +292,63 @@ class Name:
         message offsets; suffixes found there are replaced by pointers,
         and newly emitted suffixes at pointer-reachable offsets are added.
         """
+        if compress is None:
+            wire = self._wire
+            if wire is None:
+                out = bytearray()
+                for label in self._labels:
+                    out.append(len(label))
+                    out += label
+                out.append(0)
+                wire = bytes(out)
+                self._wire = wire
+            return wire
         out = bytearray()
-        name = self
-        while name._labels:
-            if compress is not None:
-                target = compress.get(name)
-                if target is not None and target < 0x4000:
-                    out += bytes([0xC0 | (target >> 8), target & 0xFF])
-                    return bytes(out)
-                if offset + len(out) < 0x4000:
-                    compress[name] = offset + len(out)
-            label = name._labels[0]
+        self._compress_into(out, compress, offset)
+        return bytes(out)
+
+    def wire_into(
+        self,
+        out: bytearray,
+        compress: dict["Name", int] | None = None,
+    ) -> None:
+        """Append the wire encoding to ``out`` (a whole-message buffer).
+
+        The message offset of this name is ``len(out)`` at call time,
+        so no separate ``offset`` argument is needed — this is the
+        allocation-light path :meth:`Message._encode` uses.
+        """
+        if compress is None:
+            out += self.to_wire()
+            return
+        self._compress_into(out, compress, len(out))
+
+    def _compress_into(
+        self, out: bytearray, compress: dict["Name", int], base: int
+    ) -> None:
+        """Emit into ``out`` with compression; the name begins at message
+        offset ``base`` (suffix offsets are registered relative to it)."""
+        labels = self._labels
+        folded = self._folded
+        start = len(out)
+        for i in range(len(labels)):
+            suffix = (
+                self
+                if i == 0
+                else Name._from_validated(labels[i:], folded[i:])
+            )
+            target = compress.get(suffix)
+            if target is not None and target < 0x4000:
+                out.append(0xC0 | (target >> 8))
+                out.append(target & 0xFF)
+                return
+            position = base + (len(out) - start)
+            if position < 0x4000:
+                compress[suffix] = position
+            label = labels[i]
             out.append(len(label))
             out += label
-            name = name.parent()
         out.append(0)
-        return bytes(out)
 
     # -- structure ------------------------------------------------------
 
@@ -198,7 +360,7 @@ class Name:
         """The name with the leftmost label removed; root's parent is an error."""
         if not self._labels:
             raise NameError_("the root name has no parent")
-        return Name(self._labels[1:])
+        return Name._from_validated(self._labels[1:], self._folded[1:])
 
     def child(self, label: str | bytes) -> "Name":
         """Prepend one label."""
@@ -207,10 +369,27 @@ class Name:
             if len(parsed) != 1:
                 raise NameError_(f"{label!r} is not a single label")
             label = parsed[0]
-        return Name((label,) + self._labels)
+        if not label:
+            raise NameError_("empty label")
+        if len(label) > MAX_LABEL_LENGTH:
+            raise NameError_(
+                f"label {label!r} exceeds {MAX_LABEL_LENGTH} bytes"
+            )
+        total = self.wire_length() + len(label) + 1
+        if total > MAX_NAME_LENGTH:
+            raise NameError_("name exceeds 255 wire bytes")
+        name = Name._from_validated(
+            (label,) + self._labels, (label.lower(),) + self._folded
+        )
+        name._wlen = total
+        return name
 
     def concatenate(self, suffix: "Name") -> "Name":
-        return Name(self._labels + suffix.labels)
+        if self.wire_length() + suffix.wire_length() - 1 > MAX_NAME_LENGTH:
+            raise NameError_("name exceeds 255 wire bytes")
+        return Name._from_validated(
+            self._labels + suffix._labels, self._folded + suffix._folded
+        )
 
     def is_subdomain_of(self, other: "Name") -> bool:
         """True when ``self`` equals ``other`` or lies below it."""
@@ -231,8 +410,8 @@ class Name:
         return not self._labels
 
     def wire_length(self) -> int:
-        """Uncompressed wire length in bytes."""
-        return sum(len(label) + 1 for label in self._labels) + 1
+        """Uncompressed wire length in bytes (cached on first use)."""
+        return self._wlen
 
     # -- dunder ---------------------------------------------------------
 
@@ -243,6 +422,8 @@ class Name:
         return iter(self._labels)
 
     def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
         if not isinstance(other, Name):
             return NotImplemented
         return self._folded == other._folded
@@ -261,7 +442,11 @@ class Name:
         return not self < other
 
     def __hash__(self) -> int:
-        return hash(self._folded)
+        value = self._hash
+        if value is None:
+            value = hash(self._folded)
+            self._hash = value
+        return value
 
     def __str__(self) -> str:
         return self.to_text()

@@ -9,7 +9,11 @@ from typing import Iterator
 from .errors import TruncatedMessageError
 from .name import Name
 from .rdata import Rdata, parse_rdata
-from .types import RRClass, RRType
+from .types import RRCLASS_BY_CODE, RRTYPE_BY_CODE, RRClass, RRType
+
+_RR_FIXED_STRUCT = struct.Struct("!HHI")
+_RR_HEADER_STRUCT = struct.Struct("!HHIH")
+_RDLENGTH_STRUCT = struct.Struct("!H")
 
 
 @dataclass(frozen=True)
@@ -24,32 +28,39 @@ class ResourceRecord:
 
     def to_wire(self, compress: dict[Name, int] | None = None, offset: int = 0) -> bytes:
         out = bytearray(self.name.to_wire(compress, offset))
-        out += struct.pack("!HHI", int(self.rrtype), int(self.rrclass), self.ttl)
+        out += _RR_FIXED_STRUCT.pack(int(self.rrtype), int(self.rrclass), self.ttl)
         rdata_offset = offset + len(out) + 2  # after the RDLENGTH field
         rdata = self.rdata.to_wire(compress, rdata_offset)
-        out += struct.pack("!H", len(rdata))
+        out += _RDLENGTH_STRUCT.pack(len(rdata))
         out += rdata
         return bytes(out)
 
+    def wire_into(
+        self, out: bytearray, compress: dict[Name, int] | None = None
+    ) -> None:
+        """Append this record to a whole-message buffer (fast path)."""
+        self.name.wire_into(out, compress)
+        rdata = self.rdata.to_wire(compress, len(out) + 10)  # after RDLENGTH
+        out += _RR_HEADER_STRUCT.pack(
+            int(self.rrtype), int(self.rrclass), self.ttl, len(rdata)
+        )
+        out += rdata
+
     @classmethod
-    def from_wire(cls, wire: bytes, offset: int) -> tuple["ResourceRecord", int]:
-        name, cursor = Name.from_wire(wire, offset)
+    def from_wire(
+        cls, wire: bytes, offset: int, _memo: dict | None = None
+    ) -> tuple["ResourceRecord", int]:
+        name, cursor = Name.from_wire(wire, offset, _memo)
         if cursor + 10 > len(wire):
             raise TruncatedMessageError("record header truncated")
-        type_code, class_code, ttl, rdlength = struct.unpack_from("!HHIH", wire, cursor)
+        type_code, class_code, ttl, rdlength = _RR_HEADER_STRUCT.unpack_from(wire, cursor)
         cursor += 10
         if cursor + rdlength > len(wire):
             raise TruncatedMessageError("rdata truncated")
         rdata = parse_rdata(type_code, wire, cursor, rdlength)
         cursor += rdlength
-        try:
-            rrtype = RRType(type_code)
-        except ValueError:
-            rrtype = type_code  # type: ignore[assignment]
-        try:
-            rrclass = RRClass(class_code)
-        except ValueError:
-            rrclass = class_code  # type: ignore[assignment]
+        rrtype = RRTYPE_BY_CODE.get(type_code, type_code)
+        rrclass = RRCLASS_BY_CODE.get(class_code, class_code)
         return cls(name, rrtype, rrclass, ttl, rdata), cursor
 
     def with_ttl(self, ttl: int) -> "ResourceRecord":

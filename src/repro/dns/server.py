@@ -9,22 +9,55 @@ which plays the role of the paper's server-side packet captures.
 from __future__ import annotations
 
 import logging
+import struct
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator
 
 from ..telemetry import NULL_TELEMETRY
-from .message import Message, Question
+from .message import HEADER_STRUCT, QUESTION_TAIL_STRUCT, Message, Question
 from .name import Name
 from .rdata import TXT
-from .records import RRset
-from .types import MAX_UDP_PAYLOAD, Opcode, Rcode, RRClass, RRType
+from .records import _RR_HEADER_STRUCT, RRset
+from .types import (
+    FLAG_QR,
+    FLAG_RD,
+    MAX_UDP_PAYLOAD,
+    Opcode,
+    Rcode,
+    RRClass,
+    RRType,
+)
 from .zone import LookupStatus, Zone
 
 log = logging.getLogger("repro.dns.server")
 
 CHAOS_ID_SERVER = Name.from_text("id.server.")
 CHAOS_HOSTNAME_BIND = Name.from_text("hostname.bind.")
+
+_MSG_ID_STRUCT = struct.Struct("!H")
+
+
+@dataclass(frozen=True)
+class _ResponseTemplate:
+    """A cached, rendered response skeleton for one (suffix, qtype, …) key.
+
+    Everything after the question name is qname-independent (proven at
+    build time by rendering the same answer for a canary label of a
+    *different length* and comparing tails: any compression pointer into
+    the variable part of the question would shift and fail the check).
+    Rendering a hit is: msg-id + fixed header tail + the query's own
+    qname wire + fixed question tail + fixed tail.
+    """
+
+    zone: Zone
+    zone_version: int
+    origin: Name
+    header_tail: bytes  # response bytes 2..12 (flags + section counts)
+    question_tail: bytes  # qtype + qclass, 4 bytes
+    tail: bytes  # everything after the question section
+    rcode: Rcode
+    log_rrtype: RRType
 
 #: default query-log capacity — high enough that no tracked experiment
 #: drops entries, low enough to bound memory on week-long runs.
@@ -157,25 +190,47 @@ class AuthoritativeServer:
         self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         #: optional :class:`repro.dns.rrl.ResponseRateLimiter`
         self.rate_limiter = rate_limiter
+        #: response-template cache; see :class:`_ResponseTemplate`
+        self._templates: dict[tuple, _ResponseTemplate] = {}
+        #: question-suffix wire bytes -> validated suffix Name, plus the
+        #: distinct byte lengths to probe; feeds the no-decode question
+        #: parse in :meth:`_parse_fast_query`
+        self._suffixes: dict[bytes, Name] = {}
+        self._suffix_lens: tuple[int, ...] = ()
         for zone in zones:
             self.add_zone(zone)
+
+    #: template-cache entries before a wholesale reset; the working set
+    #: is bounded by zones x qtypes in practice, this only guards abuse.
+    _TEMPLATE_MAX = 512
 
     # -- zone management ---------------------------------------------------
 
     def add_zone(self, zone: Zone) -> None:
         self._zones[zone.origin] = zone
+        self._templates.clear()
 
     def remove_zone(self, origin: Name) -> None:
         self._zones.pop(origin, None)
+        self._templates.clear()
 
     def find_zone(self, qname: Name) -> Zone | None:
-        """Longest-suffix zone match for a query name."""
-        best: Zone | None = None
-        for origin, zone in self._zones.items():
-            if qname.is_subdomain_of(origin):
-                if best is None or len(origin) > len(best.origin):
-                    best = zone
-        return best
+        """Longest-suffix zone match for a query name.
+
+        Walks from the qname toward the root, one dict probe per level,
+        instead of scanning every loaded zone.
+        """
+        zones = self._zones
+        if not zones:
+            return None
+        name = qname
+        while True:
+            zone = zones.get(name)
+            if zone is not None:
+                return zone
+            if not name.labels:
+                return None
+            name = name.parent()
 
     # -- query processing ----------------------------------------------------
 
@@ -190,7 +245,23 @@ class AuthoritativeServer:
         Responses are capped at 512 bytes for plain-DNS clients and at
         min(advertised, 4096) for EDNS clients; larger answers are
         truncated with the TC bit set (the client then retries over TCP).
+
+        When no rate limiter, no telemetry, and no per-instance query
+        dispatch are active, a template fast path may answer without
+        decoding the query into a :class:`Message` at all; its output is
+        byte-identical to the slow path (see :class:`_ResponseTemplate`).
         """
+        fast = None
+        if (
+            self.rate_limiter is None
+            and not self.telemetry.enabled
+            and "handle_query" not in self.__dict__
+        ):
+            fast = self._parse_fast_query(wire)
+            if fast is not None:
+                rendered = self._render_from_template(fast, client, now)
+                if rendered is not None:
+                    return rendered
         try:
             query = Message.from_wire(wire)
         except Exception:
@@ -220,7 +291,10 @@ class AuthoritativeServer:
                 )
         else:
             max_size = MAX_UDP_PAYLOAD
-        return response.to_wire(max_size=max_size)
+        wire_out = response.to_wire(max_size=max_size)
+        if fast is not None:
+            self._maybe_build_template(fast, wire_out)
+        return wire_out
 
     def handle_wire_tcp(
         self, wire: bytes, client: str = "", now: float = 0.0
@@ -276,45 +350,57 @@ class AuthoritativeServer:
         self, query: Message, client: str = "", now: float = 0.0
     ) -> Message:
         self.stats.queries += 1
+        response = self._answer(query)
+        # Counter bookkeeping mirrors the branch _answer took; keeping it
+        # out of _answer lets the template builder render canary
+        # responses without perturbing the stats.
+        if query.opcode != Opcode.QUERY:
+            self.stats.notimp += 1
+        elif len(query.questions) != 1:
+            self.stats.formerr += 1
+        elif query.questions[0].rrclass == RRClass.CH:
+            self.stats.chaos += 1
+        elif response.rcode == Rcode.REFUSED:
+            self.stats.refused += 1
+        elif response.rcode == Rcode.NXDOMAIN:
+            self.stats.nxdomain += 1
+        return self._finish(response, client, now)
+
+    def _answer(self, query: Message) -> Message:
+        """Build the response message for one query, with no side effects."""
         response = query.make_response()
 
         if query.opcode != Opcode.QUERY:
             response.rcode = Rcode.NOTIMP
-            self.stats.notimp += 1
-            return self._finish(response, client, now)
+            return response
         if len(query.questions) != 1:
             response.rcode = Rcode.FORMERR
-            self.stats.formerr += 1
-            return self._finish(response, client, now)
+            return response
 
         question = query.questions[0]
         if question.rrclass == RRClass.CH:
             self._answer_chaos(question, response)
-            return self._finish(response, client, now)
+            return response
         if question.rrclass != RRClass.IN:
             response.rcode = Rcode.REFUSED
-            self.stats.refused += 1
-            return self._finish(response, client, now)
+            return response
 
         zone = self.find_zone(question.name)
         if zone is None:
             response.rcode = Rcode.REFUSED
-            self.stats.refused += 1
-            return self._finish(response, client, now)
+            return response
 
         result = zone.lookup(question.name, question.rrtype)
         response.authoritative = result.status != LookupStatus.DELEGATION
         if result.status == LookupStatus.NXDOMAIN:
             response.rcode = Rcode.NXDOMAIN
-            self.stats.nxdomain += 1
         self._add_rrsets(response.answers, result.answers)
         self._add_rrsets(response.authorities, result.authority)
         self._add_rrsets(response.additionals, result.additional)
-        return self._finish(response, client, now)
+        return response
 
     def _answer_chaos(self, question: Question, response: Message) -> None:
         """CHAOS TXT id.server. / hostname.bind. identify this instance."""
-        self.stats.chaos += 1
         if question.rrtype == RRType.TXT and question.name in (
             CHAOS_ID_SERVER,
             CHAOS_HOSTNAME_BIND,
@@ -370,6 +456,238 @@ class AuthoritativeServer:
                     ("server",),
                 ).labels(server=self.server_id).inc()
         return response
+
+    # -- response-template fast path ---------------------------------------
+
+    def _parse_fast_query(
+        self, wire: bytes
+    ) -> tuple[int, bool, Name, int, int, int | None, bool, Name | None] | None:
+        """Parse a plain single-question QUERY without building a Message.
+
+        Returns ``(msg_id, rd, qname, qtype, qclass, edns_payload,
+        wants_nsid, suffix)``, or ``None`` for anything the template
+        path does not cover (the caller then falls back to the full
+        decoder, so a ``None`` here is never a behavior change, only a
+        slower answer).  ``suffix`` is the qname minus its first label
+        (``None`` for single-label or compressed names).
+
+        The question name itself avoids the generic decoder on repeat
+        traffic: once a suffix's wire bytes have been validated, any
+        question matching ``<one label> + <those exact bytes>`` is
+        rebuilt as ``suffix.child(label)``.  The byte comparison is
+        exact and every length byte in a stored suffix is < 64, so a
+        compression pointer (first byte >= 0xC0) can never hide inside
+        a match — the rebuilt name is forced equal to what
+        :meth:`Name.from_wire` would return.
+        """
+        if len(wire) < 17:  # header + shortest possible question
+            return None
+        try:
+            msg_id, flags, qdcount, ancount, nscount, arcount = (
+                HEADER_STRUCT.unpack_from(wire)
+            )
+            if qdcount != 1 or ancount or nscount or arcount > 1:
+                return None
+            if flags & FLAG_QR or (flags >> 11) & 0xF:  # responses, non-QUERY
+                return None
+            qname = suffix = None
+            first_len = wire[12]
+            if 0 < first_len < 64:
+                label_end = 13 + first_len
+                for known_len in self._suffix_lens:
+                    candidate = wire[label_end : label_end + known_len]
+                    suffix = self._suffixes.get(candidate)
+                    if suffix is not None:
+                        qname = suffix.child(wire[13:label_end])
+                        qname._wire = wire[12 : label_end + known_len]
+                        cursor = label_end + known_len
+                        break
+            if qname is None:
+                qname, cursor = Name.from_wire(wire, HEADER_STRUCT.size)
+                if cursor - HEADER_STRUCT.size == qname._wlen:
+                    # Uncompressed: the bytes just read are the name's
+                    # wire form; seed the cache the render path reuses.
+                    qname._wire = wire[HEADER_STRUCT.size : cursor]
+                    if len(qname) >= 2:
+                        suffix = qname.parent()
+                        if len(self._suffixes) < 64:  # abuse guard
+                            suffix_wire = qname._wire[1 + first_len :]
+                            self._suffixes[suffix_wire] = suffix
+                            if len(suffix_wire) not in self._suffix_lens:
+                                self._suffix_lens = self._suffix_lens + (
+                                    len(suffix_wire),
+                                )
+                elif len(qname) >= 2:
+                    suffix = qname.parent()
+            if cursor + 4 > len(wire):
+                return None
+            qtype, qclass = QUESTION_TAIL_STRUCT.unpack_from(wire, cursor)
+            cursor += 4
+            edns_payload = None
+            wants_nsid = False
+            if arcount:
+                # The one additional must be a root-owned OPT; anything
+                # else (TSIG, a compressed owner, ...) goes slow-path.
+                if wire[cursor] != 0 or cursor + 11 > len(wire):
+                    return None
+                type_code, payload, _ttl, rdlength = (
+                    _RR_HEADER_STRUCT.unpack_from(wire, cursor + 1)
+                )
+                if type_code != int(RRType.OPT):
+                    return None
+                cursor += 11
+                if cursor + rdlength > len(wire):
+                    return None
+                position = 0
+                while position + 4 <= rdlength:
+                    code, length = QUESTION_TAIL_STRUCT.unpack_from(
+                        wire, cursor + position
+                    )
+                    position += 4 + length
+                    if code == Message.EDNS_NSID:
+                        wants_nsid = True
+                if position != rdlength:  # malformed option list
+                    return None
+                cursor += rdlength
+                edns_payload = payload
+            if cursor != len(wire):  # trailing bytes: let the decoder judge
+                return None
+        except Exception:
+            return None
+        return (
+            msg_id, bool(flags & FLAG_RD), qname, qtype, qclass,
+            edns_payload, wants_nsid, suffix,
+        )
+
+    @staticmethod
+    def _template_key(fast) -> tuple | None:
+        _msg_id, rd, _qname, qtype, qclass, edns_payload, wants_nsid, suffix = fast
+        # Only IN-class names with at least one label under a cachable
+        # suffix qualify; everything else stays on the slow path.
+        if qclass != int(RRClass.IN) or suffix is None:
+            return None
+        # The suffix Name hashes on its cached folded form, so the key
+        # stays case-insensitive without rebuilding a folded tuple.
+        return (suffix, qtype, rd, edns_payload is not None, wants_nsid)
+
+    def _render_from_template(
+        self, fast, client: str, now: float
+    ) -> bytes | None:
+        """Answer from a cached template, or ``None`` on any miss/doubt."""
+        key = self._template_key(fast)
+        if key is None:
+            return None
+        entry = self._templates.get(key)
+        if entry is None:
+            return None
+        zone = entry.zone
+        if (
+            zone.version != entry.zone_version
+            or self._zones.get(entry.origin) is not zone
+        ):
+            del self._templates[key]
+            return None
+        msg_id, _rd, qname, _qtype, _qclass, edns_payload, _nsid, _suffix = fast
+        # The template is only valid for names whose lookup outcome is a
+        # function of the suffix alone: the qname must not exist in the
+        # zone and must not be a zone origin itself.
+        if qname in zone._names or qname in self._zones:
+            return None
+        qname_wire = qname.to_wire()
+        max_size = (
+            min(edns_payload, self.max_edns_payload)
+            if edns_payload is not None
+            else MAX_UDP_PAYLOAD
+        )
+        if 16 + len(qname_wire) + len(entry.tail) > max_size:
+            return None  # would truncate: the slow path handles TC
+        out = bytearray(_MSG_ID_STRUCT.pack(msg_id))
+        out += entry.header_tail
+        out += qname_wire
+        out += entry.question_tail
+        out += entry.tail
+        # Bookkeeping identical to _handle_query/_finish for this branch.
+        self.stats.queries += 1
+        if entry.rcode == Rcode.NXDOMAIN:
+            self.stats.nxdomain += 1
+        self.stats.responses += 1
+        if self.log_queries:
+            self.query_log.append(
+                QueryLogEntry(
+                    timestamp=now,
+                    client=client,
+                    qname=qname,
+                    qtype=entry.log_rrtype,
+                    rcode=entry.rcode,
+                )
+            )
+        return bytes(out)
+
+    def _maybe_build_template(self, fast, wire_out: bytes) -> None:
+        """Cache ``wire_out`` as a template when provably qname-independent.
+
+        The proof is empirical: re-answer the same question for a canary
+        label of a *different length* (also absent from the zone).  If
+        everything outside the question name matches byte-for-byte, no
+        compression pointer or length field in the tail depends on the
+        qname, so the tail can be replayed for any other absent name
+        under the same suffix.
+        """
+        key = self._template_key(fast)
+        if key is None:
+            return
+        if wire_out[2] & 0x02:  # TC set: truncated responses vary by size
+            return
+        _msg_id, rd, qname, qtype, _qclass, edns_payload, wants_nsid, suffix = fast
+        if qname in self._zones:
+            return
+        zone = self.find_zone(qname)
+        if zone is None or qname in zone._names:
+            return
+        first = qname.labels[0]
+        canary_label = b"\x01" if len(first) != 1 else b"\x01\x02"
+        try:
+            canary = suffix.child(canary_label)
+        except Exception:
+            return  # qname at the length limit; not worth caching
+        if canary in zone._names or canary in self._zones:
+            return
+        try:
+            rrtype = RRType(qtype)
+            log_rrtype = rrtype
+        except ValueError:
+            rrtype = qtype  # type: ignore[assignment]
+            log_rrtype = RRType.ANY
+        probe = Message(msg_id=0)
+        probe.questions.append(Question(canary, rrtype, RRClass.IN))
+        probe.recursion_desired = rd
+        response = self._answer(probe)
+        if edns_payload is not None:
+            response.use_edns(self.max_edns_payload)
+            if wants_nsid:
+                response.edns_options.append(
+                    (Message.EDNS_NSID, self.server_id.encode())
+                )
+        canary_wire = response.to_wire()
+        question_end = 16 + qname.wire_length()
+        canary_end = 16 + canary.wire_length()
+        if (
+            wire_out[2:12] != canary_wire[2:12]
+            or wire_out[question_end:] != canary_wire[canary_end:]
+        ):
+            return  # tail depends on the qname: not cachable
+        if len(self._templates) >= self._TEMPLATE_MAX:
+            self._templates.clear()
+        self._templates[key] = _ResponseTemplate(
+            zone=zone,
+            zone_version=zone.version,
+            origin=zone.origin,
+            header_tail=wire_out[2:12],
+            question_tail=wire_out[question_end - 4:question_end],
+            tail=wire_out[question_end:],
+            rcode=Rcode(wire_out[3] & 0x0F),
+            log_rrtype=log_rrtype,
+        )
 
     def clear_log(self) -> None:
         self.query_log.clear()

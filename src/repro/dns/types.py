@@ -87,6 +87,13 @@ class Rcode(enum.IntEnum):
         return self.name
 
 
+# Code→member lookup tables for the wire decoders: enum.__call__ costs
+# a surprising amount per record, and decode touches every record.
+RRTYPE_BY_CODE = {int(member): member for member in RRType}
+RRCLASS_BY_CODE = {int(member): member for member in RRClass}
+OPCODE_BY_CODE = {int(member): member for member in Opcode}
+RCODE_BY_CODE = {int(member): member for member in Rcode}
+
 # Header flag bit masks (16-bit flags word, RFC 1035 §4.1.1).
 FLAG_QR = 0x8000
 FLAG_AA = 0x0400

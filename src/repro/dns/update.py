@@ -82,19 +82,19 @@ class UpdateHandler:
 
     def _apply(self, zone: Zone, record: ResourceRecord) -> None:
         """One update RR: class IN adds; ANY deletes an RRset; NONE
-        deletes one RR."""
+        deletes one RR.
+
+        All mutations go through the zone's own methods so its version
+        counter advances and cached response templates are invalidated.
+        """
         if record.rrclass == RRClass.IN:
             if not record.name.is_subdomain_of(zone.origin):
                 raise ValueError("out of zone")
             zone.add_record(record)
         elif record.rrclass == RRClass.ANY:
-            rrset = zone.get_rrset(record.name, record.rrtype)
-            if rrset is not None:
-                rrset.rdatas.clear()
+            zone.delete_rrset(record.name, record.rrtype)
         elif record.rrclass == RRClass.NONE:
-            rrset = zone.get_rrset(record.name, record.rrtype)
-            if rrset is not None and record.rdata in rrset.rdatas:
-                rrset.rdatas.remove(record.rdata)
+            zone.remove_rdata(record.name, record.rrtype, record.rdata)
         else:
             raise ValueError(f"bad update class {record.rrclass}")
 

@@ -45,10 +45,15 @@ class Zone:
     def __init__(self, origin: Name | str, rrclass: RRClass = RRClass.IN):
         if isinstance(origin, str):
             origin = Name.from_text(origin)
-        self.origin = origin
+        self.origin = origin.intern()
         self.rrclass = rrclass
         self._rrsets: dict[tuple[Name, RRType], RRset] = {}
+        #: owner name -> {type: rrset}, so per-owner walks (ANY answers,
+        #: glue) are O(owner's types), not a scan of the whole zone.
+        self._by_owner: dict[Name, dict[RRType, RRset]] = {}
         self._names: set[Name] = set()
+        #: bumped on every mutation; response-template caches key on it.
+        self.version = 0
 
     # -- mutation ---------------------------------------------------------
 
@@ -60,7 +65,9 @@ class Zone:
         if rrset is None:
             rrset = RRset(record.name, record.rrtype, record.rrclass, record.ttl)
             self._rrsets[key] = rrset
+            self._by_owner.setdefault(record.name, {})[record.rrtype] = rrset
         rrset.add(record.rdata, record.ttl)
+        self.version += 1
         # Record every ancestor as an existing (possibly empty non-terminal)
         # name so NODATA vs NXDOMAIN is decided correctly.
         name = record.name
@@ -81,6 +88,37 @@ class Zone:
         if isinstance(name, str):
             name = Name.from_text(name)
         self.add_record(ResourceRecord(name, rrtype, self.rrclass, ttl, rdata))
+
+    def delete_rrset(self, name: Name, rrtype: RRType) -> bool:
+        """Remove one (owner, type) RRset; True when something was removed.
+
+        The owner stays in the name tree (an RFC 2136 delete does not
+        un-exist empty non-terminals), so the lookup outcome for the
+        deleted type becomes NODATA, exactly as if the RRset were empty.
+        """
+        rrset = self._rrsets.pop((name, rrtype), None)
+        if rrset is None:
+            return False
+        by_type = self._by_owner.get(name)
+        if by_type is not None:
+            by_type.pop(rrtype, None)
+            if not by_type:
+                del self._by_owner[name]
+        self.version += 1
+        return True
+
+    def remove_rdata(self, name: Name, rrtype: RRType, rdata: Rdata) -> bool:
+        """Remove a single RR from its RRset; True when it was present."""
+        rrset = self._rrsets.get((name, rrtype))
+        if rrset is None or rdata not in rrset.rdatas:
+            return False
+        rrset.rdatas.remove(rdata)
+        self.version += 1
+        return True
+
+    def bump_version(self) -> None:
+        """Invalidate cached response templates after out-of-band edits."""
+        self.version += 1
 
     # -- accessors ----------------------------------------------------------
 
@@ -145,11 +183,13 @@ class Zone:
             if cname and qtype != RRType.CNAME:
                 return self._chase_cname(cname, qtype)
             if qtype == RRType.ANY:
-                answers = [
-                    rs for (name, _), rs in self._rrsets.items() if name == qname
-                ]
-                if answers:
-                    return LookupResult(LookupStatus.SUCCESS, answers=answers)
+                by_type = self._by_owner.get(qname)
+                if by_type:
+                    answers = [rs for rs in by_type.values() if rs]
+                    if answers:
+                        return LookupResult(
+                            LookupStatus.SUCCESS, answers=answers
+                        )
             return self._negative(LookupStatus.NODATA)
 
         wildcard_result = self._try_wildcard(qname, qtype)
@@ -185,11 +225,14 @@ class Zone:
         """RFC 1034 §4.3.3 wildcard synthesis."""
         relative = qname.relativize(self.origin)
         # The closest encloser walk: replace leading labels with "*".
+        # All candidate labels are slices of the (validated) qname, so
+        # the flyweight constructor applies.
         for skip in range(1, len(relative) + 1):
-            encloser_labels = relative[skip:]
-            encloser = Name(encloser_labels + self.origin.labels)
+            encloser = Name._from_validated(
+                relative[skip:] + self.origin.labels
+            )
             wildcard = encloser.child(WILDCARD_LABEL)
-            if encloser in self._names and skip > 0:
+            if encloser in self._names:
                 rrset = self._rrsets.get((wildcard, qtype))
                 if rrset:
                     synthesized = RRset(qname, rrset.rrtype, rrset.rrclass, rrset.ttl)
@@ -210,8 +253,11 @@ class Zone:
         for rdata in ns_rrset:
             if not isinstance(rdata, NS):
                 continue
+            by_type = self._by_owner.get(rdata.target)
+            if not by_type:
+                continue
             for addr_type in (RRType.A, RRType.AAAA):
-                addr = self._rrsets.get((rdata.target, addr_type))
+                addr = by_type.get(addr_type)
                 if addr:
                     glue.append(addr)
         return glue

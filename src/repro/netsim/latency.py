@@ -79,14 +79,27 @@ class LatencyModel:
         #: deterministic end to end.
         self.seed = seed if seed is not None else self.rng.getrandbits(63)
         self._pair_streams: dict[tuple[str, str], random.Random] = {}
+        # base_rtt_ms is pure per (points, params): a campaign hits the
+        # same few VP–site pairs millions of times, so memoize — and
+        # drop the memo if someone swaps in new parameters.
+        self._base_cache: dict[tuple[GeoPoint, GeoPoint], float] = {}
+        self._base_cache_params = self.params
 
     def base_rtt_ms(self, a: GeoPoint, b: GeoPoint) -> float:
         """Deterministic RTT for the pair, without jitter."""
+        if self.params is not self._base_cache_params:
+            self._base_cache.clear()
+            self._base_cache_params = self.params
+        cached = self._base_cache.get((a, b))
+        if cached is not None:
+            return cached
         distance = great_circle_km(a, b) * self.params.path_inflation
         propagation_ms = 2.0 * distance / FIBER_KM_PER_SECOND * 1000.0
-        return max(
+        rtt = max(
             self.params.min_rtt_ms, propagation_ms + self.params.access_delay_ms
         )
+        self._base_cache[(a, b)] = rtt
+        return rtt
 
     def sample_rtt_ms(self, a: GeoPoint, b: GeoPoint) -> float:
         """One RTT observation with multiplicative lognormal jitter."""

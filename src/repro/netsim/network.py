@@ -78,6 +78,18 @@ class SimNetwork:
         self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self._unicast: dict[str, UnicastHost] = {}
         self._anycast: dict[str, AnycastGroup] = {}
+        # The path-diversity multiplier is a pure hash of the pair (and
+        # sigma); one sha256+erfinv per exchange adds up, so memoize.
+        self._path_mult: dict[tuple[str, str, float], float] = {}
+
+    def _pair_multiplier(self, client_key: str, dst_address: str) -> float:
+        sigma = self.latency.params.path_diversity_sigma
+        key = (client_key, dst_address, sigma)
+        multiplier = self._path_mult.get(key)
+        if multiplier is None:
+            multiplier = _path_diversity_multiplier(client_key, dst_address, sigma)
+            self._path_mult[key] = multiplier
+        return multiplier
 
     # -- registration -----------------------------------------------------
 
@@ -146,9 +158,7 @@ class SimNetwork:
             )
             if lost:
                 return RoundTrip(response=None, rtt_ms=None, lost=True, served_by="")
-            rtt_ms *= _path_diversity_multiplier(
-                client_address, dst_address, self.latency.params.path_diversity_sigma
-            )
+            rtt_ms *= self._pair_multiplier(client_address, dst_address)
             response = handler(payload, client_address, self.clock.now)
             return RoundTrip(
                 response=response, rtt_ms=rtt_ms, lost=False, served_by=code
@@ -180,9 +190,7 @@ class SimNetwork:
                     ("dst",),
                 ).labels(dst=dst_address).inc()
                 return RoundTrip(response=None, rtt_ms=None, lost=True, served_by="")
-            rtt_ms *= _path_diversity_multiplier(
-                client_address, dst_address, self.latency.params.path_diversity_sigma
-            )
+            rtt_ms *= self._pair_multiplier(client_address, dst_address)
             span.set(lost=False, rtt_ms=round(rtt_ms, 3))
             span.event("rtt_draw", at=now, rtt_ms=round(rtt_ms, 3))
             registry.counter(
@@ -212,9 +220,7 @@ class SimNetwork:
         site_location, _, _ = self.route(client_location, client_key, dst_address)
         return self.latency.base_rtt_ms(
             client_location.point, site_location.point
-        ) * _path_diversity_multiplier(
-            client_key, dst_address, self.latency.params.path_diversity_sigma
-        )
+        ) * self._pair_multiplier(client_key, dst_address)
 
 
 __all__ = [

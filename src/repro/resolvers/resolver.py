@@ -12,7 +12,12 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass, field
 
-from ..dns.message import Message
+from ..dns.message import (
+    HEADER_STRUCT,
+    QUESTION_TAIL_STRUCT,
+    Message,
+    ResponseDecodeMemo,
+)
 from ..dns.name import Name
 from ..dns.rdata import TXT
 from ..dns.records import ResourceRecord
@@ -117,6 +122,9 @@ class RecursiveResolver:
         #: DNS-0x20: randomize qname case and verify the echo (anti-spoof)
         self.case_randomization = case_randomization
         self.spoofs_rejected = 0
+        # Template-shaped responses (same server template, different
+        # probe label) decode through a canary-certified memo.
+        self._response_memo = ResponseDecodeMemo()
 
     # -- configuration -----------------------------------------------------
 
@@ -124,7 +132,9 @@ class RecursiveResolver:
         """Teach the resolver the NS addresses of a zone (like cached NS)."""
         if isinstance(origin, str):
             origin = Name.from_text(origin)
-        self.stub_zones[origin] = list(addresses)
+        # Interned: every resolver shares one origin object (and its
+        # cached hash/wire), so suffix walks and cache keys stay cheap.
+        self.stub_zones[origin.intern()] = list(addresses)
 
     def set_root_hints(self, addresses: list[str]) -> None:
         from ..dns.name import ROOT
@@ -320,14 +330,21 @@ class RecursiveResolver:
     ) -> tuple[Message, str, str, float] | None:
         now = self.network.clock.now
         telemetry = self.telemetry
+        question_tail = QUESTION_TAIL_STRUCT.pack(int(qtype), int(RRClass.IN))
         for attempt in range(self.max_retries + 1):
             address = self.selector.select(addresses, self.infra_cache, now)
             send_name = (
                 self._randomize_case(qname) if self.case_randomization else qname
             )
-            query = Message.make_query(
-                send_name, qtype, msg_id=self.rng.randrange(0x10000),
-                recursion_desired=False,
+            # Wire built directly: byte-identical to Message.make_query(
+            # ..., recursion_desired=False).to_wire() — header flags are
+            # all zero for an iterative QUERY and a lone question never
+            # compresses — without a Message/Question round trip.
+            msg_id = self.rng.randrange(0x10000)
+            query_wire = (
+                HEADER_STRUCT.pack(msg_id, 0, 1, 0, 0, 0)
+                + send_name.to_wire()
+                + question_tail
             )
             self.queries_sent += 1
             span = NULL_SPAN
@@ -339,7 +356,7 @@ class RecursiveResolver:
             try:
                 try:
                     trip = self.network.round_trip(
-                        self.location, self.address, address, query.to_wire()
+                        self.location, self.address, address, query_wire
                     )
                 except Exception:
                     # Host gone (withdrawn mid-measurement): a timeout to us.
@@ -359,14 +376,14 @@ class RecursiveResolver:
                     outcome = "timeout"
                     continue
                 try:
-                    message = Message.from_wire(trip.response)
+                    message = self._response_memo.decode(trip.response, send_name)
                 except Exception:
                     self.selector.on_timeout(
                         address, addresses, self.infra_cache, now
                     )
                     outcome = "garbled"
                     continue
-                if message.msg_id != query.msg_id:
+                if message.msg_id != msg_id:
                     outcome = "id_mismatch"
                     continue  # spoofed/mismatched: ignore, treat as failure
                 if self.case_randomization and message.questions:
@@ -421,7 +438,9 @@ class RecursiveResolver:
                     byte ^= 0x20
                 out.append(byte)
             labels.append(bytes(out))
-        return Name(labels)
+        # Case flips preserve every length invariant, and the folded
+        # form is the input's: the flyweight skips both re-checks.
+        return Name._from_validated(tuple(labels), name._folded)
 
     def _referral_addresses(self, message: Message) -> list[str]:
         """Glue addresses from a referral response that we can route to."""

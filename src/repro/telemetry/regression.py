@@ -144,8 +144,15 @@ def diff_sidecars(
     counter_threshold: float = DEFAULT_COUNTER_THRESHOLD,
     base_path: str = "base",
     new_path: str = "new",
+    phases: list[str] | None = None,
 ) -> BenchDiff:
-    """Compare two loaded sidecars run-by-run, phase-by-phase."""
+    """Compare two loaded sidecars run-by-run, phase-by-phase.
+
+    ``phases`` restricts the comparison to phase names starting with any
+    of the given prefixes (e.g. ``["experiment.measure", "codec."]``) —
+    the hard CI gate uses this to fail on the phases a perf PR owns
+    while the full-surface diff stays advisory.
+    """
     diff = BenchDiff(base_path=base_path, new_path=new_path)
     base_runs = base.get("runs", {})
     new_runs = new.get("runs", {})
@@ -157,6 +164,10 @@ def diff_sidecars(
         base_phases = base_profile.get("phases", {})
         new_phases = new_profile.get("phases", {})
         for phase in sorted(set(base_phases) & set(new_phases)):
+            if phases is not None and not any(
+                phase.startswith(prefix) for prefix in phases
+            ):
+                continue
             base_s = float(base_phases[phase].get("seconds", 0.0))
             new_s = float(new_phases[phase].get("seconds", 0.0))
             regressed = (
@@ -195,6 +206,7 @@ def diff_sidecar_files(
     min_seconds: float = DEFAULT_MIN_SECONDS,
     counter_threshold: float = DEFAULT_COUNTER_THRESHOLD,
     force: bool = False,
+    phases: list[str] | None = None,
 ) -> BenchDiff:
     """File-path front end of :func:`diff_sidecars`."""
     base = load_sidecar(base_path, force=force)
@@ -206,6 +218,7 @@ def diff_sidecar_files(
         counter_threshold=counter_threshold,
         base_path=str(base_path),
         new_path=str(new_path),
+        phases=phases,
     )
 
 

@@ -1,0 +1,266 @@
+"""Differential tests pinning the codec fast path to the reference encoding.
+
+The encoder was rewritten around ``wire_into`` (one shared bytearray,
+flyweight names, precompiled structs).  These tests re-encode the same
+messages with the old per-record ``to_wire`` concatenation strategy and
+require byte-for-byte equality, over seeded random messages that cover
+escapes, maximum-length labels, shared-suffix compression, and EDNS
+options.  Decode hardening (pointer loops, forward pointers) is pinned
+too.
+"""
+
+import random
+
+import pytest
+
+from repro.dns.errors import (
+    BadPointerError,
+    CompressionLoopError,
+    NameError_,
+)
+from repro.dns.message import HEADER_STRUCT, Message, Question
+from repro.dns.name import MAX_NAME_LENGTH, Name
+from repro.dns.rdata import (
+    AAAA,
+    CNAME,
+    MX,
+    NS,
+    SOA,
+    SRV,
+    TXT,
+    A,
+    GenericRdata,
+)
+from repro.dns.records import ResourceRecord
+from repro.dns.types import FLAG_AA, FLAG_QR, FLAG_RD, Rcode, RRClass, RRType
+
+SEED = 20170412
+
+
+def reference_encode(message: Message) -> bytes:
+    """The pre-fast-path encoding strategy: per-record bytes, concatenated.
+
+    This mirrors the original ``Message._encode`` exactly: one compress
+    dict shared across sections, every item rendered by its own
+    ``to_wire(compress, offset)`` and appended.
+    """
+    opt = message._opt_record() if message.edns_payload is not None else None
+    wire = bytearray(
+        HEADER_STRUCT.pack(
+            message.msg_id,
+            message._header_flags(),
+            len(message.questions),
+            len(message.answers),
+            len(message.authorities),
+            len(message.additionals) + (1 if opt is not None else 0),
+        )
+    )
+    compress: dict[Name, int] = {}
+    for question in message.questions:
+        wire += question.to_wire(compress, len(wire))
+    for section in (message.answers, message.authorities, message.additionals):
+        for record in section:
+            wire += record.to_wire(compress, len(wire))
+    if opt is not None:
+        wire += opt.to_wire(compress, len(wire))
+    return bytes(wire)
+
+
+def _random_label(rng: random.Random) -> bytes:
+    kind = rng.random()
+    if kind < 0.1:
+        # maximum-length label
+        return bytes(rng.randrange(ord("a"), ord("z") + 1) for _ in range(63))
+    if kind < 0.25:
+        # bytes needing presentation escapes: dots, backslashes, controls
+        return bytes(
+            rng.choice([ord("."), ord("\\"), 0x00, 0xFF, ord("A"), ord("z")])
+            for _ in range(rng.randint(1, 6))
+        )
+    length = rng.randint(1, 12)
+    alphabet = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789-"
+    return bytes(rng.choice(alphabet) for _ in range(length))
+
+
+def _random_name(rng: random.Random, suffixes: list[Name]) -> Name:
+    base = rng.choice(suffixes) if suffixes and rng.random() < 0.7 else Name(())
+    name = base
+    for _ in range(rng.randint(0, 3)):
+        label = _random_label(rng)
+        if name.wire_length() + len(label) + 1 > MAX_NAME_LENGTH:
+            break
+        name = name.child(label)
+    return name
+
+
+def _random_rdata(rng: random.Random, suffixes: list[Name]):
+    choice = rng.randrange(8)
+    if choice == 0:
+        return RRType.A, A(f"192.0.2.{rng.randrange(256)}")
+    if choice == 1:
+        return RRType.AAAA, AAAA(f"2001:db8::{rng.randrange(1, 0xFFFF):x}")
+    if choice == 2:
+        return RRType.TXT, TXT.from_value("x" * rng.randint(0, 40))
+    if choice == 3:
+        return RRType.NS, NS(_random_name(rng, suffixes))
+    if choice == 4:
+        return RRType.CNAME, CNAME(_random_name(rng, suffixes))
+    if choice == 5:
+        return RRType.MX, MX(rng.randrange(100), _random_name(rng, suffixes))
+    if choice == 6:
+        return RRType.SOA, SOA(
+            _random_name(rng, suffixes),
+            _random_name(rng, suffixes),
+            rng.randrange(1 << 31),
+            3600,
+            900,
+            86400,
+            300,
+        )
+    return RRType.SRV, SRV(
+        rng.randrange(100), rng.randrange(100), rng.randrange(65536),
+        _random_name(rng, suffixes),
+    )
+
+
+def _random_message(rng: random.Random) -> Message:
+    # A shared suffix pool makes compression pointers frequent.
+    suffixes = [
+        Name.from_text("example.org."),
+        Name.from_text("probe.example.org."),
+        Name.from_text("EXAMPLE.Org."),  # case variant: folds equal
+        Name.from_text("a.very.deep.suffix.example.net."),
+    ]
+    message = Message(
+        msg_id=rng.randrange(1 << 16),
+        flags=rng.choice([0, FLAG_QR, FLAG_QR | FLAG_AA, FLAG_RD]),
+        rcode=rng.choice([Rcode.NOERROR, Rcode.NXDOMAIN]),
+    )
+    for _ in range(rng.randint(1, 2)):
+        message.questions.append(
+            Question(_random_name(rng, suffixes), RRType.TXT, RRClass.IN)
+        )
+    for section in (message.answers, message.authorities, message.additionals):
+        for _ in range(rng.randint(0, 4)):
+            owner = _random_name(rng, suffixes)
+            rrtype, rdata = _random_rdata(rng, suffixes)
+            section.append(
+                ResourceRecord(owner, rrtype, RRClass.IN, rng.randrange(3600), rdata)
+            )
+    if rng.random() < 0.4:
+        message.use_edns(rng.choice([512, 1232, 4096]))
+        if rng.random() < 0.5:
+            message.edns_options.append((Message.EDNS_NSID, b""))
+        if rng.random() < 0.3:
+            message.edns_options.append((10, bytes(rng.randrange(256) for _ in range(8))))
+    return message
+
+
+def test_encoder_matches_reference_on_random_messages():
+    rng = random.Random(SEED)
+    for _ in range(300):
+        message = _random_message(rng)
+        assert message.to_wire() == reference_encode(message)
+
+
+def test_decode_reencode_is_stable_on_random_messages():
+    rng = random.Random(SEED + 1)
+    for _ in range(200):
+        original = _random_message(rng)
+        wire = original.to_wire()
+        decoded = Message.from_wire(wire)
+        assert decoded.to_wire() == wire
+
+
+def test_truncation_matches_rebuilt_message():
+    """The truncation splice must equal a from-scratch truncated message."""
+    rng = random.Random(SEED + 2)
+    for _ in range(50):
+        message = _random_message(rng)
+        message.answers.append(
+            ResourceRecord(
+                Name.from_text("big.example.org."),
+                RRType.TXT,
+                RRClass.IN,
+                60,
+                TXT.from_value("y" * 200),
+            )
+        )
+        # Reference: what the old implementation produced — a second
+        # Message holding only the questions, TC set, EDNS copied.
+        rebuilt = Message(
+            msg_id=message.msg_id,
+            flags=message.flags,
+            opcode=message.opcode,
+            rcode=message.rcode,
+        )
+        rebuilt.questions = list(message.questions)
+        rebuilt.truncated = True
+        rebuilt.edns_payload = message.edns_payload
+        rebuilt.edns_options = list(message.edns_options)
+        assert message.to_wire(max_size=100) == reference_encode(rebuilt)
+
+
+def test_compressed_suffixes_decode_to_shared_names():
+    """The per-message decode memo reuses Name objects across records."""
+    owner = Name.from_text("host.example.org.")
+    message = Message(msg_id=9, flags=FLAG_QR)
+    message.questions.append(Question(owner, RRType.A, RRClass.IN))
+    message.answers.append(
+        ResourceRecord(owner, RRType.A, RRClass.IN, 60, A("192.0.2.1"))
+    )
+    message.answers.append(
+        ResourceRecord(owner, RRType.A, RRClass.IN, 60, A("192.0.2.2"))
+    )
+    decoded = Message.from_wire(message.to_wire())
+    assert decoded.questions[0].name == owner
+    # Both answer owners compress to the same pointer, so the memo must
+    # hand back the identical object.
+    assert decoded.answers[0].name is decoded.answers[1].name
+
+
+def test_forward_pointer_rejected():
+    wire = bytes(12) + b"\xc0\x20"  # pointer to offset 32 from offset 12
+    with pytest.raises(BadPointerError):
+        Name.from_wire(wire, 12)
+
+
+def test_self_pointer_rejected():
+    wire = bytes(12) + b"\xc0\x0c"  # pointer at 12 targeting 12
+    with pytest.raises(BadPointerError):
+        Name.from_wire(wire, 12)
+
+
+def test_pointer_loop_rejected():
+    # label "a" at 12, then a pointer back to 12: a backward pointer
+    # whose expansion revisits itself.
+    wire = bytes(12) + b"\x01a\xc0\x0c"
+    with pytest.raises(CompressionLoopError):
+        Name.from_wire(wire, 14)
+
+
+def test_pointer_chain_name_length_enforced():
+    # Chain backward pointers over long labels until the assembled name
+    # would exceed 255 bytes; decode must reject, not build it.
+    chunk = b"\x3f" + b"a" * 63
+    wire = bytearray()
+    wire += chunk + b"\x00"  # offset 0: one 63-byte label, then root
+    offsets = [0]
+    for _ in range(4):
+        offsets.append(len(wire))
+        wire += chunk + bytes([0xC0 | (offsets[-2] >> 8), offsets[-2] & 0xFF])
+    with pytest.raises(NameError_):
+        Name.from_wire(bytes(wire), offsets[-1])
+
+
+def test_flyweight_slices_equal_validated_names():
+    name = Name.from_text("a.b.c.example.org.")
+    assert name.parent() == Name.from_text("b.c.example.org.")
+    assert name.parent().to_wire() == Name.from_text("b.c.example.org.").to_wire()
+    assert name.child(b"x") == Name.from_text("x.a.b.c.example.org.")
+    left = Name.from_text("www.")
+    assert left.concatenate(name) == Name.from_text("www.a.b.c.example.org.")
+    # cached wire form matches a freshly built instance's encoding
+    again = Name(tuple(name.labels))
+    assert name.to_wire() == again.to_wire()
+    assert hash(name) == hash(again)

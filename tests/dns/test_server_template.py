@@ -1,0 +1,198 @@
+"""Response-template cache: byte-identity with the slow path, and
+invalidation on every zone-mutation route (add, UPDATE, AXFR reload)."""
+
+from repro.dns import (
+    AuthoritativeServer,
+    Message,
+    Name,
+    UpdatePolicy,
+    Zone,
+    attach_update_handling,
+    make_update,
+)
+from repro.dns.rdata import NS, SOA, TXT, A
+from repro.dns.types import Rcode, RRType
+from repro.telemetry import Telemetry
+
+
+def build_zone() -> Zone:
+    zone = Zone("example.org.")
+    zone.add(
+        "example.org.",
+        RRType.SOA,
+        SOA(
+            Name.from_text("ns1.example.org."),
+            Name.from_text("admin.example.org."),
+            1, 3600, 900, 86400, 300,
+        ),
+    )
+    zone.add("example.org.", RRType.NS, NS(Name.from_text("ns1.example.org.")))
+    zone.add("ns1.example.org.", RRType.A, A("192.0.2.53"))
+    zone.add("*.probe.example.org.", RRType.TXT, TXT.from_value("m-site"), ttl=5)
+    zone.add("www.example.org.", RRType.A, A("192.0.2.1"))
+    return zone
+
+
+def slow_server(zone: Zone) -> AuthoritativeServer:
+    """A server with the template fast path disabled (reference output)."""
+    server = AuthoritativeServer("site-a", [zone])
+    server._parse_fast_query = lambda wire: None  # type: ignore[method-assign]
+    return server
+
+
+def queries():
+    for tick in range(30):
+        yield Message.make_query(
+            f"m-1-{tick}.probe.example.org.", RRType.TXT, msg_id=100 + tick
+        )
+    # EDNS, NSID, case variants, A-type misses under the wildcard
+    q = Message.make_query("m-2-0.PROBE.Example.ORG.", RRType.TXT, msg_id=900)
+    yield q
+    q = Message.make_query("m-2-1.probe.example.org.", RRType.TXT, msg_id=901)
+    q.use_edns(1232)
+    yield q
+    q = Message.make_query("m-2-2.probe.example.org.", RRType.TXT, msg_id=902)
+    q.use_edns(4096)
+    q.request_nsid()
+    yield q
+    yield Message.make_query("m-2-3.probe.example.org.", RRType.A, msg_id=903)
+    yield Message.make_query("what.example.org.", RRType.A, msg_id=904)
+    yield Message.make_query("www.example.org.", RRType.A, msg_id=905)
+
+
+def test_fast_path_is_byte_identical_to_slow_path():
+    zone = build_zone()
+    fast = AuthoritativeServer("site-a", [zone])
+    slow = slow_server(zone)
+    for query in queries():
+        wire = query.to_wire()
+        assert fast.handle_wire(wire) == slow.handle_wire(wire)
+    assert fast._templates  # the hot wildcard lookups did get cached
+    # Identical bookkeeping on both paths.
+    assert fast.stats == slow.stats
+    assert list(fast.query_log) == list(slow.query_log)
+
+
+def test_template_survives_repeats_and_counts_queries():
+    server = AuthoritativeServer("site-a", [build_zone()])
+    wire = Message.make_query(
+        "m-9-9.probe.example.org.", RRType.TXT, msg_id=77
+    ).to_wire()
+    first = server.handle_wire(wire)
+    second = server.handle_wire(wire)
+    assert first == second
+    assert server.stats.queries == 2
+    assert server.stats.responses == 2
+    assert len(server.query_log) == 2
+
+
+def test_exact_names_never_served_from_template():
+    zone = build_zone()
+    server = AuthoritativeServer("site-a", [zone])
+    # Warm the (probe.example.org, TXT) template...
+    server.handle_wire(
+        Message.make_query("m-1-1.probe.example.org.", RRType.TXT, msg_id=1).to_wire()
+    )
+    # ...then create an exact name under the same suffix: it must get
+    # its own answer, not the wildcard template.
+    zone.add("m-1-2.probe.example.org.", RRType.TXT, TXT.from_value("special"), ttl=5)
+    response = Message.from_wire(
+        server.handle_wire(
+            Message.make_query(
+                "m-1-2.probe.example.org.", RRType.TXT, msg_id=2
+            ).to_wire()
+        )
+    )
+    assert response.answers[0].rdata.to_text() == '"special"'
+
+
+def test_zone_mutation_invalidates_template():
+    zone = build_zone()
+    fast = AuthoritativeServer("site-a", [zone])
+    query = Message.make_query("m-3-3.probe.example.org.", RRType.TXT, msg_id=5)
+    before = fast.handle_wire(query.to_wire())
+    assert b"m-site" in before
+    # Change the wildcard answer through add_record (AXFR reload and the
+    # zone-file loader both funnel through it).
+    zone.delete_rrset(Name.from_text("*.probe.example.org."), RRType.TXT)
+    zone.add("*.probe.example.org.", RRType.TXT, TXT.from_value("n-site"), ttl=5)
+    after = fast.handle_wire(query.to_wire())
+    assert b"n-site" in after
+    # And the refreshed answer matches a cold server byte-for-byte.
+    assert after == slow_server(zone).handle_wire(query.to_wire())
+
+
+def test_dynamic_update_invalidates_template():
+    zone = build_zone()
+    server = AuthoritativeServer("site-a", [zone])
+    attach_update_handling(server, UpdatePolicy(allow_any=True))
+    query = Message.make_query("m-4-4.probe.example.org.", RRType.TXT, msg_id=6)
+    server.handle_wire(query.to_wire())
+    update = make_update(
+        "example.org.",
+        deletions=[(Name.from_text("*.probe.example.org."), RRType.TXT)],
+    )
+    rcode = Message.from_wire(server.handle_wire(update.to_wire())).rcode
+    assert rcode == Rcode.NOERROR
+    response = Message.from_wire(server.handle_wire(query.to_wire()))
+    assert response.rcode == Rcode.NOERROR  # NODATA: *.probe still exists
+    assert not response.answers
+
+
+def test_add_zone_clears_templates():
+    server = AuthoritativeServer("site-a", [build_zone()])
+    server.handle_wire(
+        Message.make_query("m-5-5.probe.example.org.", RRType.TXT, msg_id=7).to_wire()
+    )
+    assert server._templates
+    other = Zone("probe.example.org.")
+    other.add(
+        "probe.example.org.",
+        RRType.SOA,
+        SOA(
+            Name.from_text("ns1.example.org."),
+            Name.from_text("admin.example.org."),
+            1, 3600, 900, 86400, 300,
+        ),
+    )
+    other.add("probe.example.org.", RRType.NS, NS(Name.from_text("ns1.example.org.")))
+    server.add_zone(other)
+    assert not server._templates
+    # The more-specific empty zone now owns the name: NXDOMAIN, same as
+    # a server that never cached anything.
+    query = Message.make_query("m-5-5.probe.example.org.", RRType.TXT, msg_id=8)
+    fresh = AuthoritativeServer("site-a", [build_zone()])
+    fresh.add_zone(other)
+    assert server.handle_wire(query.to_wire()) == slow_server_pair(fresh, query)
+
+
+def slow_server_pair(server: AuthoritativeServer, query: Message) -> bytes:
+    server._parse_fast_query = lambda wire: None  # type: ignore[method-assign]
+    return server.handle_wire(query.to_wire())
+
+
+def test_rate_limited_or_telemetry_servers_skip_the_fast_path():
+    from repro.dns.rrl import ResponseRateLimiter
+
+    zone = build_zone()
+    limited = AuthoritativeServer("site-a", [zone], rate_limiter=ResponseRateLimiter())
+    traced = AuthoritativeServer(
+        "site-a", [zone], telemetry=Telemetry.enabled_bundle()
+    )
+    wire = Message.make_query(
+        "m-6-6.probe.example.org.", RRType.TXT, msg_id=9
+    ).to_wire()
+    for server in (limited, traced):
+        server.handle_wire(wire)
+        server.handle_wire(wire)
+        assert not server._templates
+
+
+def test_queries_for_other_suffixes_refused_identically():
+    zone = build_zone()
+    fast = AuthoritativeServer("site-a", [zone])
+    slow = slow_server(zone)
+    wire = Message.make_query("else.where.net.", RRType.A, msg_id=11).to_wire()
+    for _ in range(3):
+        assert fast.handle_wire(wire) == slow.handle_wire(wire)
+    assert fast.stats.refused == slow.stats.refused == 3
