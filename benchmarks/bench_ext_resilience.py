@@ -6,23 +6,23 @@ sweep shows zone availability under a uniform attack as unicast NSes are
 converted to anycast.
 """
 
-import random
-
 from repro.analysis.report import render_table
 from repro.atlas.probes import ProbeGenerator
 from repro.core.planner import sidn_style_designs
 from repro.core.resilience import AttackScenario, ResilienceEvaluator
+from repro.seeding import derive_rng
 
 CLIENTS = 200
 ATTACK_QPS = 2_000_000.0
+SEED = 1
 
 
 def run_sweep():
-    clients = ProbeGenerator(rng=random.Random(3)).generate(CLIENTS)
+    clients = ProbeGenerator(rng=derive_rng(SEED, "resilience.probes")).generate(CLIENTS)
     evaluator = ResilienceEvaluator(
         clients,
         site_capacity_qps=50_000.0,
-        rng=random.Random(4),
+        rng=derive_rng(SEED, "resilience.evaluator"),
     )
     attack = AttackScenario(total_qps=ATTACK_QPS, bot_count=200)
     return evaluator.compare(sidn_style_designs(), attack)

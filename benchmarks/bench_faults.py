@@ -1,0 +1,80 @@
+"""Fault engine: correctness under load and the zero-cost claim.
+
+Two figures go into the bench sidecar:
+
+``faults-ns-outage@…``
+    the 2C campaign with the bundled ``ns-outage`` scenario — the
+    fault-heavy profile, so regressions in the fault-active path show
+    up commit-to-commit.
+``faults-idle@…``
+    the same campaign with a scenario whose windows never open.  The
+    engine's acceptance bar is that an installed-but-idle plan costs
+    nothing measurable: this run must reproduce the plain 2C run's
+    observations exactly (checked here), and its ``experiment.measure``
+    phase rides the same +15% hard gate as the plain run's.
+"""
+
+from repro.core.experiment import ExperimentConfig, TestbedExperiment
+from repro.netsim.faults import NsOutage, Scenario, builtin_scenario
+
+from .conftest import BENCH_PROBES, BENCH_SEED
+
+INTERVAL_S = 120.0
+DURATION_S = 3600.0
+
+
+def _config(scenario):
+    return ExperimentConfig.for_combination(
+        "2C",
+        num_probes=BENCH_PROBES,
+        interval_s=INTERVAL_S,
+        duration_s=DURATION_S,
+        seed=BENCH_SEED,
+        scenario=scenario,
+    )
+
+
+def test_fault_campaign(benchmark, run_cache):
+    scenario = builtin_scenario("ns-outage", DURATION_S)
+    result = benchmark.pedantic(
+        lambda: TestbedExperiment(_config(scenario)).run(), rounds=1, iterations=1
+    )
+    run_cache.put("faults-ns-outage", INTERVAL_S, result)
+
+    # The outage must actually bite: the dead NS loses its share while
+    # the window is open, yet the zone keeps answering.
+    dead = result.addresses[0]
+    outage = next(iter(scenario.events))
+    during = [
+        obs
+        for obs in result.observations
+        if outage.start <= obs.timestamp < outage.end
+    ]
+    assert during
+    assert not any(
+        obs.authoritative == dead for obs in during if obs.succeeded
+    )
+    failed = sum(1 for obs in result.observations if not obs.succeeded)
+    assert failed / len(result.observations) < 0.1
+
+
+def test_idle_plan_is_free(benchmark, run_cache):
+    plain = run_cache.get("2C", INTERVAL_S)
+    idle = Scenario(name="idle", events=(NsOutage("ns1", 1e8, 1e9),))
+    result = benchmark.pedantic(
+        lambda: TestbedExperiment(_config(idle)).run(), rounds=1, iterations=1
+    )
+    run_cache.put("faults-idle", INTERVAL_S, result)
+
+    # Byte-for-byte the plain campaign: the engine may not perturb a
+    # single draw when no fault window is open.
+    assert result.run.observations == plain.run.observations
+    assert result.server_query_counts == plain.server_query_counts
+
+    plain_measure = plain.profile["phases"]["experiment.measure"]["seconds"]
+    idle_measure = result.profile["phases"]["experiment.measure"]["seconds"]
+    print()
+    print(
+        f"experiment.measure: plain {plain_measure:.2f}s, "
+        f"idle-scenario {idle_measure:.2f}s"
+    )

@@ -6,18 +6,17 @@ authoritative, so if some NSes are anycast, all should be.  Includes the
 catchment-quality ablation called out in DESIGN.md.
 """
 
-import random
-
 from repro.analysis.report import render_table
 from repro.atlas.probes import ProbeGenerator
 from repro.core.planner import DeploymentPlanner, SelectionModel, sidn_style_designs
+from repro.seeding import derive_rng
 
 CLIENTS = 400
 SEED = 42
 
 
 def evaluate_designs(suboptimal_rate=0.0):
-    clients = ProbeGenerator(rng=random.Random(SEED)).generate(CLIENTS)
+    clients = ProbeGenerator(rng=derive_rng(SEED, "planner.probes")).generate(CLIENTS)
     planner = DeploymentPlanner(clients)
     return planner.rank(sidn_style_designs(suboptimal_rate=suboptimal_rate))
 
@@ -87,7 +86,7 @@ def test_planner_selection_model_ablation(benchmark):
     from making every NS strong (the §7 argument)."""
 
     def gains():
-        clients = ProbeGenerator(rng=random.Random(SEED)).generate(CLIENTS)
+        clients = ProbeGenerator(rng=derive_rng(SEED, "planner.probes")).generate(CLIENTS)
         designs = sidn_style_designs()
         results = {}
         for share in (0.0, 0.5, 1.0):

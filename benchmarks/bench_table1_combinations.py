@@ -5,8 +5,6 @@ scaled-down vantage-point platform, next to the paper's counts, and
 benchmarks deploying a combination end to end.
 """
 
-import random
-
 from repro.analysis.report import render_table
 from repro.atlas.platform import AtlasPlatform
 from repro.atlas.probes import ProbeGenerator
@@ -14,6 +12,7 @@ from repro.core.combinations import COMBINATIONS
 from repro.core.deployment import Deployment
 from repro.netsim.network import SimNetwork
 from repro.resolvers.population import ResolverPopulation
+from repro.seeding import derive_rng
 
 from .conftest import BENCH_PROBES, BENCH_SEED
 
@@ -22,10 +21,10 @@ def build_platform(sites):
     network = SimNetwork()
     deployment = Deployment.from_sites("ourtestdomain.nl.", sites)
     addresses = deployment.deploy(network)
-    probes = ProbeGenerator(rng=random.Random(BENCH_SEED)).generate(BENCH_PROBES)
+    probes = ProbeGenerator(rng=derive_rng(BENCH_SEED, "table1.probes")).generate(BENCH_PROBES)
     platform = AtlasPlatform(
-        network, probes, ResolverPopulation(rng=random.Random(1)),
-        rng=random.Random(2),
+        network, probes, ResolverPopulation(rng=derive_rng(BENCH_SEED, "table1.population")),
+        rng=derive_rng(BENCH_SEED, "table1.platform"),
     )
     platform.build_vantage_points()
     platform.configure_zone("ourtestdomain.nl.", addresses)

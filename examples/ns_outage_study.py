@@ -1,0 +1,154 @@
+#!/usr/bin/env python3
+"""One weak NS caps the zone (§6, Fig 5) — quantitatively, via faults.
+
+The paper's headline engineering advice is that every NS of a zone must
+be equally strong: recursives spread queries over the whole NS set, so
+the worst authoritative sets the tail latency every operator actually
+ships.  This study makes the argument with a live mid-campaign outage
+instead of a static comparison:
+
+1. run a two-NS zone (unicast FRA + unicast SYD) with the bundled
+   ``ns-outage`` scenario — ns1 goes dark for the middle third of the
+   campaign and then recovers;
+2. track per-window query share: resolvers burn timeouts on the dead
+   NS, abandon it, and the zone survives on ns2 alone (at ns2's RTT);
+3. after recovery, selectors re-probe and ns1 re-earns query share —
+   the zone's latency follows whichever NS set is *currently* healthy.
+
+The same campaign without the scenario is the control.  Success rates
+stay near 100% in both (the retry machinery hides the outage), but the
+answered-query latency during the outage window degrades to the
+surviving NS's RTT profile — exactly the "weakest NS caps the zone"
+effect, here induced and then released within a single run.
+
+Run:  python examples/ns_outage_study.py [--probes N]
+"""
+
+import argparse
+from statistics import median
+
+from repro.analysis import render_table
+from repro.core import ExperimentConfig, TestbedExperiment
+from repro.netsim.faults import ns_outage_scenario
+
+
+def window_stats(observations, begin, end, addresses):
+    """(per-address share, failure rate, median answered RTT) in a window."""
+    window = [obs for obs in observations if begin <= obs.timestamp < end]
+    total = len(window)
+    counts = dict.fromkeys(addresses, 0)
+    failed = 0
+    rtts = []
+    for obs in window:
+        if obs.succeeded:
+            if obs.authoritative in counts:
+                counts[obs.authoritative] += 1
+            rtts.append(obs.rtt_ms)
+        else:
+            failed += 1
+    shares = {
+        address: (counts[address] / total if total else 0.0)
+        for address in addresses
+    }
+    failure = failed / total if total else 0.0
+    return shares, failure, (median(rtts) if rtts else float("nan"))
+
+
+def run(args, scenario):
+    config = ExperimentConfig.for_combination(
+        "2C",
+        num_probes=args.probes,
+        interval_s=args.interval_s,
+        duration_s=args.duration_s,
+        seed=args.seed,
+        scenario=scenario,
+    )
+    experiment = TestbedExperiment(config)
+    result = experiment.run()
+    return config, result
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--probes", type=int, default=150)
+    parser.add_argument("--interval-s", type=float, default=60.0)
+    parser.add_argument("--duration-s", type=float, default=1800.0)
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args()
+
+    scenario = ns_outage_scenario(args.duration_s)
+    outage = next(iter(scenario.events))
+
+    baseline_config, baseline = run(args, None)
+    _, faulted = run(args, scenario)
+    addresses = baseline.addresses
+    names = {
+        address: spec.name
+        for spec, address in zip(baseline_config.authoritatives, addresses)
+    }
+
+    windows = [
+        ("before", 0.0, outage.start),
+        ("outage", outage.start, outage.end),
+        ("after", outage.end, args.duration_s),
+    ]
+    rows = []
+    for label, begin, end in windows:
+        for run_label, result in (("control", baseline), ("outage", faulted)):
+            shares, failure, rtt = window_stats(
+                result.observations, begin, end, addresses
+            )
+            rows.append(
+                [
+                    label,
+                    run_label,
+                    *(f"{shares[address]:6.1%}" for address in addresses),
+                    f"{failure:6.1%}",
+                    f"{rtt:7.1f}",
+                ]
+            )
+    print(
+        render_table(
+            ["window", "run"]
+            + [f"{names[a]} share" for a in addresses]
+            + ["SERVFAIL", "med RTT ms"],
+            rows,
+            title=(
+                f"ns1 dark [{outage.start:g}s, {outage.end:g}s) of "
+                f"{args.duration_s:g}s — share, failures, answered latency"
+            ),
+        )
+    )
+
+    # The quantitative claims, asserted so the study is self-checking.
+    dead = addresses[0]
+    share_before, _, rtt_before = window_stats(
+        faulted.observations, 0.0, outage.start, addresses
+    )
+    share_during, failure_during, rtt_during = window_stats(
+        faulted.observations, outage.start, outage.end, addresses
+    )
+    share_after, _, _ = window_stats(
+        faulted.observations, outage.end, args.duration_s, addresses
+    )
+    assert share_before[dead] > 0.2, "ns1 should carry real share when healthy"
+    assert share_during[dead] < 0.05, "queries must abandon the dead NS"
+    assert share_after[dead] > 0.05, "recovered NS must re-earn query share"
+    assert failure_during < 0.25, "the NS *set* must keep the zone alive"
+
+    print()
+    print(
+        f"during the outage ns1's share collapses "
+        f"{share_before[dead]:.0%} -> {share_during[dead]:.0%} while the "
+        f"zone keeps answering ({1 - failure_during:.1%} success), and "
+        f"after recovery ns1 re-earns {share_after[dead]:.0%}."
+    )
+    print(
+        f"the price is latency: answered queries go from "
+        f"{rtt_before:.0f} ms median to {rtt_during:.0f} ms while only the "
+        f"far NS survives — the weakest NS caps the zone."
+    )
+
+
+if __name__ == "__main__":
+    main()

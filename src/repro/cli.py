@@ -133,6 +133,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         duration_s=args.duration * 60.0,
         seed=args.seed,
         ipv6=args.ipv6,
+        scenario=args.scenario,
     )
     io.status(
         f"running {args.combo} ({', '.join(COMBINATIONS[args.combo].sites)}): "
@@ -193,6 +194,153 @@ def _print_analyses(io: CliWriter, observations, sites, combo_id, ticks: int = 3
     io.emit(
         render_table2(
             {combo_id: table2_rows(observations, sites, min_queries=min_queries)}
+        )
+    )
+
+
+def _cmd_faults_list(args: argparse.Namespace) -> int:
+    from .netsim.faults import BUILTIN_SCENARIOS, builtin_scenario
+
+    rows = [
+        [name, description]
+        for name, (_, description) in sorted(BUILTIN_SCENARIOS.items())
+    ]
+    args.io.emit(
+        render_table(["scenario", "description"], rows, title="Bundled fault scenarios")
+    )
+    if args.duration:
+        duration_s = args.duration * 60.0
+        for name in sorted(BUILTIN_SCENARIOS):
+            scenario = builtin_scenario(name, duration_s)
+            args.io.emit()
+            args.io.emit(f"{name} @ {args.duration:g} min:")
+            for event in scenario.events:
+                knobs = "".join(
+                    f" {key}={value}" for key, value in event.params().items()
+                )
+                args.io.emit(
+                    f"  {event.kind:<16} {event.target:<6} "
+                    f"[{event.start:g}s, {event.end:g}s){knobs}"
+                )
+    return 0
+
+
+def _cmd_faults_run(args: argparse.Namespace) -> int:
+    io = args.io
+    duration_s = args.duration * 60.0
+    from .netsim.faults import FaultPlan, ScenarioError, resolve_scenario
+
+    try:
+        scenario = resolve_scenario(args.scenario, duration_s)
+    except ScenarioError as exc:
+        io.status(f"error: {exc}")
+        return 2
+    config = ExperimentConfig.for_combination(
+        args.combo,
+        num_probes=args.probes,
+        interval_s=args.interval * 60.0,
+        duration_s=duration_s,
+        seed=args.seed,
+        scenario=scenario,
+    )
+    io.status(
+        f"running {args.combo} under scenario {scenario.name!r} "
+        f"({len(scenario.events)} fault event(s)): {args.probes} probes, "
+        f"every {args.interval:g} min for {args.duration:g} min"
+    )
+    telemetry = None
+    if args.events:
+        from .telemetry import Telemetry
+
+        telemetry = Telemetry.enabled_bundle(event_log=args.events)
+    if args.workers > 1 or args.shards:
+        from .core import run_parallel
+
+        result = run_parallel(
+            config,
+            workers=args.workers,
+            shards=args.shards or None,
+            telemetry=telemetry,
+        )
+        io.status(
+            f"merged {result.shards} shards from {result.workers} worker(s)"
+        )
+    else:
+        result = TestbedExperiment(config, telemetry=telemetry).run()
+    if args.events:
+        telemetry.events.close()
+        io.status(f"wrote event log to {args.events}")
+    if args.out:
+        written = save_run(result.run, args.out)
+        io.status(f"wrote {written} observations to {args.out}")
+    if args.export:
+        scenario.save(args.export)
+        io.status(f"wrote scenario file to {args.export}")
+
+    # Rebuild the plan purely for reporting: the resolved timeline and
+    # the fault-windowed query shares (the seed never matters here).
+    ns_of_address = {
+        address: spec.name
+        for spec, address in zip(config.authoritatives, result.addresses)
+    }
+    plan = FaultPlan(
+        scenario,
+        seed=0,
+        addresses={name: addr for addr, name in ns_of_address.items()},
+    )
+    io.emit("fault timeline:")
+    for at, name, data in plan.transitions():
+        knobs = "".join(
+            f" {key}={value}"
+            for key, value in data.items()
+            if key not in ("fault", "address", "target")
+        )
+        io.emit(
+            f"  {at:9.1f}s  {name:<11} {data['fault']:<16} "
+            f"{data['target']} ({data['address']}){knobs}"
+        )
+    _print_fault_windows(io, result.observations, ns_of_address, plan, duration_s)
+    return 0
+
+
+def _print_fault_windows(
+    io: CliWriter, observations, ns_of_address: dict, plan, duration_s: float
+) -> None:
+    """Query share per NS inside each window between fault transitions."""
+    boundaries = sorted(
+        {0.0, duration_s}
+        | {at for at, _, _ in plan.transitions() if 0.0 < at < duration_s}
+    )
+    windows = list(zip(boundaries, boundaries[1:]))
+    addresses = sorted(ns_of_address)
+    rows = []
+    for begin, end in windows:
+        window = [
+            obs for obs in observations if begin <= obs.timestamp < end
+        ]
+        total = len(window)
+        counts = {address: 0 for address in addresses}
+        failed = 0
+        for obs in window:
+            if obs.succeeded and obs.authoritative in counts:
+                counts[obs.authoritative] += 1
+            elif not obs.succeeded:
+                failed += 1
+        def share(count):
+            return f"{100.0 * count / total:5.1f}%" if total else "-"
+        rows.append(
+            [f"{begin:g}-{end:g}s", str(total)]
+            + [share(counts[address]) for address in addresses]
+            + [share(failed)]
+        )
+    io.emit()
+    io.emit(
+        render_table(
+            ["window", "queries"]
+            + [f"{ns_of_address[a]} ({a})" for a in addresses]
+            + ["SERVFAIL"],
+            rows,
+            title="query share per fault window",
         )
     )
 
@@ -591,6 +739,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--events", metavar="FILE",
         help="stream a telemetry event log (JSONL) to FILE",
     )
+    run_parser.add_argument(
+        "--scenario", default=None, metavar="NAME|FILE",
+        help="inject a fault timeline: a bundled scenario name "
+        "(see 'faults list') or a scenario JSON file",
+    )
     run_parser.set_defaults(func=_cmd_run)
 
     analyze_parser = sub.add_parser("analyze", help="analyze a saved run")
@@ -735,6 +888,56 @@ def build_parser() -> argparse.ArgumentParser:
     plan_parser.add_argument("--latency-share", type=float, default=0.5)
     plan_parser.add_argument("--seed", type=int, default=0)
     plan_parser.set_defaults(func=_cmd_plan)
+
+    faults_parser = sub.add_parser(
+        "faults", help="deterministic fault scenarios (list, run)"
+    )
+    faults_sub = faults_parser.add_subparsers(dest="faults_command", required=True)
+
+    faults_list = faults_sub.add_parser(
+        "list", help="list the bundled fault scenarios"
+    )
+    faults_list.add_argument(
+        "--duration", type=float, default=0.0, metavar="MIN",
+        help="also expand each scenario's event timeline for a "
+        "campaign of MIN minutes",
+    )
+    faults_list.set_defaults(func=_cmd_faults_list)
+
+    faults_run = faults_sub.add_parser(
+        "run", help="run a combination under a fault scenario"
+    )
+    faults_run.add_argument(
+        "--scenario", default="ns-outage", metavar="NAME|FILE",
+        help="bundled scenario name or scenario JSON file "
+        "(default: ns-outage)",
+    )
+    faults_run.add_argument("--combo", default="2C", choices=sorted(COMBINATIONS))
+    faults_run.add_argument("--probes", type=int, default=300)
+    faults_run.add_argument("--interval", type=float, default=2.0, help="minutes")
+    faults_run.add_argument("--duration", type=float, default=60.0, help="minutes")
+    faults_run.add_argument("--seed", type=int, default=0)
+    faults_run.add_argument(
+        "--workers", type=int, default=1,
+        help="shard the probe population over N processes; merged "
+        "output is identical for any N (default: 1, in-process)",
+    )
+    faults_run.add_argument(
+        "--shards", type=int, default=0,
+        help="shard count when it should differ from --workers "
+        "(0 = one shard per worker); forces the sharded engine even "
+        "with --workers 1",
+    )
+    faults_run.add_argument("--out", help="save observations as JSONL")
+    faults_run.add_argument(
+        "--events", metavar="FILE",
+        help="stream a telemetry event log (JSONL) to FILE",
+    )
+    faults_run.add_argument(
+        "--export", metavar="FILE",
+        help="save the resolved scenario as a scenario JSON file",
+    )
+    faults_run.set_defaults(func=_cmd_faults_run)
 
     return parser
 

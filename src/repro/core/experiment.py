@@ -38,6 +38,9 @@ class ExperimentConfig:
     #: §3.1 IPv6 variant: deploy v6-only authoritatives and measure from
     #: the IPv6-capable subset of the probes.
     ipv6: bool = False
+    #: fault timeline for the run: a :class:`~repro.netsim.faults.Scenario`,
+    #: a bundled scenario name, or a scenario file path (None = no faults).
+    scenario: object | None = None
 
     @classmethod
     def for_combination(cls, combo_id: str, **overrides) -> "ExperimentConfig":
@@ -108,12 +111,26 @@ class TestbedExperiment:
         )
         self.probe_seed = derive(seed, "probes")
         self.platform_seed = derive(seed, "platform")
+        self.fault_seed = derive(seed, "faults")
+        #: the compiled fault plan, set by :meth:`run` when a scenario
+        #: is configured (None before the run or without one)
+        self.fault_plan = None
         #: pre-generated probe subset (shard workers); None = generate all
         self._probes = probes
+
+    def _fault_scenario(self):
+        """The run's Scenario, resolving names/paths against the duration."""
+        scenario = self.config.scenario
+        if scenario is None or not isinstance(scenario, str):
+            return scenario
+        from ..netsim.faults import resolve_scenario
+
+        return resolve_scenario(scenario, self.config.duration_s)
 
     def run(self) -> ExperimentResult:
         profiler = self.profiler
         events = self.telemetry.events
+        scenario = self._fault_scenario()
         if events.enabled:
             from ..telemetry import RunMeta
 
@@ -125,10 +142,33 @@ class TestbedExperiment:
                 "duration_s": self.config.duration_s,
                 "seed": self.config.seed,
                 "ipv6": self.config.ipv6,
+                "scenario": scenario.name if scenario is not None else None,
             }))
         base = "2001:db8:53" if self.config.ipv6 else "10.0"
         with profiler.phase("experiment.deploy"):
             addresses = self.deployment.deploy(self.network, base_address=base)
+        if scenario is not None:
+            from ..netsim.faults import FaultPlan
+
+            self.fault_plan = FaultPlan(
+                scenario,
+                seed=self.fault_seed,
+                addresses={
+                    spec.name: address
+                    for spec, address in zip(
+                        self.config.authoritatives, addresses
+                    )
+                },
+            )
+            self.network.faults = self.fault_plan
+            if events.enabled:
+                # The timeline is data, known a priori: emitting the
+                # transitions here (not when exchanges observe them)
+                # keeps the merged parallel log byte-identical.
+                from ..telemetry import Note
+
+                for at, name, data in self.fault_plan.transitions():
+                    events.emit(Note(name=name, data=data, at=at))
         with profiler.phase("experiment.probes"):
             if self._probes is not None:
                 probes = list(self._probes)

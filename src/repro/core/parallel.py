@@ -304,10 +304,10 @@ def _write_merged_log(
 ) -> None:
     """Append the canonical merged event stream to the caller's sink.
 
-    Canonical order mirrors a serial run: run_meta, measure.start,
-    traces (normalized), measure.end, final metrics snapshot.  Profile
-    events are deliberately absent — wall-clock phases differ between
-    runs and would break byte-identity.
+    Canonical order mirrors a serial run: run_meta, fault timeline,
+    measure.start, traces (normalized), measure.end, final metrics
+    snapshot.  Profile events are deliberately absent — wall-clock
+    phases differ between runs and would break byte-identity.
     """
     shard_records = [result["records"] for result in shard_results]
     run_meta = next(
@@ -321,6 +321,26 @@ def _write_merged_log(
     )
     if run_meta is not None:
         sink.emit(RunMeta(run=run_meta["run"], at=run_meta.get("at")))
+    # Fault transitions are derived from the scenario, so every shard
+    # emitted the identical sequence: take the first shard's copy and
+    # re-emit it fresh (dropping the in-flight shard tag).
+    for records in shard_records:
+        fault_notes = [
+            record
+            for record in records
+            if record.get("kind") == "note"
+            and str(record.get("name", "")).startswith("fault.")
+        ]
+        if fault_notes:
+            for record in fault_notes:
+                sink.emit(
+                    Note(
+                        name=record["name"],
+                        data=record["data"],
+                        at=record.get("at"),
+                    )
+                )
+            break
     start = _merged_note(shard_records, "measure.start")
     if start is not None:
         sink.emit(start)

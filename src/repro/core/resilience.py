@@ -213,6 +213,58 @@ class ResilienceEvaluator:
             site_loads=list(loads.values()),
         )
 
+    def fault_scenario(
+        self,
+        specs: list[AuthoritativeSpec],
+        attack: AttackScenario,
+        start: float,
+        end: float,
+        name: str = "attack-brownout",
+    ):
+        """The attack as a runnable fault timeline for the simulator.
+
+        The capacity model is static: it says *how much* each NS can
+        still answer under the attack, not what resolvers then do about
+        it.  This bridge turns each overloaded NS's aggregate answer
+        rate into a :class:`~repro.netsim.faults.Brownout` over
+        [start, end), so the same attack can be replayed as a live
+        mid-campaign event against the real retry/selector machinery.
+        """
+        from ..netsim.faults import Brownout, Scenario
+
+        groups = [self._group_for(spec, i) for i, spec in enumerate(specs)]
+        loads = self._site_loads(specs, groups, attack)
+        events = []
+        for index, spec in enumerate(specs):
+            offered = sum(
+                load.offered_qps
+                for (ns_index, _), load in loads.items()
+                if ns_index == index
+            )
+            answered = sum(
+                min(load.offered_qps, load.capacity_qps)
+                for (ns_index, _), load in loads.items()
+                if ns_index == index
+            )
+            if offered <= 0.0 or answered >= offered:
+                continue
+            events.append(
+                Brownout(
+                    target=spec.name,
+                    start=start,
+                    end=end,
+                    answer_rate=answered / offered,
+                )
+            )
+        return Scenario(
+            name=name,
+            description=(
+                f"{attack.total_qps:g} qps attack replayed as per-NS "
+                "brownouts from the capacity model"
+            ),
+            events=tuple(events),
+        )
+
     def compare(
         self,
         designs: dict[str, list[AuthoritativeSpec]],

@@ -461,6 +461,10 @@ class ResponseDecodeMemo:
     ) -> tuple | None:
         """Certify a template entry via a canary decode, or return None."""
         labels = qname.labels
+        if first_len == 0:
+            # Root query name: there is no first label to vary, so the
+            # canary cannot certify anything.  Fall back forever.
+            return None
         canary_label = b"z" * first_len
         if canary_label == labels[0]:
             canary_label = b"y" * first_len

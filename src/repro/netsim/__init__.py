@@ -14,29 +14,59 @@ from .geo import (
     cities_by_continent,
     great_circle_km,
 )
+from .faults import (
+    BUILTIN_SCENARIOS,
+    ActiveFaults,
+    Brownout,
+    FaultEvent,
+    FaultPlan,
+    LatencySpike,
+    LossRate,
+    NsOutage,
+    Scenario,
+    ScenarioError,
+    SiteWithdrawal,
+    builtin_scenario,
+    load_scenario,
+    resolve_scenario,
+)
 from .latency import FIBER_KM_PER_SECOND, LatencyModel, LatencyParameters
 from .network import DeliveryError, RoundTrip, SimNetwork, UnicastHost
 
 __all__ = [
     "ATLAS_CONTINENT_WEIGHTS",
+    "ActiveFaults",
     "AnycastGroup",
     "AnycastSite",
+    "BUILTIN_SCENARIOS",
+    "Brownout",
     "Continent",
     "DATACENTERS",
     "DeliveryError",
     "EventScheduler",
+    "FaultEvent",
+    "FaultPlan",
     "FIBER_KM_PER_SECOND",
     "GeoPoint",
     "Ipv4Allocator",
     "Ipv6Allocator",
     "LatencyModel",
     "LatencyParameters",
+    "LatencySpike",
     "Location",
+    "LossRate",
+    "NsOutage",
     "PROBE_CITIES",
     "RoundTrip",
+    "Scenario",
+    "ScenarioError",
     "SimClock",
     "SimNetwork",
+    "SiteWithdrawal",
     "UnicastHost",
+    "builtin_scenario",
     "cities_by_continent",
     "great_circle_km",
+    "load_scenario",
+    "resolve_scenario",
 ]

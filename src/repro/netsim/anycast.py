@@ -50,12 +50,22 @@ class AnycastGroup:
         client_location: Location,
         client_key: str,
         latency: LatencyModel,
+        exclude: frozenset | None = None,
     ) -> AnycastSite:
-        """The site this client's packets reach, stable per client."""
-        if not self.sites:
+        """The site this client's packets reach, stable per client.
+
+        ``exclude`` removes withdrawn sites from the announcement before
+        ranking — the BGP view after a site stops announcing — so the
+        client's catchment spills to its next-nearest remaining site
+        while the stable per-client draw is preserved.
+        """
+        sites = self.sites
+        if exclude:
+            sites = [site for site in sites if site.code not in exclude]
+        if not sites:
             raise ValueError(f"anycast group {self.address} has no sites")
         ranked = sorted(
-            self.sites,
+            sites,
             key=lambda site: latency.base_rtt_ms(
                 client_location.point, site.location.point
             ),

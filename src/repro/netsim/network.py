@@ -76,6 +76,9 @@ class SimNetwork:
         self.latency = latency if latency is not None else LatencyModel()
         self.clock = clock if clock is not None else SimClock()
         self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        #: optional :class:`~repro.netsim.faults.FaultPlan`; when None the
+        #: fault engine costs one attribute check per round trip.
+        self.faults = None
         self._unicast: dict[str, UnicastHost] = {}
         self._anycast: dict[str, AnycastGroup] = {}
         # The path-diversity multiplier is a pure hash of the pair (and
@@ -121,15 +124,29 @@ class SimNetwork:
     # -- routing ------------------------------------------------------------
 
     def route(
-        self, client_location: Location, client_key: str, address: str
+        self,
+        client_location: Location,
+        client_key: str,
+        address: str,
+        exclude_sites: frozenset | None = None,
     ) -> tuple[Location, DatagramHandler, str]:
-        """Resolve a destination address to (site location, handler, code)."""
+        """Resolve a destination address to (site location, handler, code).
+
+        ``exclude_sites`` holds anycast site codes currently withdrawn
+        by a fault plan; a fully withdrawn group is unreachable.
+        """
         host = self._unicast.get(address)
         if host is not None:
             return host.location, host.handler, host.location.code
         group = self._anycast.get(address)
         if group is not None:
-            site = group.catchment(client_location, client_key, self.latency)
+            if exclude_sites and all(
+                site.code in exclude_sites for site in group.sites
+            ):
+                raise DeliveryError(f"all sites of {address} withdrawn")
+            site = group.catchment(
+                client_location, client_key, self.latency, exclude=exclude_sites
+            )
             return site.location, site.handler, site.code
         raise DeliveryError(f"no host at {address}")
 
@@ -146,19 +163,49 @@ class SimNetwork:
 
         Loss applies to the whole round trip; the caller decides whether
         and when to retry (resolvers time out and retry or move on).
+
+        When a fault plan is installed its state at the current virtual
+        time degrades the exchange: an outage (or fully withdrawn
+        anycast group) goes unanswered, extra loss and brownout drops
+        draw from the plan's per-(client, destination) seeded streams,
+        and latency spikes inflate the sampled RTT — all pure functions
+        of (destination, virtual now) plus layout-invariant streams, so
+        sharded runs reproduce the serial byte stream exactly.
         """
         telemetry = self.telemetry
+        faults = self.faults
+        if faults is not None:
+            active = faults.active(dst_address, self.clock.now)
+        else:
+            active = None
         if not telemetry.enabled:
+            if active is not None and active.outage:
+                return RoundTrip(response=None, rtt_ms=None, lost=True, served_by="")
             site_location, handler, code = self.route(
-                client_location, client_address, dst_address
+                client_location, client_address, dst_address,
+                exclude_sites=active.withdrawn if active is not None else None,
             )
             lost, rtt_ms = self.latency.sample_exchange(
                 client_address, dst_address,
                 client_location.point, site_location.point,
             )
+            if active is not None:
+                # Draw-count depends only on which faults are active —
+                # a pure function of (dst, now) — never on outcomes, so
+                # the pair stream advances identically in every layout.
+                if active.loss_rate > 0.0:
+                    stream = faults.pair_rng(client_address, dst_address)
+                    if stream.random() < active.loss_rate:
+                        lost = True
+                if active.answer_rate < 1.0:
+                    stream = faults.pair_rng(client_address, dst_address)
+                    if stream.random() >= active.answer_rate:
+                        lost = True
             if lost:
                 return RoundTrip(response=None, rtt_ms=None, lost=True, served_by="")
             rtt_ms *= self._pair_multiplier(client_address, dst_address)
+            if active is not None:
+                rtt_ms = rtt_ms * active.latency_multiplier + active.latency_extra_ms
             response = handler(payload, client_address, self.clock.now)
             return RoundTrip(
                 response=response, rtt_ms=rtt_ms, lost=False, served_by=code
@@ -171,8 +218,18 @@ class SimNetwork:
             "net.round_trip", at=now, client=client_address, dst=dst_address
         )
         try:
+            if active is not None and active.outage:
+                span.set(lost=True, fault="ns_outage")
+                span.event("fault_outage", at=now)
+                registry.counter(
+                    "sim_fault_drops_total",
+                    "round trips dropped by an injected fault",
+                    ("dst", "fault"),
+                ).labels(dst=dst_address, fault="ns_outage").inc()
+                return RoundTrip(response=None, rtt_ms=None, lost=True, served_by="")
             site_location, handler, code = self.route(
-                client_location, client_address, dst_address
+                client_location, client_address, dst_address,
+                exclude_sites=active.withdrawn if active is not None else None,
             )
             span.set(site=code)
             if dst_address in self._anycast:
@@ -181,16 +238,43 @@ class SimNetwork:
                 client_address, dst_address,
                 client_location.point, site_location.point,
             )
+            fault_drop = None
+            if active is not None:
+                # Same draw discipline as the untraced branch: one draw
+                # per active probabilistic fault, outcomes notwithstanding.
+                if active.loss_rate > 0.0:
+                    stream = self.faults.pair_rng(client_address, dst_address)
+                    if stream.random() < active.loss_rate:
+                        lost = True
+                        fault_drop = "loss"
+                if active.answer_rate < 1.0:
+                    stream = self.faults.pair_rng(client_address, dst_address)
+                    if stream.random() >= active.answer_rate:
+                        lost = True
+                        fault_drop = fault_drop or "brownout"
             if lost:
                 span.set(lost=True)
                 span.event("loss", at=now)
-                registry.counter(
-                    "sim_lost_total",
-                    "round trips lost in the simulated network",
-                    ("dst",),
-                ).labels(dst=dst_address).inc()
+                if fault_drop is not None:
+                    span.set(fault=fault_drop)
+                    registry.counter(
+                        "sim_fault_drops_total",
+                        "round trips dropped by an injected fault",
+                        ("dst", "fault"),
+                    ).labels(dst=dst_address, fault=fault_drop).inc()
+                else:
+                    registry.counter(
+                        "sim_lost_total",
+                        "round trips lost in the simulated network",
+                        ("dst",),
+                    ).labels(dst=dst_address).inc()
                 return RoundTrip(response=None, rtt_ms=None, lost=True, served_by="")
             rtt_ms *= self._pair_multiplier(client_address, dst_address)
+            if active is not None and (
+                active.latency_multiplier != 1.0 or active.latency_extra_ms != 0.0
+            ):
+                rtt_ms = rtt_ms * active.latency_multiplier + active.latency_extra_ms
+                span.set(fault="latency")
             span.set(lost=False, rtt_ms=round(rtt_ms, 3))
             span.event("rtt_draw", at=now, rtt_ms=round(rtt_ms, 3))
             registry.counter(

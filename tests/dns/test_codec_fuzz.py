@@ -1,0 +1,264 @@
+"""Seeded round-trip fuzz for the wire codec, fast path and slow path.
+
+Random messages — names brushing the 63-byte label and 255-byte name
+limits, EDNS on and off, every implemented rdata type plus the generic
+fallback — must survive decode↔encode byte-identically through both
+decoders: the plain :meth:`Message.from_wire` slow path and the
+canary-certified :class:`ResponseDecodeMemo` template fast path.  The
+fuzz is seeded, so a failure is a reproducible bug report, not a flake.
+"""
+
+import random
+
+from repro.dns.message import Message, Question, ResponseDecodeMemo
+from repro.dns.name import MAX_LABEL_LENGTH, MAX_NAME_LENGTH, Name
+from repro.dns.rdata import (
+    AAAA,
+    CAA,
+    CNAME,
+    MX,
+    NS,
+    PTR,
+    SOA,
+    SRV,
+    TXT,
+    A,
+    GenericRdata,
+)
+from repro.dns.records import ResourceRecord
+from repro.dns.types import FLAG_AA, FLAG_QR, FLAG_RD, Rcode, RRClass, RRType
+
+SEED = 20170412
+ALPHABET = b"abcdefghijklmnopqrstuvwxyz0123456789-"
+
+
+def _label(rng: random.Random, length: int) -> bytes:
+    return bytes(rng.choice(ALPHABET) for _ in range(length))
+
+
+def _random_name(rng: random.Random, suffixes: list[Name]) -> Name:
+    """Names biased toward the wire-format limits.
+
+    A third of draws stack maximum-length labels until the 255-byte
+    name limit stops them; the rest take ordinary shapes, often rooted
+    in a shared suffix so compression pointers appear.
+    """
+    kind = rng.random()
+    if kind < 0.33:
+        name = Name(())
+        while True:
+            remaining = MAX_NAME_LENGTH - name.wire_length()
+            # one length byte + label must fit, leaving the root byte
+            if remaining < 3:
+                break
+            length = min(MAX_LABEL_LENGTH, remaining - 1, rng.randint(40, 63))
+            name = name.child(_label(rng, length))
+            if rng.random() < 0.2:
+                break
+        return name
+    base = rng.choice(suffixes) if rng.random() < 0.6 else Name(())
+    name = base
+    for _ in range(rng.randint(0, 3)):
+        label = _label(rng, rng.randint(1, 12))
+        if name.wire_length() + len(label) + 1 > MAX_NAME_LENGTH:
+            break
+        name = name.child(label)
+    return name
+
+
+def _random_rdata(rng: random.Random, suffixes: list[Name]):
+    """One of every implemented rdata type, plus the generic fallback."""
+    choice = rng.randrange(11)
+    if choice == 0:
+        return RRType.A, A(f"192.0.2.{rng.randrange(256)}")
+    if choice == 1:
+        return RRType.AAAA, AAAA(f"2001:db8::{rng.randrange(1, 0xFFFF):x}")
+    if choice == 2:
+        lengths = rng.choice(([0], [255], [255, 255], [1, 40]))
+        return RRType.TXT, TXT(
+            tuple(_label(rng, n) if n else b"" for n in lengths)
+        )
+    if choice == 3:
+        return RRType.NS, NS(_random_name(rng, suffixes))
+    if choice == 4:
+        return RRType.CNAME, CNAME(_random_name(rng, suffixes))
+    if choice == 5:
+        return RRType.PTR, PTR(_random_name(rng, suffixes))
+    if choice == 6:
+        return RRType.MX, MX(rng.randrange(1 << 16), _random_name(rng, suffixes))
+    if choice == 7:
+        return RRType.SOA, SOA(
+            _random_name(rng, suffixes),
+            _random_name(rng, suffixes),
+            rng.randrange(1 << 32),
+            rng.randrange(1 << 31),
+            900,
+            86400,
+            300,
+        )
+    if choice == 8:
+        return RRType.SRV, SRV(
+            rng.randrange(1 << 16),
+            rng.randrange(1 << 16),
+            rng.randrange(1 << 16),
+            _random_name(rng, suffixes),
+        )
+    if choice == 9:
+        return RRType.CAA, CAA(
+            rng.choice([0, 128]),
+            rng.choice(["issue", "iodef", "issuewild"]),
+            f"ca{rng.randrange(100)}.example",
+        )
+    # A type with no dedicated implementation: raw rdata round-trips
+    # through GenericRdata.  The codec represents unknown type codes as
+    # bare ints (see records.ResourceRecord.from_wire), so we do too.
+    unknown_type = rng.choice([99, 999, 65280])
+    return unknown_type, GenericRdata(
+        unknown_type, bytes(rng.randrange(256) for _ in range(rng.randint(0, 24)))
+    )
+
+
+def _suffix_pool(rng: random.Random) -> list[Name]:
+    deep = Name(())
+    for _ in range(3):
+        deep = deep.child(_label(rng, MAX_LABEL_LENGTH))
+    return [
+        Name.from_text("example.org."),
+        Name.from_text("probe.example.org."),
+        deep,  # 3×63-byte labels: children sit right at the name limit
+    ]
+
+
+def _random_message(rng: random.Random) -> Message:
+    suffixes = _suffix_pool(rng)
+    message = Message(
+        msg_id=rng.randrange(1 << 16),
+        flags=rng.choice([0, FLAG_QR, FLAG_QR | FLAG_AA, FLAG_RD, FLAG_QR | FLAG_RD]),
+        rcode=rng.choice([Rcode.NOERROR, Rcode.NXDOMAIN, Rcode.REFUSED]),
+    )
+    for _ in range(rng.randint(1, 2)):
+        message.questions.append(
+            Question(
+                _random_name(rng, suffixes),
+                rng.choice([RRType.TXT, RRType.A, RRType.AAAA]),
+                RRClass.IN,
+            )
+        )
+    for section in (message.answers, message.authorities, message.additionals):
+        for _ in range(rng.randint(0, 3)):
+            rrtype, rdata = _random_rdata(rng, suffixes)
+            section.append(
+                ResourceRecord(
+                    _random_name(rng, suffixes),
+                    rrtype,
+                    RRClass.IN,
+                    rng.randrange(1 << 31),
+                    rdata,
+                )
+            )
+    if rng.random() < 0.5:  # EDNS on/off
+        message.use_edns(rng.choice([512, 1232, 4096]))
+        if rng.random() < 0.4:
+            message.edns_options.append((Message.EDNS_NSID, b""))
+        if rng.random() < 0.3:
+            message.edns_options.append(
+                (10, bytes(rng.randrange(256) for _ in range(8)))
+            )
+    return message
+
+
+def test_slow_path_round_trip_is_byte_identical():
+    rng = random.Random(SEED)
+    for _ in range(250):
+        original = _random_message(rng)
+        wire = original.to_wire()
+        decoded = Message.from_wire(wire)
+        assert decoded.to_wire() == wire
+
+
+def test_double_round_trip_reaches_fixpoint():
+    # decode(encode(decode(w))) == decode(w): nothing drifts on re-entry.
+    rng = random.Random(SEED + 1)
+    for _ in range(100):
+        wire = _random_message(rng).to_wire()
+        once = Message.from_wire(wire)
+        twice = Message.from_wire(once.to_wire())
+        assert twice.to_wire() == once.to_wire()
+
+
+def _response_for(qname: Name, msg_id: int, edns: bool) -> Message:
+    """A template-shaped response: echoes ``qname``, answers with TXT."""
+    message = Message(msg_id=msg_id, flags=FLAG_QR | FLAG_AA)
+    message.questions.append(Question(qname, RRType.TXT, RRClass.IN))
+    message.answers.append(
+        ResourceRecord(
+            qname, RRType.TXT, RRClass.IN, 60, TXT.from_value("served@FRA")
+        )
+    )
+    message.authorities.append(
+        ResourceRecord(
+            Name.from_text("probe.example.org."),
+            RRType.NS,
+            RRClass.IN,
+            3600,
+            NS(Name.from_text("ns1.example.org.")),
+        )
+    )
+    if edns:
+        message.use_edns(1232)
+    return message
+
+
+def test_memo_fast_path_matches_slow_path():
+    """The template decode must be byte-equivalent to a full decode.
+
+    One memo sees a stream of responses that differ only in msg-id and
+    the unique first label (the response-template shape): the first
+    decode builds the certified skeleton, later ones exercise the
+    template swap — every one must re-encode to the identical wire.
+    """
+    rng = random.Random(SEED + 2)
+    for edns in (False, True):
+        memo = ResponseDecodeMemo()
+        for index in range(60):
+            label = _label(rng, rng.choice([1, 8, MAX_LABEL_LENGTH]))
+            qname = Name.from_text("probe.example.org.").child(label)
+            wire = _response_for(qname, rng.randrange(1 << 16), edns).to_wire()
+            via_memo = memo.decode(wire, qname)
+            via_slow = Message.from_wire(wire)
+            assert via_memo.to_wire() == wire
+            assert via_memo.to_wire() == via_slow.to_wire()
+            assert via_memo.answers[0].rdata == via_slow.answers[0].rdata
+
+
+def test_memo_on_arbitrary_wires_never_diverges():
+    """Even non-template shapes must decode identically through the memo.
+
+    Random messages whose first question happens to match the claimed
+    qname take the keyed path (certified or rejected by the canary);
+    everything else falls back.  Both routes must agree with from_wire.
+    """
+    rng = random.Random(SEED + 3)
+    memo = ResponseDecodeMemo()
+    for _ in range(150):
+        message = _random_message(rng)
+        wire = message.to_wire()
+        qname = message.questions[0].name
+        via_memo = memo.decode(wire, qname)
+        assert via_memo.to_wire() == Message.from_wire(wire).to_wire()
+
+
+def test_memo_repeated_shape_stays_certified():
+    # Same shape replayed many times: hits must stay byte-faithful
+    # (catches skeleton corruption from aliased mutable state).
+    rng = random.Random(SEED + 4)
+    memo = ResponseDecodeMemo()
+    wires = []
+    for index in range(20):
+        qname = Name.from_text("probe.example.org.").child(
+            _label(rng, 8)
+        )
+        wires.append((_response_for(qname, index, True).to_wire(), qname))
+    for _ in range(3):
+        for wire, qname in wires:
+            assert memo.decode(wire, qname).to_wire() == wire

@@ -191,3 +191,67 @@ class TestScorecardCommand:
         assert "Paper-vs-measured scorecard" in out
         assert "claims within tolerance" in out
         assert code in (0, 1)
+
+
+class TestFaultsCommands:
+    def test_faults_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["faults"])
+
+    def test_faults_run_defaults(self):
+        args = build_parser().parse_args(["faults", "run"])
+        assert args.scenario == "ns-outage"
+        assert args.combo == "2C"
+
+    def test_faults_list(self, capsys):
+        assert main(["faults", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "ns-outage" in out
+        assert "brownout" in out
+
+    def test_faults_list_with_duration_expands_timeline(self, capsys):
+        assert main(["faults", "list", "--duration", "30"]) == 0
+        out = capsys.readouterr().out
+        assert "ns_outage" in out
+        assert "600" in out  # middle third of a 30-minute campaign
+
+    def test_faults_run_small(self, capsys, tmp_path):
+        events = tmp_path / "faults.jsonl"
+        exported = tmp_path / "scenario.json"
+        code = main(
+            [
+                "faults", "run", "--combo", "2C", "--probes", "20",
+                "--interval", "2", "--duration", "30", "--seed", "1",
+                "--events", str(events), "--export", str(exported),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fault timeline:" in out
+        assert "fault.start" in out and "fault.end" in out
+        assert "query share per fault window" in out
+        assert events.exists()
+        assert "fault.start" in events.read_text()
+        assert "repro-fault-scenario" in exported.read_text()
+
+    def test_faults_run_scenario_file(self, capsys, tmp_path):
+        from repro.netsim.faults import builtin_scenario
+
+        path = builtin_scenario("ns-outage", 1800.0).save(
+            tmp_path / "outage.json"
+        )
+        code = main(
+            [
+                "faults", "run", "--scenario", str(path), "--combo", "2C",
+                "--probes", "20", "--interval", "2", "--duration", "30",
+                "--seed", "1",
+            ]
+        )
+        assert code == 0
+        assert "fault timeline:" in capsys.readouterr().out
+
+    def test_faults_run_unknown_scenario_errors(self, capsys):
+        code = main(
+            ["faults", "run", "--scenario", "no-such-scenario", "--probes", "20"]
+        )
+        assert code != 0

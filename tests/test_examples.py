@@ -80,3 +80,12 @@ class TestExamples:
         result = run_example("interval_study.py", "--probes", "25", timeout=400.0)
         assert result.returncode == 0, result.stderr
         assert "30min" in result.stdout
+
+    def test_ns_outage_study(self):
+        result = run_example(
+            "ns_outage_study.py",
+            "--probes", "80", "--interval-s", "30", "--duration-s", "600",
+        )
+        assert result.returncode == 0, result.stderr
+        assert "weakest NS caps the zone" in result.stdout
+        assert "share collapses" in result.stdout
