@@ -275,11 +275,20 @@ class AtlasPlatform:
         interval_s: float = 120.0,
         duration_s: float = 3600.0,
         label_prefix: str = "m",
+        heartbeat_every: int = 0,
+        shard: int | None = None,
     ) -> MeasurementRun:
         """Run the paper's campaign: a TXT query per VP per interval.
 
         Labels are unique per (VP, tick) so recursive record caches never
         short-circuit a query (§3.1 "cold caches").
+
+        ``heartbeat_every`` > 0 emits a ``shard.heartbeat`` note to the
+        event sink after every N completed ticks — the live monitor's
+        progress feed.  Heartbeats are deterministic (virtual
+        timestamps, tick counts) and the parallel engine excludes them
+        from the canonical merged log, so enabling them never perturbs
+        a result.  The default 0 skips everything, including the flush.
         """
         if not self.vantage_points:
             self.build_vantage_points()
@@ -302,11 +311,38 @@ class AtlasPlatform:
                         name=suffix.child(label.encode("ascii")),
                     )
                 self.network.clock.advance(interval_s)
+                if heartbeat_every and (tick + 1) % heartbeat_every == 0:
+                    self._emit_heartbeat(
+                        tick + 1, ticks, len(run.observations), shard
+                    )
         self._emit_campaign_note(
             "measure.end", domain, interval_s, duration_s,
             observations=len(run.observations),
         )
         return run
+
+    def _emit_heartbeat(
+        self, tick: int, ticks: int, observations: int, shard: int | None
+    ) -> None:
+        """One shard-progress note, flushed eagerly so tailers see it."""
+        events = self.telemetry.events
+        if not events.enabled:
+            return
+        from ..telemetry import Note
+
+        events.emit(Note(
+            name="shard.heartbeat",
+            at=self.network.clock.now,
+            data={
+                "shard": int(shard or 0),
+                "tick": tick,
+                "ticks": ticks,
+                "observations": observations,
+                "vantage_points": len(self.vantage_points),
+                "virtual_s": self.network.clock.now,
+            },
+        ))
+        events.flush()
 
     def _emit_campaign_note(
         self, name: str, domain: str, interval_s: float, duration_s: float,

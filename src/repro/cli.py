@@ -8,6 +8,9 @@ Usage (also available as ``python -m repro``):
     repro-dns metrics --combo 2C --probes 100
     repro-dns trace --combo 2C --count 2
     repro-dns dashboard run.events.jsonl
+    repro-dns forensics run.events.jsonl probe-7
+    repro-dns slo run.events.jsonl --check
+    repro-dns top --from-log run.events.jsonl
     repro-dns bench-diff benchmarks/baseline.json benchmarks/.bench_profile.json
     repro-dns sweep --probes 150
     repro-dns passive --kind root --recursives 250 --out trace.jsonl
@@ -134,6 +137,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         seed=args.seed,
         ipv6=args.ipv6,
         scenario=args.scenario,
+        heartbeat_every_ticks=args.heartbeat_every,
     )
     io.status(
         f"running {args.combo} ({', '.join(COMBINATIONS[args.combo].sites)}): "
@@ -388,6 +392,9 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     if args.events:
         telemetry.events.close()
         io.status(f"wrote event log to {args.events}")
+    # Telemetry self-accounting (dropped traces/events) belongs in the
+    # dump: silent loss is the one thing a metrics page may not hide.
+    telemetry.surface_drop_counters()
     text = (
         telemetry.registry.to_json(indent=2)
         if args.format == "json"
@@ -439,6 +446,8 @@ def _cmd_dashboard(args: argparse.Namespace) -> int:
     from .telemetry.dashboard import render_dashboard, render_dashboard_from_log
 
     io = args.io
+    if args.log and args.follow:
+        return _dashboard_follow(args)
     if args.log:
         io.emit(render_dashboard_from_log(args.log, top_slowest=args.top))
         return 0
@@ -455,6 +464,199 @@ def _cmd_dashboard(args: argparse.Namespace) -> int:
             top_slowest=args.top,
         )
     )
+    return 0
+
+
+def _dashboard_follow(args: argparse.Namespace) -> int:
+    """Tail a growing event log; render the scorecard once it closes."""
+    import time as _time
+
+    from .telemetry import EventLog, EventLogFollower, MetricsSnapshot
+    from .telemetry.dashboard import render_dashboard_from_log
+
+    io = args.io
+    events: list = []
+    with EventLogFollower(args.log) as follower:
+        deadline = _time.monotonic() + args.idle_timeout
+        while True:
+            batch = follower.poll()
+            if batch:
+                events.extend(batch)
+                deadline = _time.monotonic() + args.idle_timeout
+                io.status(f"following {args.log}: {len(events)} events ...")
+                if any(isinstance(e, MetricsSnapshot) for e in batch):
+                    break  # the closing snapshot: the run is finalized
+            elif _time.monotonic() >= deadline:
+                io.status(
+                    f"no new events for {args.idle_timeout:g}s; "
+                    "rendering what arrived"
+                )
+                break
+            else:
+                _time.sleep(args.refresh)
+        log = EventLog(path=follower.path, meta=follower.meta, events=events)
+    io.emit(render_dashboard_from_log(log, top_slowest=args.top))
+    return 0
+
+
+def _cmd_forensics(args: argparse.Namespace) -> int:
+    """Critical paths, latency attribution, and slow-query exemplars."""
+    from .telemetry import EventLogError, TraceAnalytics, render_forensics
+
+    io = args.io
+    try:
+        analytics = TraceAnalytics.from_log(args.log)
+    except (OSError, EventLogError) as exc:
+        io.status(f"forensics: {exc}")
+        return 2
+    if not analytics.roots:
+        io.status(f"forensics: {args.log} holds no resolution traces")
+        return 1
+    if args.selector and not analytics.find(args.selector):
+        io.status(f"forensics: nothing matches {args.selector!r}")
+        return 1
+    io.emit(render_forensics(analytics, selector=args.selector, top=args.top))
+    return 0
+
+
+def _cmd_slo(args: argparse.Namespace) -> int:
+    """Evaluate SLOs over an event log; score against injected faults."""
+    from .telemetry import (
+        EventLogError,
+        SLOError,
+        TraceAnalytics,
+        default_slos,
+        evaluate_slos,
+        render_slo_report,
+    )
+    from .telemetry.slo import load_slo_spec
+
+    io = args.io
+    try:
+        analytics = TraceAnalytics.from_log(args.log)
+        slos = (
+            load_slo_spec(args.spec)
+            if args.spec
+            else default_slos(window_s=args.window)
+        )
+        report = evaluate_slos(
+            analytics.roots,
+            slos,
+            faults=analytics.fault_windows,
+            slack_s=args.slack,
+        )
+    except (OSError, EventLogError, SLOError) as exc:
+        io.status(f"slo: {exc}")
+        return 2
+    io.emit(render_slo_report(report))
+    alerting = any(report.alerts[slo.name] for slo in report.slos)
+    return 1 if alerting and args.check else 0
+
+
+def _follow_monitor(args: argparse.Namespace, path: str) -> int:
+    """Shared tail loop behind ``top --follow`` and live mode."""
+    import time as _time
+
+    from .telemetry import EventLogFollower
+    from .telemetry.monitor import CampaignMonitor
+
+    io = args.io
+    monitor = CampaignMonitor()
+    title = f"repro-dns top — {path}"
+    frames = 0
+    with EventLogFollower(path) as follower:
+        deadline = _time.monotonic() + args.idle_timeout
+        while True:
+            if monitor.consume(follower.poll()):
+                deadline = _time.monotonic() + args.idle_timeout
+                frames += 1
+                if not monitor.finished:
+                    io.status(monitor.render(title=title))
+                    io.status("")
+            if monitor.finished:
+                break
+            if args.max_frames and frames >= args.max_frames:
+                break
+            if _time.monotonic() >= deadline:
+                io.status(
+                    f"no new events for {args.idle_timeout:g}s; stopping"
+                )
+                break
+            _time.sleep(args.refresh)
+    io.emit(monitor.render(title=title))
+    return 0
+
+
+def _top_live(args: argparse.Namespace) -> int:
+    """Run a serial campaign in a thread and tail its event log live."""
+    import tempfile
+    import threading
+
+    from .telemetry import Telemetry
+
+    io = args.io
+    path = args.events
+    scratch = None
+    if not path:
+        fd, path = tempfile.mkstemp(prefix="repro-top-", suffix=".jsonl")
+        os.close(fd)
+        scratch = path
+    config = ExperimentConfig.for_combination(
+        args.combo,
+        num_probes=args.probes,
+        interval_s=args.interval * 60.0,
+        duration_s=args.duration * 60.0,
+        seed=args.seed,
+        scenario=args.scenario,
+        heartbeat_every_ticks=max(1, args.heartbeat_every),
+    )
+    # Build the writer here (not in the thread): the header line lands
+    # before the follower opens the file, so it never races the run.
+    telemetry = Telemetry.enabled_bundle(event_log=path)
+    io.status(
+        f"running {args.combo} live ({args.probes} probes); tailing {path}"
+    )
+    failures: list[BaseException] = []
+
+    def _run() -> None:
+        try:
+            TestbedExperiment(config, telemetry=telemetry).run()
+        except BaseException as exc:  # surface, never swallow
+            failures.append(exc)
+        finally:
+            telemetry.events.close()
+
+    thread = threading.Thread(target=_run, name="repro-top-run", daemon=True)
+    thread.start()
+    try:
+        status = _follow_monitor(args, path)
+    finally:
+        thread.join()
+        if scratch:
+            os.unlink(scratch)
+    if failures:
+        raise failures[0]
+    return status
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    """The live campaign monitor (and its saved-log replay mode)."""
+    from .telemetry import EventLogError
+
+    io = args.io
+    if not args.from_log:
+        return _top_live(args)
+    try:
+        if args.follow:
+            return _follow_monitor(args, args.from_log)
+        from .telemetry import read_events
+        from .telemetry.monitor import replay_monitor
+
+        monitor = replay_monitor(list(read_events(args.from_log)))
+    except (OSError, EventLogError) as exc:
+        io.status(f"top: {exc}")
+        return 2
+    io.emit(monitor.render(title=f"repro-dns top — {args.from_log}"))
     return 0
 
 
@@ -744,6 +946,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="inject a fault timeline: a bundled scenario name "
         "(see 'faults list') or a scenario JSON file",
     )
+    run_parser.add_argument(
+        "--heartbeat-every", type=int, default=0, metavar="TICKS",
+        help="emit a shard.heartbeat note every N measurement ticks "
+        "for 'repro-dns top' (0 = off; never affects results)",
+    )
     run_parser.set_defaults(func=_cmd_run)
 
     analyze_parser = sub.add_parser("analyze", help="analyze a saved run")
@@ -810,7 +1017,111 @@ def build_parser() -> argparse.ArgumentParser:
         "--events", metavar="FILE",
         help="live mode: also stream the event log to FILE",
     )
+    dashboard_parser.add_argument(
+        "--follow", action="store_true",
+        help="tail a growing event log and render once the run "
+        "finalizes (requires a log path)",
+    )
+    dashboard_parser.add_argument(
+        "--refresh", type=float, default=0.2, metavar="SEC",
+        help="--follow: poll interval (default: 0.2s)",
+    )
+    dashboard_parser.add_argument(
+        "--idle-timeout", type=float, default=30.0, metavar="SEC",
+        help="--follow: give up after SEC without new events "
+        "(default: 30)",
+    )
     dashboard_parser.set_defaults(func=_cmd_dashboard)
+
+    forensics_parser = sub.add_parser(
+        "forensics",
+        help="critical paths, latency attribution, and slow-query "
+        "exemplars from an event log",
+    )
+    forensics_parser.add_argument("log", help="a saved event log (JSONL)")
+    forensics_parser.add_argument(
+        "selector", nargs="?", default=None,
+        help="focus on matching traces: trace-<id>, probe-<id>, or a "
+        "qname substring (default: the full report)",
+    )
+    forensics_parser.add_argument(
+        "--top", type=int, default=3,
+        help="slow-query exemplars to show (default: 3)",
+    )
+    forensics_parser.set_defaults(func=_cmd_forensics)
+
+    slo_parser = sub.add_parser(
+        "slo",
+        help="evaluate SLOs over an event log and score burn alerts "
+        "against the injected fault timeline",
+    )
+    slo_parser.add_argument("log", help="a saved event log (JSONL)")
+    slo_parser.add_argument(
+        "--spec", metavar="FILE",
+        help="JSON list of SLO definitions (default: the built-in set)",
+    )
+    slo_parser.add_argument(
+        "--window", type=float, default=120.0, metavar="SEC",
+        help="rolling window width for the built-in SLOs "
+        "(default: 120s; ignored with --spec)",
+    )
+    slo_parser.add_argument(
+        "--slack", type=float, default=None, metavar="SEC",
+        help="detection slack past fault end when scoring "
+        "(default: one window)",
+    )
+    slo_parser.add_argument(
+        "--check", action="store_true",
+        help="exit 1 when any SLO raised a burn alert",
+    )
+    slo_parser.set_defaults(func=_cmd_slo)
+
+    top_parser = sub.add_parser(
+        "top",
+        help="live campaign monitor: QPS, p99, per-NS share, per-shard "
+        "progress (or replay a saved log)",
+    )
+    top_parser.add_argument(
+        "--from-log", metavar="FILE",
+        help="replay a saved event log instead of running live",
+    )
+    top_parser.add_argument(
+        "--follow", action="store_true",
+        help="with --from-log: tail the file as it grows",
+    )
+    top_parser.add_argument(
+        "--refresh", type=float, default=0.2, metavar="SEC",
+        help="poll interval between frames (default: 0.2s)",
+    )
+    top_parser.add_argument(
+        "--idle-timeout", type=float, default=30.0, metavar="SEC",
+        help="give up after SEC without new events (default: 30)",
+    )
+    top_parser.add_argument(
+        "--max-frames", type=int, default=0, metavar="N",
+        help="stop after N rendered frames (0 = until the run ends)",
+    )
+    top_parser.add_argument("--combo", default="2C", choices=sorted(COMBINATIONS))
+    top_parser.add_argument("--probes", type=int, default=100)
+    top_parser.add_argument("--interval", type=float, default=2.0,
+                            help="minutes (live mode)")
+    top_parser.add_argument("--duration", type=float, default=30.0,
+                            help="minutes (live mode)")
+    top_parser.add_argument("--seed", type=int, default=0)
+    top_parser.add_argument(
+        "--scenario", default=None, metavar="NAME|FILE",
+        help="live mode: inject a fault timeline",
+    )
+    top_parser.add_argument(
+        "--events", metavar="FILE",
+        help="live mode: keep the event log at FILE "
+        "(default: a deleted scratch file)",
+    )
+    top_parser.add_argument(
+        "--heartbeat-every", type=int, default=1, metavar="TICKS",
+        help="live mode: heartbeat cadence in ticks (default: 1)",
+    )
+    top_parser.set_defaults(func=_cmd_top)
 
     bench_parser = sub.add_parser(
         "bench-diff",

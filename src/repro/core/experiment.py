@@ -41,6 +41,10 @@ class ExperimentConfig:
     #: fault timeline for the run: a :class:`~repro.netsim.faults.Scenario`,
     #: a bundled scenario name, or a scenario file path (None = no faults).
     scenario: object | None = None
+    #: emit a ``shard.heartbeat`` note every N measurement ticks for the
+    #: live monitor (0 = off; heartbeats never enter the canonical
+    #: merged event log, so results are identical either way).
+    heartbeat_every_ticks: int = 0
 
     @classmethod
     def for_combination(cls, combo_id: str, **overrides) -> "ExperimentConfig":
@@ -83,8 +87,11 @@ class TestbedExperiment:
         config: ExperimentConfig,
         telemetry=None,
         probes: list[Probe] | None = None,
+        shard: int | None = None,
     ):
         self.config = config
+        #: shard index stamped into heartbeat notes (None = unsharded)
+        self.shard = shard
         self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         # Phase timings are always collected: a handful of perf_counter
         # calls per run, and the sidecar benchmarks consume them.
@@ -190,6 +197,8 @@ class TestbedExperiment:
                 self.config.domain.rstrip("."),
                 interval_s=self.config.interval_s,
                 duration_s=self.config.duration_s,
+                heartbeat_every=self.config.heartbeat_every_ticks,
+                shard=self.shard,
             )
         profiler.record("config.combo_sites", [
             list(spec.sites) for spec in self.config.authoritatives

@@ -128,7 +128,9 @@ def _run_shard(payload: tuple) -> dict:
         profiler=RunProfiler(),
         events=sink,
     )
-    result = TestbedExperiment(config, telemetry=telemetry, probes=probes).run()
+    result = TestbedExperiment(
+        config, telemetry=telemetry, probes=probes, shard=shard_index
+    ).run()
     return {
         "shard": shard_index,
         "observations": result.run.observations,
@@ -307,7 +309,11 @@ def _write_merged_log(
     Canonical order mirrors a serial run: run_meta, fault timeline,
     measure.start, traces (normalized), measure.end, final metrics
     snapshot.  Profile events are deliberately absent — wall-clock
-    phases differ between runs and would break byte-identity.
+    phases differ between runs and would break byte-identity.  The same
+    goes for ``shard.heartbeat`` notes (the live monitor's progress
+    feed): this writer re-emits only the kinds listed above, so
+    heartbeats are filtered out by construction and a monitored run
+    merges byte-identically to an unmonitored one.
     """
     shard_records = [result["records"] for result in shard_results]
     run_meta = next(

@@ -37,6 +37,7 @@ from .events import (
     EVENT_SCHEMA_VERSION,
     EventLog,
     EventLogError,
+    EventLogFollower,
     EventLogWriter,
     MetricsSnapshot,
     NULL_EVENT_SINK,
@@ -48,11 +49,31 @@ from .events import (
     RunMeta,
     TraceEvent,
     ViewComparisonEvent,
+    canonical_json_value,
     normalize_trace_records,
     read_events,
     span_from_dict,
 )
+from .analysis import (
+    FaultWindow,
+    TraceAnalytics,
+    critical_path,
+    fault_windows_from_notes,
+    render_forensics,
+)
+from .monitor import CampaignMonitor, replay_monitor
 from .profiling import NullProfiler, RunProfiler
+from .slo import (
+    SLO,
+    Alert,
+    DetectionScore,
+    SLOError,
+    burn_alerts,
+    default_slos,
+    evaluate_slos,
+    render_slo_report,
+    score_alerts,
+)
 from .registry import (
     DEFAULT_RTT_BUCKETS_MS,
     Counter,
@@ -126,6 +147,32 @@ class Telemetry:
     def disabled_bundle(cls) -> "Telemetry":
         return cls(NullRegistry(), NullTracer(), NullProfiler())
 
+    def surface_drop_counters(self) -> None:
+        """Mirror telemetry self-accounting into the registry.
+
+        Un-streamed trace drops (``Tracer.dropped_unstreamed``) and
+        post-close event drops are real data loss; surfacing them as
+        gauges puts them in ``repro-dns metrics`` output and every
+        metrics snapshot.  Zero values are skipped so clean runs keep
+        their exact metric set (golden exports, merged-log identity).
+        """
+        registry = self.registry
+        if not registry.enabled:
+            return
+        dropped_traces = getattr(self.tracer, "dropped_unstreamed", 0)
+        if dropped_traces:
+            registry.gauge(
+                "telemetry_dropped_traces",
+                "finished traces discarded with no sink to stream to "
+                "(raise max_traces or attach an event log)",
+            ).set(float(dropped_traces))
+        dropped_events = getattr(self.events, "dropped", 0)
+        if dropped_events:
+            registry.gauge(
+                "telemetry_dropped_events",
+                "events emitted after the event log was closed",
+            ).set(float(dropped_events))
+
     def finalize_events(self, at: float | None = None, close: bool = False) -> None:
         """Append registry/profiler snapshots to the event log and flush.
 
@@ -136,6 +183,7 @@ class Telemetry:
         sink = self.events
         if not sink.enabled:
             return
+        self.surface_drop_counters()
         for event in self.registry.to_events(at=at):
             sink.emit(event)
         for event in self.profiler.to_events():
@@ -153,16 +201,21 @@ NULL_TELEMETRY = Telemetry.disabled_bundle()
 
 
 __all__ = [
+    "Alert",
+    "CampaignMonitor",
     "Clock",
     "Counter",
     "DEFAULT_CLOCK",
     "DEFAULT_RTT_BUCKETS_MS",
+    "DetectionScore",
     "EVENT_LOG_KIND",
     "EVENT_SCHEMA_VERSION",
     "EXPORTED_QUANTILES",
     "EventLog",
     "EventLogError",
+    "EventLogFollower",
     "EventLogWriter",
+    "FaultWindow",
     "Gauge",
     "Histogram",
     "ManualClock",
@@ -184,16 +237,29 @@ __all__ = [
     "RecordingEventSink",
     "RunMeta",
     "RunProfiler",
+    "SLO",
+    "SLOError",
     "Sample",
     "Span",
     "SpanEvent",
     "Telemetry",
+    "TraceAnalytics",
     "TraceEvent",
     "Tracer",
     "ViewComparisonEvent",
+    "burn_alerts",
+    "canonical_json_value",
+    "critical_path",
+    "default_slos",
+    "evaluate_slos",
+    "fault_windows_from_notes",
     "normalize_trace_records",
     "quantile_from_buckets",
     "read_events",
+    "render_forensics",
+    "render_slo_report",
     "render_trace",
+    "replay_monitor",
+    "score_alerts",
     "span_from_dict",
 ]

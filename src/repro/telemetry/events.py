@@ -173,6 +173,59 @@ def span_from_dict(data: dict, parent: Span | None = None) -> Span:
     return span
 
 
+def _canonical_key(key: object) -> str:
+    """The string a JSON round trip would coerce a dict key to."""
+    if isinstance(key, str):
+        return key
+    if key is True:
+        return "true"
+    if key is False:
+        return "false"
+    if key is None:
+        return "null"
+    if isinstance(key, int):
+        return str(int(key))
+    if isinstance(key, float):
+        return float.__repr__(key)
+    raise TypeError(
+        f"dict key of type {type(key).__name__} is not JSON-serializable"
+    )
+
+
+def canonical_json_value(value: object):
+    """What ``json.loads(json.dumps(value))`` returns, without the text pass.
+
+    The recording sink needs each record to be (a) detached from the
+    caller's still-mutable objects and (b) plain JSON — the shape the
+    merge helpers sort on.  A serialize/parse round trip guarantees
+    both but pays for encoding and decoding every byte; this builds the
+    same result directly: dict keys are string-coerced, tuples become
+    lists, bool/int/float subclasses (enums) collapse to their plain
+    values, and non-JSON types raise ``TypeError`` just as ``dumps``
+    would.
+    """
+    if value is None or value is True or value is False:
+        return value
+    if isinstance(value, str):
+        return str(value)
+    if isinstance(value, dict):
+        return {
+            _canonical_key(key): canonical_json_value(item)
+            for key, item in value.items()
+        }
+    if isinstance(value, (list, tuple)):
+        return [canonical_json_value(item) for item in value]
+    if isinstance(value, bool):  # bool subclass guard before int
+        return bool(value)
+    if isinstance(value, int):
+        return int(value)
+    if isinstance(value, float):
+        return float(value)
+    raise TypeError(
+        f"object of type {type(value).__name__} is not JSON-serializable"
+    )
+
+
 def _event_from_record(record: dict):
     kind = record.get("kind")
     if kind == TraceEvent.kind:
@@ -326,9 +379,10 @@ class RecordingEventSink:
     Shard workers of the parallel experiment engine emit into one of
     these; the engine ships the recorded dicts back over the process
     boundary and merges them into one canonical log.  Records are
-    JSON round-tripped at emit time — same contract as the writer:
-    callers may mutate their objects afterwards, and every stored
-    record is guaranteed plain-JSON (what the merge helpers sort on).
+    canonicalised at emit time (:func:`canonical_json_value`) — same
+    contract as the writer: callers may mutate their objects
+    afterwards, and every stored record is guaranteed plain-JSON
+    (what the merge helpers sort on).
 
     ``shard`` tags every record with the emitting shard's index so a
     merged stream stays attributable until normalization strips it.
@@ -345,7 +399,7 @@ class RecordingEventSink:
         self.closed = False
 
     def emit(self, event) -> bool:
-        record = json.loads(json.dumps(event.to_record()))
+        record = canonical_json_value(event.to_record())
         if self.shard is not None:
             record["shard"] = self.shard
         self.records.append(record)
@@ -428,27 +482,124 @@ def normalize_trace_records(records: list[dict]) -> list[dict]:
 # -- the reader -------------------------------------------------------------
 
 
+def _validate_header(path: Path, header_line: str) -> dict:
+    try:
+        header = json.loads(header_line)
+    except json.JSONDecodeError as exc:
+        raise EventLogError(f"{path}: not an event log ({exc})") from None
+    if not isinstance(header, dict) or header.get("kind") != EVENT_LOG_KIND:
+        raise EventLogError(f"{path}: not an event log (header {header!r})")
+    version = header.get("version")
+    if version != EVENT_SCHEMA_VERSION:
+        raise EventLogError(
+            f"{path}: event-log version {version!r}, "
+            f"this reader understands {EVENT_SCHEMA_VERSION}"
+        )
+    return header
+
+
 def read_events(path: str | Path) -> Iterator[object]:
-    """Yield typed events from an event-log file, in write order."""
+    """Yield typed events from an event-log file, in write order.
+
+    A truncated *final* line (no trailing newline — a writer that died
+    mid-append, or a log still being written) is skipped with a
+    warning; a corrupt line anywhere else raises
+    :class:`EventLogError`.
+    """
     path = Path(path)
     with path.open() as fh:
-        header_line = fh.readline()
+        _validate_header(path, fh.readline())
+        for raw in fh:
+            line = raw.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                if not raw.endswith("\n"):
+                    log.warning(
+                        "%s: ignoring truncated final line (%d bytes)",
+                        path, len(raw),
+                    )
+                    return
+                raise EventLogError(
+                    f"{path}: corrupt event line: {line[:80]!r}"
+                ) from None
+            yield _event_from_record(record)
+
+
+class EventLogFollower:
+    """Incremental reader over a live (still growing) event log.
+
+    Opens the file once, validates the header eagerly, and then each
+    :meth:`poll` returns the typed events of every newly *completed*
+    line.  A final line without its terminating newline — a writer
+    mid-append — stays pending until the newline lands, so a tailer
+    never sees half a record.  ``repro-dns top`` and
+    ``dashboard --follow`` share this as their transport.
+    """
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self._fh = self.path.open()
         try:
-            header = json.loads(header_line)
-        except json.JSONDecodeError as exc:
-            raise EventLogError(f"{path}: not an event log ({exc})") from None
-        if header.get("kind") != EVENT_LOG_KIND:
-            raise EventLogError(f"{path}: not an event log (header {header!r})")
-        version = header.get("version")
-        if version != EVENT_SCHEMA_VERSION:
-            raise EventLogError(
-                f"{path}: event-log version {version!r}, "
-                f"this reader understands {EVENT_SCHEMA_VERSION}"
-            )
-        for line in fh:
+            header_line = self._fh.readline()
+            if not header_line.endswith("\n"):
+                raise EventLogError(f"{self.path}: truncated header line")
+            self.header = _validate_header(self.path, header_line)
+        except Exception:
+            self._fh.close()
+            raise
+        self.meta: dict = self.header.get("meta", {})
+        self.events_read = 0
+        self._pending = ""
+        self._closed = False
+
+    def poll(self) -> list:
+        """Typed events appended (as complete lines) since the last poll."""
+        if self._closed:
+            return []
+        chunk = self._fh.read()
+        if not chunk:
+            return []
+        complete, sep, tail = (self._pending + chunk).rpartition("\n")
+        self._pending = tail if sep else complete + tail
+        if not sep:
+            return []
+        events = []
+        for line in complete.split("\n"):
             line = line.strip()
-            if line:
-                yield _event_from_record(json.loads(line))
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                raise EventLogError(
+                    f"{self.path}: corrupt event line: {line[:80]!r}"
+                ) from None
+            events.append(_event_from_record(record))
+        self.events_read += len(events)
+        return events
+
+    def drain(self) -> list:
+        """Every event currently complete in the file (one big poll)."""
+        return self.poll()
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered from an incomplete final line."""
+        return len(self._pending)
+
+    def close(self) -> None:
+        if not self._closed:
+            self._fh.close()
+            self._closed = True
+
+    def __enter__(self) -> "EventLogFollower":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
 
 @dataclass
@@ -513,6 +664,7 @@ __all__ = [
     "EVENT_SCHEMA_VERSION",
     "EventLog",
     "EventLogError",
+    "EventLogFollower",
     "EventLogWriter",
     "MetricsSnapshot",
     "NULL_EVENT_SINK",
@@ -524,6 +676,7 @@ __all__ = [
     "RunMeta",
     "TraceEvent",
     "ViewComparisonEvent",
+    "canonical_json_value",
     "normalize_trace_records",
     "read_events",
     "span_from_dict",

@@ -23,8 +23,11 @@ instrumentation on ``tracer.enabled``.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 from typing import Iterator
+
+log = logging.getLogger("repro.telemetry.tracing")
 
 
 @dataclass(frozen=True)
@@ -124,7 +127,11 @@ class Tracer:
 
     ``max_traces`` bounds memory on long campaigns: once that many root
     spans are retained, further finished traces are counted in
-    :attr:`dropped_traces` and discarded whole.
+    :attr:`dropped_traces` and discarded whole.  Drops of traces that
+    were *not* streamed to a sink first are real data loss: they are
+    counted separately in :attr:`dropped_unstreamed` and warned about
+    once per tracer — the same accounting the event-log writer applies
+    to post-close emits.
 
     ``sink`` is an optional event-log writer (anything with an
     ``emit_span(span)`` method, e.g.
@@ -140,6 +147,8 @@ class Tracer:
         self.sink = sink
         self.roots: list[Span] = []
         self.dropped_traces = 0
+        self.dropped_unstreamed = 0
+        self._drop_warned = False
         self._stack: list[Span] = []
         self._next_span_id = 1
         self._next_trace_id = 1
@@ -171,12 +180,27 @@ class Tracer:
         elif span in self._stack:  # defensive: unbalanced finish
             self._stack.remove(span)
         if span.parent is None:
+            streamed = False
             if self.sink is not None:
-                self.sink.emit_span(span)
+                streamed = bool(self.sink.emit_span(span))
             if len(self.roots) < self.max_traces:
                 self.roots.append(span)
             else:
                 self.dropped_traces += 1
+                if not streamed:
+                    # The trace exists nowhere now: not in memory, not
+                    # on disk.  Shard workers run with max_traces=0 and
+                    # a recording sink on purpose — that path streams,
+                    # so it never lands here.
+                    self.dropped_unstreamed += 1
+                    if not self._drop_warned:
+                        self._drop_warned = True
+                        log.warning(
+                            "tracer reached max_traces=%d; discarding "
+                            "further finished traces (this is logged once; "
+                            "see dropped_traces / repro-dns metrics)",
+                            self.max_traces,
+                        )
 
     class _SpanContext:
         __slots__ = ("_tracer", "_span", "_end_at")
@@ -229,6 +253,8 @@ class Tracer:
     def clear(self) -> None:
         self.roots.clear()
         self.dropped_traces = 0
+        self.dropped_unstreamed = 0
+        self._drop_warned = False
 
 
 class _NullSpan:
@@ -274,6 +300,7 @@ class NullTracer:
     enabled = False
     roots: list = []
     dropped_traces = 0
+    dropped_unstreamed = 0
     active = None
     sink = None
 

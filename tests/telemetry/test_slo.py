@@ -1,0 +1,234 @@
+"""Tests for SLO windowing, burn-rate alerting, and detection scoring."""
+
+import json
+import math
+
+import pytest
+
+from repro.telemetry import (
+    SLO,
+    Alert,
+    SLOError,
+    Tracer,
+    burn_alerts,
+    default_slos,
+    evaluate_slos,
+    render_slo_report,
+    score_alerts,
+)
+from repro.telemetry.analysis import FaultWindow
+from repro.telemetry.slo import (
+    evaluate,
+    load_slo_spec,
+    windows_from_traces,
+)
+
+from .test_analysis import make_trace
+
+
+def _traces(specs):
+    """specs: (start, rcode, ns, rtt_ms) tuples -> resolution roots."""
+    tracer = Tracer()
+    for start, rcode, ns, rtt in specs:
+        make_trace(
+            tracer, start=start, rcode=rcode,
+            attempts=[(ns, "ok", rtt)] if rcode == "NOERROR" else
+            [(ns, "timeout", rtt)],
+        )
+    return tracer.traces()
+
+
+class TestSLOValidation:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(SLOError):
+            SLO("x", "availability", objective=0.9)
+
+    def test_rejects_bad_objective(self):
+        with pytest.raises(SLOError):
+            SLO("x", "answer_rate", objective=1.5)
+        with pytest.raises(SLOError):
+            SLO("x", "p99_rtt_ms", objective=-1.0)
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(SLOError):
+            SLO("x", "answer_rate", objective=0.9, window_s=0.0)
+
+    def test_dict_roundtrip(self):
+        slo = SLO("a", "share_skew", objective=0.8, window_s=60.0,
+                  burn_threshold=2.0)
+        assert SLO.from_dict(slo.to_dict()) == slo
+
+
+class TestWindowing:
+    def test_contiguous_including_empty_windows(self):
+        roots = _traces([
+            (10.0, "NOERROR", "10.0.0.53", 40.0),
+            (250.0, "NOERROR", "10.0.0.53", 40.0),  # window 1 stays empty
+        ])
+        windows = windows_from_traces(roots, 100.0)
+        assert [w.total for w in windows] == [1, 0, 1]
+        assert windows[1].start == 100.0 and windows[1].end == 200.0
+
+    def test_empty_window_never_burns(self):
+        roots = _traces([
+            (10.0, "SERVFAIL", "10.0.0.53", 40.0),
+            (250.0, "NOERROR", "10.0.0.53", 40.0),
+        ])
+        windows = windows_from_traces(roots, 100.0)
+        slo = SLO("ar", "answer_rate", objective=0.95, window_s=100.0)
+        verdicts = evaluate(slo, windows)
+        assert verdicts[0].burning  # the SERVFAIL window
+        assert not verdicts[1].burning and math.isnan(verdicts[1].value)
+
+    def test_rejects_nonpositive_window(self):
+        with pytest.raises(SLOError):
+            windows_from_traces([], -5.0)
+
+
+class TestBurnSemantics:
+    def test_ratio_slo_burn_is_budget_consumption(self):
+        roots = _traces(
+            [(float(i), "NOERROR", "10.0.0.53", 40.0) for i in range(9)]
+            + [(9.5, "SERVFAIL", "10.0.0.53", 40.0)]
+        )
+        windows = windows_from_traces(roots, 100.0)
+        slo = SLO("ar", "answer_rate", objective=0.95, window_s=100.0)
+        (verdict,) = evaluate(slo, windows)
+        # 10% failed against a 5% budget: burn rate 2x
+        assert verdict.burn_rate == pytest.approx(2.0)
+        assert verdict.burning
+
+    def test_threshold_slo_burn_is_value_over_objective(self):
+        roots = _traces([(1.0, "NOERROR", "10.0.0.53", 450.0)])
+        windows = windows_from_traces(roots, 100.0)
+        slo = SLO("p99", "p99_rtt_ms", objective=900.0, window_s=100.0)
+        (verdict,) = evaluate(slo, windows)
+        assert verdict.burn_rate == pytest.approx(0.5)
+        assert not verdict.burning
+
+    def test_share_skew_scores_against_full_ns_set(self):
+        # every answer from one NS of a two-NS zone: skew 1.0
+        roots = _traces([(1.0, "NOERROR", "10.0.0.53", 40.0)] * 3)
+        windows = windows_from_traces(roots, 100.0)
+        slo = SLO("skew", "share_skew", objective=0.9, window_s=100.0)
+        (verdict,) = evaluate(slo, windows, ("10.0.0.53", "10.0.1.53"))
+        assert verdict.value == pytest.approx(1.0)
+        assert verdict.burning
+
+
+class TestAlerts:
+    def _verdicts(self, pattern, window_s=100.0):
+        slo = SLO("ar", "answer_rate", objective=0.95, window_s=window_s)
+        roots = []
+        for index, burning in enumerate(pattern):
+            rcode = "SERVFAIL" if burning else "NOERROR"
+            roots += _traces([(index * window_s + 1.0, rcode, "a", 40.0)])
+        return evaluate(slo, windows_from_traces(roots, window_s))
+
+    def test_consecutive_windows_merge(self):
+        (alert,) = burn_alerts(self._verdicts([False, True, True, False]))
+        assert (alert.start, alert.end) == (100.0, 300.0)
+        assert alert.windows == 2
+
+    def test_separate_runs_make_separate_alerts(self):
+        alerts = burn_alerts(self._verdicts([True, False, True]))
+        assert len(alerts) == 2
+
+    def test_trailing_run_closes(self):
+        (alert,) = burn_alerts(self._verdicts([False, True]))
+        assert alert.windows == 1
+
+
+class TestScoring:
+    FAULT = FaultWindow(fault="ns_outage", address="10.0.0.53",
+                        target="ns1", start=400.0, end=800.0)
+
+    def _alert(self, start, end):
+        return Alert(slo="ar", start=start, end=end, windows=1, peak_burn=2.0)
+
+    def test_detection_latency(self):
+        score = score_alerts("ar", [self._alert(500.0, 600.0)], [self.FAULT])
+        assert score.detected == 1
+        assert score.mean_detection_latency_s == pytest.approx(100.0)
+        assert score.precision == 1.0 and score.recall == 1.0
+
+    def test_early_alert_has_zero_latency(self):
+        score = score_alerts("ar", [self._alert(300.0, 500.0)], [self.FAULT])
+        assert score.mean_detection_latency_s == 0.0
+
+    def test_false_positive_hurts_precision(self):
+        alerts = [self._alert(500.0, 600.0), self._alert(1500.0, 1600.0)]
+        score = score_alerts("ar", alerts, [self.FAULT])
+        assert score.precision == pytest.approx(0.5)
+        assert score.recall == 1.0
+
+    def test_slack_extends_the_detection_window(self):
+        late = [self._alert(820.0, 900.0)]
+        assert score_alerts("ar", late, [self.FAULT]).detected == 0
+        assert score_alerts("ar", late, [self.FAULT], slack_s=120.0).detected == 1
+
+    def test_missed_fault(self):
+        score = score_alerts("ar", [], [self.FAULT])
+        assert score.recall == 0.0
+        assert score.precision is None
+        assert score.mean_detection_latency_s is None
+
+
+class TestEvaluateSlos:
+    def test_rejects_mixed_window_widths(self):
+        slos = [
+            SLO("a", "answer_rate", objective=0.9, window_s=60.0),
+            SLO("b", "answer_rate", objective=0.9, window_s=120.0),
+        ]
+        with pytest.raises(SLOError):
+            evaluate_slos([], slos)
+
+    def test_rejects_empty_slo_set(self):
+        with pytest.raises(SLOError):
+            evaluate_slos([], [])
+
+    def test_report_and_render_end_to_end(self):
+        roots = _traces(
+            [(float(i), "NOERROR", "10.0.0.53", 40.0) for i in range(6)]
+            + [(150.0, "SERVFAIL", "10.0.1.53", 40.0)]
+        )
+        fault = FaultWindow(fault="ns_outage", address="10.0.1.53",
+                            target="ns2", start=100.0, end=200.0)
+        report = evaluate_slos(
+            roots, default_slos(window_s=100.0), faults=[fault]
+        )
+        text = render_slo_report(report)
+        assert "Objectives" in text
+        assert "Detection vs. ground truth" in text
+        assert report.scores["answer-rate"].recall == 1.0
+
+    def test_clean_run_renders_no_alerts(self):
+        roots = _traces([
+            (1.0, "NOERROR", "10.0.0.53", 40.0),
+            (2.0, "NOERROR", "10.0.1.53", 45.0),
+        ])
+        report = evaluate_slos(roots, default_slos(window_s=100.0))
+        assert "(none — every window within budget)" in render_slo_report(report)
+
+
+class TestSpecFiles:
+    def test_load_list_and_wrapped_forms(self, tmp_path):
+        spec = [{"name": "ar", "kind": "answer_rate", "objective": 0.9}]
+        flat = tmp_path / "flat.json"
+        flat.write_text(json.dumps(spec))
+        wrapped = tmp_path / "wrapped.json"
+        wrapped.write_text(json.dumps({"slos": spec}))
+        assert load_slo_spec(flat) == load_slo_spec(wrapped)
+        assert load_slo_spec(flat)[0].name == "ar"
+
+    def test_bad_spec_files(self, tmp_path):
+        empty = tmp_path / "empty.json"
+        empty.write_text("[]")
+        with pytest.raises(SLOError):
+            load_slo_spec(empty)
+        garbage = tmp_path / "garbage.json"
+        garbage.write_text("{nope")
+        with pytest.raises(SLOError):
+            load_slo_spec(garbage)
+        with pytest.raises(SLOError):
+            load_slo_spec(tmp_path / "missing.json")

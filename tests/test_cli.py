@@ -255,3 +255,101 @@ class TestFaultsCommands:
             ["faults", "run", "--scenario", "no-such-scenario", "--probes", "20"]
         )
         assert code != 0
+
+
+class TestObservabilityCommands:
+    """forensics, slo, top, and dashboard --follow over one shared log."""
+
+    @pytest.fixture(scope="class")
+    def fault_log(self, tmp_path_factory):
+        log = tmp_path_factory.mktemp("obs") / "faulted.events.jsonl"
+        code = main(
+            ["--quiet", "run", "--probes", "20", "--interval", "2",
+             "--duration", "20", "--seed", "1", "--scenario", "ns-outage",
+             "--heartbeat-every", "2", "--events", str(log)]
+        )
+        assert code == 0
+        return log
+
+    def test_run_heartbeat_flag_defaults_off(self):
+        assert build_parser().parse_args(["run"]).heartbeat_every == 0
+
+    def test_forensics_full_report(self, capsys, fault_log):
+        assert main(["forensics", str(fault_log)]) == 0
+        out = capsys.readouterr().out
+        assert "Per-NS latency attribution" in out
+        assert "Busiest resolvers" in out
+        assert "ground-truth fault windows" in out
+        assert "critical path:" in out
+
+    def test_forensics_probe_selector(self, capsys, fault_log):
+        assert main(["forensics", str(fault_log), "probe-0"]) == 0
+        out = capsys.readouterr().out
+        assert "match 'probe-0'" in out
+        assert "resolver.resolve" in out
+
+    def test_forensics_unknown_selector(self, capsys, fault_log):
+        assert main(["forensics", str(fault_log), "probe-9999"]) == 1
+        assert "nothing matches" in capsys.readouterr().err
+
+    def test_forensics_missing_log(self, capsys, tmp_path):
+        assert main(["forensics", str(tmp_path / "nope.jsonl")]) == 2
+
+    def test_slo_report_scores_ground_truth(self, capsys, fault_log):
+        assert main(["slo", str(fault_log)]) == 0
+        out = capsys.readouterr().out
+        assert "SLO report" in out
+        assert "Detection vs. ground truth" in out
+        assert "ns-share-skew" in out
+
+    def test_slo_check_exits_one_on_alert(self, capsys, fault_log):
+        assert main(["--quiet", "slo", str(fault_log), "--check"]) == 1
+
+    def test_slo_custom_spec(self, capsys, fault_log, tmp_path):
+        spec = tmp_path / "slos.json"
+        spec.write_text(json.dumps([
+            {"name": "lenient", "kind": "p99_rtt_ms", "objective": 60000.0,
+             "window_s": 120.0},
+        ]))
+        assert main(["slo", str(fault_log), "--spec", str(spec),
+                     "--check"]) == 0
+        assert "lenient" in capsys.readouterr().out
+
+    def test_slo_bad_spec_exits_two(self, capsys, fault_log, tmp_path):
+        spec = tmp_path / "bad.json"
+        spec.write_text("[]")
+        assert main(["slo", str(fault_log), "--spec", str(spec)]) == 2
+
+    def test_top_replays_saved_log(self, capsys, fault_log):
+        assert main(["top", "--from-log", str(fault_log)]) == 0
+        out = capsys.readouterr().out
+        assert "Per-NS query share" in out
+        assert "Shard progress" in out
+        assert "finished" in out
+
+    def test_top_follow_completes_on_finalized_log(self, capsys, fault_log):
+        assert main(["--quiet", "top", "--from-log", str(fault_log),
+                     "--follow", "--idle-timeout", "5"]) == 0
+        assert "finished" in capsys.readouterr().out
+
+    def test_top_missing_log_exits_two(self, capsys, tmp_path):
+        assert main(["top", "--from-log", str(tmp_path / "nope.jsonl")]) == 2
+
+    def test_top_live_runs_a_campaign(self, capsys, tmp_path):
+        kept = tmp_path / "live.events.jsonl"
+        code = main(
+            ["--quiet", "top", "--probes", "5", "--interval", "2",
+             "--duration", "6", "--idle-timeout", "30",
+             "--events", str(kept)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "finished" in out
+        assert kept.exists()  # --events keeps the log for later replay
+
+    def test_dashboard_follow_renders_after_finalize(self, capsys, fault_log):
+        assert main(["--quiet", "dashboard", str(fault_log), "--follow",
+                     "--idle-timeout", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "Per-NS query share" in out
+        assert "Slowest" in out

@@ -89,3 +89,13 @@ class TestExamples:
         assert result.returncode == 0, result.stderr
         assert "weakest NS caps the zone" in result.stdout
         assert "share collapses" in result.stdout
+
+    def test_fault_detection_study(self):
+        result = run_example(
+            "fault_detection_study.py",
+            "--probes", "40", "--interval-s", "60", "--duration-s", "1200",
+        )
+        assert result.returncode == 0, result.stderr
+        assert "Detection scorecard" in result.stdout
+        assert "all detection claims hold" in result.stdout
+        assert "control campaign alerts: 0" in result.stdout
