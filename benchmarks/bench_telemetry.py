@@ -13,6 +13,12 @@ Two claims are enforced here, commit-to-commit:
     one modulo per tick) and its ``experiment.measure`` phase rides the
     same +15% hard gate as the plain run's: the monitor is a true no-op
     when nobody is watching.
+``telemetry-sampled@…``
+    the performance observatory itself may not disturb what it
+    observes: a campaign with the cost ledger and the sampling profiler
+    attached reproduces the plain campaign's observations exactly, and
+    the profiler-on measure phase stays within 10% of the plain one
+    (plus a small absolute slack for runner jitter).
 """
 
 import gc
@@ -173,3 +179,67 @@ def test_monitor_off_campaign_is_free(benchmark, run_cache):
         f"experiment.measure: plain {plain_s:.2f}s, "
         f"monitor-off-with-heartbeats {idle_s:.2f}s"
     )
+
+
+def test_sampling_profiler_identity_and_overhead(benchmark, run_cache):
+    """The observatory watches the fast path without becoming one.
+
+    Cost ledger + sampling profiler attached: observations stay byte
+    for byte those of the plain cached run (neither pillar flips
+    ``telemetry.enabled``, so the template/no-span fast paths stay
+    live), and the profiled measure phase is pinned at <10% overhead
+    plus an absolute slack that absorbs runner jitter.
+    """
+    from repro.telemetry import (
+        CostLedger,
+        NullRegistry,
+        NullTracer,
+        SamplingProfiler,
+        Telemetry,
+    )
+
+    plain = run_cache.get("2C", INTERVAL_S)
+    config = ExperimentConfig.for_combination(
+        "2C",
+        num_probes=BENCH_PROBES,
+        interval_s=INTERVAL_S,
+        duration_s=DURATION_S,
+        seed=BENCH_SEED,
+    )
+    telemetry = Telemetry(
+        NullRegistry(),
+        NullTracer(),
+        RunProfiler(),
+        costs=CostLedger(),
+        sampler=SamplingProfiler(mode="sample"),
+    )
+    assert not telemetry.enabled  # the fast paths must stay live
+    gc.collect()
+    gc.disable()
+    try:
+        result = benchmark.pedantic(
+            lambda: TestbedExperiment(config, telemetry=telemetry).run(),
+            rounds=1,
+            iterations=1,
+        )
+    finally:
+        gc.enable()
+    run_cache.put("telemetry-sampled", INTERVAL_S, result)
+
+    # byte-identical observations: the observatory is read-only
+    assert result.run.observations == plain.run.observations
+    assert result.server_query_counts == plain.server_query_counts
+    # and the ledger agrees with what the run reports
+    assert telemetry.costs.queries == len(result.run.observations)
+
+    plain_s = plain.profile["phases"]["experiment.measure"]["seconds"]
+    sampled_s = result.profile["phases"]["experiment.measure"]["seconds"]
+    print()
+    print(
+        f"experiment.measure: plain {plain_s:.2f}s, "
+        f"ledger+sampler {sampled_s:.2f}s "
+        f"({sampled_s / plain_s:.2f}x)"
+    )
+    # <10% overhead, with an absolute floor so sub-second phases do not
+    # fail on scheduler noise alone.
+    assert sampled_s <= plain_s * 1.10 + 0.15

@@ -128,3 +128,11 @@ def run_cache():
         "runs": cache.profiles(),
     }
     path.write_text(json.dumps(sidecar, indent=2, sort_keys=True) + "\n")
+    # Opt-in trajectory: REPRO_BENCH_HISTORY names a directory and this
+    # session's sidecar becomes its next append-only entry, so
+    # `repro-dns bench-history` can attribute drift across commits.
+    history_dir = os.environ.get("REPRO_BENCH_HISTORY")
+    if history_dir:
+        from repro.telemetry.history import append_entry
+
+        append_entry(Path(history_dir), sidecar)

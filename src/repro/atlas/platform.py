@@ -301,8 +301,14 @@ class AtlasPlatform:
         # prepended label instead of a full text parse per query.
         suffix = Name.from_text(f"probe.{domain}").intern()
         suffix_text = f".probe.{domain}"
+        costs = self.telemetry.costs
+        costs_on = costs.enabled
         with self.telemetry.profiler.phase("platform.measure"):
             for tick in range(ticks):
+                if costs_on:
+                    # One virtual-time timer firing per measurement tick
+                    # — the loop the DES kernel will replace with a heap.
+                    costs.count("timer_event")
                 now = self.network.clock.now
                 for vp in self.vantage_points:
                     label = f"{label_prefix}-{vp.vp_id}-{tick}"

@@ -12,6 +12,8 @@ Usage (also available as ``python -m repro``):
     repro-dns slo run.events.jsonl --check
     repro-dns top --from-log run.events.jsonl
     repro-dns bench-diff benchmarks/baseline.json benchmarks/.bench_profile.json
+    repro-dns costs --combo 2C --probes 300 --flamegraph flame.txt
+    repro-dns bench-history --record --sidecar benchmarks/.bench_profile.json
     repro-dns sweep --probes 150
     repro-dns passive --kind root --recursives 250 --out trace.jsonl
     repro-dns plan --clients 500 --sites FRA IAD SYD GRU --home FRA
@@ -686,6 +688,196 @@ def _cmd_bench_diff(args: argparse.Namespace) -> int:
     return 1 if diff.regressed else 0
 
 
+def _render_cost_decomposition(ledger, measure_s, sampler) -> str:
+    """The per-query overhead table: where a simulated query's time goes.
+
+    ``measure_s`` is the wall-clock measure phase; divided by the
+    ledger's query count it is the per-query cost the DES kernel has to
+    beat.  When a sampling profiler covered the phase, its subsystem
+    self-times split that number further.
+    """
+    lines = ["=== Per-query overhead decomposition ==="]
+    queries = ledger.queries
+    if not queries:
+        lines.append("no queries recorded")
+        return "\n".join(lines)
+    if measure_s is None:
+        lines.append(f"{queries} queries (no measured phase time)")
+        return "\n".join(lines)
+    total_us = measure_s / queries * 1e6
+    lines.append(
+        f"measure phase {measure_s:.3f}s / {queries} queries "
+        f"= {total_us:.1f} us/query"
+    )
+    if sampler is not None and sampler.enabled and sampler.window_s:
+        lines.append("")
+        lines.append(f"{'subsystem':<12} {'self(s)':>9} {'us/query':>10} {'share':>7}")
+        attributed = 0.0
+        for sub, stats in sorted(
+            sampler.as_dict()["subsystems"].items(),
+            key=lambda item: item[1]["self_s"],
+            reverse=True,
+        ):
+            self_s = stats["self_s"]
+            attributed += self_s
+            lines.append(
+                f"{sub:<12} {self_s:>9.3f} {self_s / queries * 1e6:>10.1f} "
+                f"{self_s / measure_s:>6.1%}"
+            )
+        lines.append(
+            f"attributed {attributed:.3f}s of {measure_s:.3f}s measured "
+            f"({attributed / measure_s:.1%})"
+        )
+    return "\n".join(lines)
+
+
+def _cmd_costs(args: argparse.Namespace) -> int:
+    """Per-query cost ledger: from a saved event log, or a live run."""
+    from .telemetry import CostLedger
+
+    io = args.io
+    if args.log:
+        from .telemetry import CostsEvent, EventLogError, read_events
+
+        ledger = None
+        try:
+            for event in read_events(args.log):
+                if isinstance(event, CostsEvent):
+                    ledger = CostLedger.from_dict(event.costs)
+        except (OSError, EventLogError) as exc:
+            io.status(f"costs: {exc}")
+            return 2
+        if ledger is None:
+            io.status(
+                f"{args.log}: no costs record "
+                "(produce one with 'repro-dns costs --events FILE')"
+            )
+            return 1
+        if args.export:
+            Path(args.export).write_text(ledger.to_json(indent=2) + "\n")
+            io.status(f"wrote cost ledger to {args.export}")
+        io.emit(ledger.render())
+        return 0
+
+    from .telemetry import Telemetry
+
+    mode = args.profile_mode
+    parallel = args.workers > 1 or args.shards
+    if parallel and mode != "off":
+        # The profiler and the allocation observatory watch *this*
+        # process; shard workers run elsewhere.  The ledger merges.
+        io.status("sharded run: ledger only (profilers are in-process)")
+        mode = "off"
+    telemetry = Telemetry.enabled_bundle(
+        metrics=False,
+        tracing=False,
+        costs=True,
+        sampling=None if mode == "off" else mode,
+        profile_alloc=args.profile_alloc and not parallel,
+        event_log=args.events,
+    )
+    config = ExperimentConfig.for_combination(
+        args.combo,
+        num_probes=args.probes,
+        interval_s=args.interval * 60.0,
+        duration_s=args.duration * 60.0,
+        seed=args.seed,
+        scenario=args.scenario,
+    )
+    io.status(
+        f"costing {args.combo}: {args.probes} probes, "
+        f"every {args.interval:g} min for {args.duration:g} min"
+        + (f" (profile mode: {mode})" if mode != "off" else "")
+    )
+    with telemetry.alloc.activate():
+        if parallel:
+            from .core import run_parallel
+
+            result = run_parallel(
+                config,
+                workers=args.workers,
+                shards=args.shards or None,
+                telemetry=telemetry,
+            )
+        else:
+            result = TestbedExperiment(config, telemetry=telemetry).run()
+    if args.events:
+        telemetry.events.close()
+        io.status(f"wrote event log to {args.events}")
+    measure = result.profile.get("phases", {}).get("experiment.measure")
+    measure_s = measure["seconds"] if measure else None
+    ledger = telemetry.costs
+    sampler = telemetry.sampler
+    io.emit(
+        _render_cost_decomposition(
+            ledger, measure_s, sampler if mode != "off" else None
+        )
+    )
+    io.emit()
+    io.emit(ledger.render())
+    if mode != "off":
+        io.emit()
+        io.emit(sampler.render())
+    if args.profile_alloc and telemetry.alloc.enabled:
+        io.emit()
+        io.emit(telemetry.alloc.render())
+    if args.export:
+        Path(args.export).write_text(ledger.to_json(indent=2) + "\n")
+        io.status(f"wrote cost ledger to {args.export}")
+    if args.flamegraph:
+        collapsed = sampler.collapsed()
+        if not collapsed:
+            io.status(
+                "flamegraph: no collapsed stacks "
+                "(use --profile-mode sample on a serial run)"
+            )
+            return 1
+        Path(args.flamegraph).write_text(collapsed + "\n")
+        io.status(f"wrote collapsed stacks to {args.flamegraph}")
+    return 0
+
+
+def _cmd_bench_history(args: argparse.Namespace) -> int:
+    """Record and render the append-only bench trajectory."""
+    from .telemetry.history import (
+        HistoryError,
+        append_entry,
+        load_history,
+        render_history,
+    )
+
+    io = args.io
+    if args.record:
+        from .telemetry.regression import SidecarError, load_sidecar
+
+        try:
+            sidecar = load_sidecar(args.sidecar, force=args.force)
+        except SidecarError as exc:
+            io.status(f"bench-history: {exc}")
+            return 2
+        path = append_entry(args.dir, sidecar)
+        io.status(f"recorded {path}")
+    try:
+        entries = load_history(args.dir)
+    except HistoryError as exc:
+        io.status(f"bench-history: {exc}")
+        return 2
+    io.emit(
+        render_history(
+            entries,
+            phases=(
+                [p for p in args.phases.split(",") if p]
+                if args.phases
+                else None
+            ),
+            last=args.last,
+            phase_threshold=args.phase_threshold,
+            min_seconds=args.min_seconds,
+        )
+    )
+    return 0
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     io = args.io
     runs = {}
@@ -1141,6 +1333,100 @@ def build_parser() -> argparse.ArgumentParser:
                               help="comma-separated phase-name prefixes to gate "
                                    "(default: every phase)")
     bench_parser.set_defaults(func=_cmd_bench_diff)
+
+    costs_parser = sub.add_parser(
+        "costs",
+        help="per-query cost ledger and subsystem overhead decomposition",
+    )
+    costs_parser.add_argument(
+        "log", nargs="?", default=None,
+        help="a saved event log (JSONL) holding a costs record; "
+        "omit to run live",
+    )
+    costs_parser.add_argument("--combo", default="2C", choices=sorted(COMBINATIONS))
+    costs_parser.add_argument("--probes", type=int, default=300)
+    costs_parser.add_argument("--interval", type=float, default=2.0, help="minutes")
+    costs_parser.add_argument("--duration", type=float, default=30.0, help="minutes")
+    costs_parser.add_argument("--seed", type=int, default=0)
+    costs_parser.add_argument(
+        "--scenario", default=None, metavar="NAME|FILE",
+        help="inject a fault timeline (see 'faults list')",
+    )
+    costs_parser.add_argument(
+        "--workers", type=int, default=1,
+        help="shard over N processes; the merged ledger is identical "
+        "for any N at a fixed shard count",
+    )
+    costs_parser.add_argument(
+        "--shards", type=int, default=0,
+        help="shard count when it should differ from --workers "
+        "(0 = one shard per worker)",
+    )
+    costs_parser.add_argument(
+        "--profile-mode", choices=("trace", "sample", "off"), default="trace",
+        help="subsystem profiler: 'trace' partitions the measure phase "
+        "exactly, 'sample' has near-zero overhead and feeds --flamegraph "
+        "(default: trace; serial runs only)",
+    )
+    costs_parser.add_argument(
+        "--profile-alloc", action="store_true",
+        help="also snapshot allocations per phase (tracemalloc) and "
+        "account GC pauses",
+    )
+    costs_parser.add_argument(
+        "--export", metavar="FILE",
+        help="write the ledger as canonical JSON (byte-identical for "
+        "equivalent runs; CI compares serial vs sharded with cmp)",
+    )
+    costs_parser.add_argument(
+        "--flamegraph", metavar="FILE",
+        help="write collapsed stacks (flamegraph.pl / speedscope input); "
+        "needs --profile-mode sample",
+    )
+    costs_parser.add_argument(
+        "--events", metavar="FILE",
+        help="stream a telemetry event log (JSONL) carrying the costs "
+        "record to FILE",
+    )
+    costs_parser.set_defaults(func=_cmd_costs)
+
+    history_parser = sub.add_parser(
+        "bench-history",
+        help="bench trajectory: record sidecars, render the trend",
+    )
+    history_parser.add_argument(
+        "--dir", default="benchmarks/history",
+        help="history directory (default: benchmarks/history)",
+    )
+    history_parser.add_argument(
+        "--record", action="store_true",
+        help="append the --sidecar profile as the next history entry",
+    )
+    history_parser.add_argument(
+        "--sidecar", default="benchmarks/.bench_profile.json",
+        help="sidecar to record (default: benchmarks/.bench_profile.json)",
+    )
+    history_parser.add_argument(
+        "--force", action="store_true",
+        help="record even across sidecar schema versions",
+    )
+    history_parser.add_argument(
+        "--phases", metavar="PREFIXES",
+        help="comma-separated phase-name prefixes to show",
+    )
+    history_parser.add_argument(
+        "--last", type=int, default=8,
+        help="entries shown in the trend table (default: 8)",
+    )
+    history_parser.add_argument(
+        "--phase-threshold", type=float, default=0.30,
+        help="relative slowdown for regression attribution (0.30 = +30%%)",
+    )
+    history_parser.add_argument(
+        "--min-seconds", type=float, default=0.05,
+        help="absolute slowdown floor for regression attribution",
+    )
+    history_parser.set_defaults(func=_cmd_bench_history)
 
     sweep_parser = sub.add_parser("sweep", help="Figure 6 interval sweep (2C)")
     sweep_parser.add_argument("--probes", type=int, default=150)

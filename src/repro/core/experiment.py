@@ -71,6 +71,8 @@ class ExperimentResult:
     telemetry: object = NULL_TELEMETRY
     #: wall-clock phase profile of the simulator itself
     profile: dict = field(default_factory=dict)
+    #: deterministic per-query cost ledger export (empty when disabled)
+    costs: dict = field(default_factory=dict)
 
     @property
     def observations(self):
@@ -137,6 +139,11 @@ class TestbedExperiment:
     def run(self) -> ExperimentResult:
         profiler = self.profiler
         events = self.telemetry.events
+        # Simulator observability (all no-ops unless requested): the
+        # deterministic cost ledger, the allocation observatory, and the
+        # sampling profiler scope to the same phase names as `profiler`.
+        costs = self.telemetry.costs
+        alloc = self.telemetry.alloc
         scenario = self._fault_scenario()
         if events.enabled:
             from ..telemetry import RunMeta
@@ -152,7 +159,9 @@ class TestbedExperiment:
                 "scenario": scenario.name if scenario is not None else None,
             }))
         base = "2001:db8:53" if self.config.ipv6 else "10.0"
-        with profiler.phase("experiment.deploy"):
+        with profiler.phase("experiment.deploy"), \
+                costs.phase("experiment.deploy"), \
+                alloc.phase("experiment.deploy"):
             addresses = self.deployment.deploy(self.network, base_address=base)
         if scenario is not None:
             from ..netsim.faults import FaultPlan
@@ -176,7 +185,9 @@ class TestbedExperiment:
 
                 for at, name, data in self.fault_plan.transitions():
                     events.emit(Note(name=name, data=data, at=at))
-        with profiler.phase("experiment.probes"):
+        with profiler.phase("experiment.probes"), \
+                costs.phase("experiment.probes"), \
+                alloc.phase("experiment.probes"):
             if self._probes is not None:
                 probes = list(self._probes)
             else:
@@ -189,10 +200,19 @@ class TestbedExperiment:
             self.network, probes, self.population, seed=self.platform_seed,
             telemetry=self.telemetry,
         )
-        with profiler.phase("experiment.build_vps"):
+        with profiler.phase("experiment.build_vps"), \
+                costs.phase("experiment.build_vps"), \
+                alloc.phase("experiment.build_vps"):
             platform.build_vantage_points()
             platform.configure_zone(self.config.domain, addresses)
-        with profiler.phase("experiment.measure"):
+        # The sampler's window is exactly the measure phase: its
+        # subsystem self-times partition the same interval the phase
+        # timer measures, so shares in `repro-dns costs` sum to the
+        # measured phase time.
+        with profiler.phase("experiment.measure"), \
+                costs.phase("experiment.measure"), \
+                alloc.phase("experiment.measure"), \
+                self.telemetry.sampler.activate():
             run = platform.measure(
                 self.config.domain.rstrip("."),
                 interval_s=self.config.interval_s,
@@ -220,6 +240,7 @@ class TestbedExperiment:
             deployment=self.deployment,
             telemetry=self.telemetry,
             profile=profiler.as_dict(),
+            costs=costs.as_dict() if costs.enabled else {},
         )
 
 

@@ -41,6 +41,7 @@ from ..atlas.platform import MeasurementRun
 from ..atlas.probes import Probe, ProbeGenerator
 from ..seeding import derive
 from ..telemetry import (
+    CostLedger,
     MetricsRegistry,
     MetricsSnapshot,
     NULL_TELEMETRY,
@@ -79,6 +80,12 @@ class ParallelExperimentResult:
     shard_profiles: list[dict] = field(default_factory=list)
     #: the engine's own phase profile (scatter, gather, merge)
     profile: dict = field(default_factory=dict)
+    #: merged deterministic cost ledger export (empty when disabled).
+    #: Identical for any worker count at a fixed shard count; template
+    #: counters vary with the shard *layout* (each shard's servers warm
+    #: their own caches), which is why the CI determinism step compares
+    #: equal shard counts.
+    costs: dict = field(default_factory=dict)
 
     @property
     def observations(self):
@@ -120,13 +127,14 @@ def _run_shard(payload: tuple) -> dict:
     into a shard-tagged :class:`RecordingEventSink` and retains nothing
     in memory (``max_traces=0``) — records are the transport.
     """
-    shard_index, config, probes, want_metrics, want_events = payload
+    shard_index, config, probes, want_metrics, want_events, want_costs = payload
     sink = RecordingEventSink(shard=shard_index) if want_events else None
     telemetry = Telemetry(
         registry=MetricsRegistry() if want_metrics else NullRegistry(),
         tracer=Tracer(max_traces=0, sink=sink) if want_events else NullTracer(),
         profiler=RunProfiler(),
         events=sink,
+        costs=CostLedger() if want_costs else None,
     )
     result = TestbedExperiment(
         config, telemetry=telemetry, probes=probes, shard=shard_index
@@ -140,6 +148,7 @@ def _run_shard(payload: tuple) -> dict:
         "addresses": result.addresses,
         "site_of_address": result.site_of_address,
         "profile": result.profile,
+        "costs": result.costs if want_costs else None,
     }
 
 
@@ -194,6 +203,7 @@ def run_parallel(
     shards = workers if shards is None else shards
     want_events = telemetry.tracer.enabled or telemetry.events.enabled
     want_metrics = telemetry.registry.enabled or telemetry.events.enabled
+    want_costs = telemetry.costs.enabled
 
     with profiler.phase("parallel.probes"):
         generator = ProbeGenerator(seed=derive(config.seed, "probes"))
@@ -206,7 +216,7 @@ def run_parallel(
         if not buckets:
             buckets = [[]]
     payloads = [
-        (index, config, bucket, want_metrics, want_events)
+        (index, config, bucket, want_metrics, want_events, want_costs)
         for index, bucket in enumerate(buckets)
     ]
 
@@ -254,6 +264,14 @@ def run_parallel(
                 if result["registry"] is not None:
                     merged_registry.merge(result["registry"])
 
+        if want_costs:
+            # Integer addition per (phase, counter): merge order cannot
+            # perturb the merged ledger, so serial and K-worker runs of
+            # the same shard partition export identical bytes.
+            for result in shard_results:
+                if result["costs"]:
+                    telemetry.costs.merge(result["costs"])
+
         normalized: list[dict] = []
         if want_events:
             trace_records = [
@@ -297,6 +315,7 @@ def run_parallel(
         telemetry=telemetry,
         shard_profiles=[result["profile"] for result in shard_results],
         profile=profiler.as_dict(),
+        costs=telemetry.costs.as_dict() if want_costs else {},
     )
 
 

@@ -251,6 +251,11 @@ class AuthoritativeServer:
         decoding the query into a :class:`Message` at all; its output is
         byte-identical to the slow path (see :class:`_ResponseTemplate`).
         """
+        # Cost ledger (deterministic counters; not a telemetry pillar
+        # for `enabled` purposes, so the template fast path below stays
+        # live while it counts).
+        costs = self.telemetry.costs
+        costs_on = costs.enabled
         fast = None
         if (
             self.rate_limiter is None
@@ -261,12 +266,18 @@ class AuthoritativeServer:
             if fast is not None:
                 rendered = self._render_from_template(fast, client, now)
                 if rendered is not None:
+                    if costs_on:
+                        costs.count("template_hit")
                     return rendered
+                if costs_on:
+                    costs.count("template_miss")
         try:
             query = Message.from_wire(wire)
         except Exception:
             self.stats.formerr += 1
             return None
+        if costs_on:
+            costs.count("decode")
         response = self.handle_query(query, client=client, now=now)
         if self.rate_limiter is not None and response.questions:
             from .rrl import RrlAction
@@ -292,6 +303,8 @@ class AuthoritativeServer:
         else:
             max_size = MAX_UDP_PAYLOAD
         wire_out = response.to_wire(max_size=max_size)
+        if costs_on:
+            costs.count("encode")
         if fast is not None:
             self._maybe_build_template(fast, wire_out)
         return wire_out

@@ -173,9 +173,16 @@ class SimNetwork:
         sharded runs reproduce the serial byte stream exactly.
         """
         telemetry = self.telemetry
+        # The cost ledger is independent of `telemetry.enabled` — it
+        # counts work in *both* branches (that is its point: measure the
+        # fast path, not a slowed-down stand-in).  Never draws RNG.
+        costs = telemetry.costs
+        costs_on = costs.enabled
         faults = self.faults
         if faults is not None:
             active = faults.active(dst_address, self.clock.now)
+            if costs_on:
+                costs.count("fault_eval")
         else:
             active = None
         if not telemetry.enabled:
@@ -189,6 +196,8 @@ class SimNetwork:
                 client_address, dst_address,
                 client_location.point, site_location.point,
             )
+            if costs_on:
+                costs.count("rng_draw")
             if active is not None:
                 # Draw-count depends only on which faults are active —
                 # a pure function of (dst, now) — never on outcomes, so
@@ -197,10 +206,14 @@ class SimNetwork:
                     stream = faults.pair_rng(client_address, dst_address)
                     if stream.random() < active.loss_rate:
                         lost = True
+                    if costs_on:
+                        costs.count("rng_draw")
                 if active.answer_rate < 1.0:
                     stream = faults.pair_rng(client_address, dst_address)
                     if stream.random() >= active.answer_rate:
                         lost = True
+                    if costs_on:
+                        costs.count("rng_draw")
             if lost:
                 return RoundTrip(response=None, rtt_ms=None, lost=True, served_by="")
             rtt_ms *= self._pair_multiplier(client_address, dst_address)
@@ -238,6 +251,8 @@ class SimNetwork:
                 client_address, dst_address,
                 client_location.point, site_location.point,
             )
+            if costs_on:
+                costs.count("rng_draw")
             fault_drop = None
             if active is not None:
                 # Same draw discipline as the untraced branch: one draw
@@ -247,11 +262,15 @@ class SimNetwork:
                     if stream.random() < active.loss_rate:
                         lost = True
                         fault_drop = "loss"
+                    if costs_on:
+                        costs.count("rng_draw")
                 if active.answer_rate < 1.0:
                     stream = self.faults.pair_rng(client_address, dst_address)
                     if stream.random() >= active.answer_rate:
                         lost = True
                         fault_drop = fault_drop or "brownout"
+                    if costs_on:
+                        costs.count("rng_draw")
             if lost:
                 span.set(lost=True)
                 span.event("loss", at=now)

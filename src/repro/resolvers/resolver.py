@@ -171,6 +171,11 @@ class RecursiveResolver:
         if isinstance(qname, str):
             qname = Name.from_text(qname)
         telemetry = self.telemetry
+        # Ledger denominator: one "query" per resolution entering the
+        # resolver, counted on both the traced and untraced paths.
+        costs = telemetry.costs
+        if costs.enabled:
+            costs.count("query")
         if not telemetry.enabled:
             return self._resolve(qname, qtype, rrclass, NULL_SPAN)
         tracer = telemetry.tracer
@@ -223,6 +228,8 @@ class RecursiveResolver:
         span,
     ) -> ResolutionResult:
         now = self.network.clock.now
+        costs = self.telemetry.costs
+        costs_on = costs.enabled
         result = ResolutionResult(qname=qname, qtype=qtype)
 
         if rrclass == RRClass.CH:
@@ -239,6 +246,8 @@ class RecursiveResolver:
                 result.rcode = Rcode.REFUSED
             return result
 
+        if costs_on:
+            costs.count("cache_lookup")
         cached = self.record_cache.get(qname, qtype, now)
         if cached is not None:
             result.rcode = Rcode.NOERROR
@@ -246,6 +255,8 @@ class RecursiveResolver:
             result.from_cache = True
             span.set(cache="hit").event("cache_hit", at=now)
             return result
+        if costs_on:
+            costs.count("cache_lookup")
         negative = self.record_cache.get_negative(qname, qtype, now)
         if negative is not None:
             result.rcode = Rcode.NXDOMAIN if negative.nxdomain else Rcode.NOERROR
@@ -330,6 +341,8 @@ class RecursiveResolver:
     ) -> tuple[Message, str, str, float] | None:
         now = self.network.clock.now
         telemetry = self.telemetry
+        costs = telemetry.costs
+        costs_on = costs.enabled
         question_tail = QUESTION_TAIL_STRUCT.pack(int(qtype), int(RRClass.IN))
         for attempt in range(self.max_retries + 1):
             address = self.selector.select(addresses, self.infra_cache, now)
@@ -346,6 +359,11 @@ class RecursiveResolver:
                 + send_name.to_wire()
                 + question_tail
             )
+            if costs_on:
+                # One seeded draw (the message id) and one wire build
+                # per attempt, whatever the exchange outcome.
+                costs.count("rng_draw")
+                costs.count("encode")
             self.queries_sent += 1
             span = NULL_SPAN
             if telemetry.enabled:
@@ -375,6 +393,8 @@ class RecursiveResolver:
                     )
                     outcome = "timeout"
                     continue
+                if costs_on:
+                    costs.count("decode")
                 try:
                     message = self._response_memo.decode(trip.response, send_name)
                 except Exception:

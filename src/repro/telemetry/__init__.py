@@ -33,6 +33,7 @@ from __future__ import annotations
 
 from .clock import DEFAULT_CLOCK, Clock, ManualClock, MonotonicClock
 from .events import (
+    CostsEvent,
     EVENT_LOG_KIND,
     EVENT_SCHEMA_VERSION,
     EventLog,
@@ -61,8 +62,24 @@ from .analysis import (
     fault_windows_from_notes,
     render_forensics,
 )
+from .costs import (
+    COSTS_SCHEMA,
+    CostLedger,
+    NULL_COSTS,
+    NullCostLedger,
+)
 from .monitor import CampaignMonitor, replay_monitor
-from .profiling import NullProfiler, RunProfiler
+from .profiling import (
+    AllocationObservatory,
+    NULL_ALLOC,
+    NULL_SAMPLER,
+    NullAllocationObservatory,
+    NullProfiler,
+    NullSamplingProfiler,
+    RunProfiler,
+    SamplingProfiler,
+    subsystem_of_path,
+)
 from .slo import (
     SLO,
     Alert,
@@ -96,14 +113,40 @@ class Telemetry:
     run drivers append snapshot events to (:meth:`finalize_events`).
     """
 
-    __slots__ = ("registry", "tracer", "profiler", "events", "enabled")
+    __slots__ = (
+        "registry",
+        "tracer",
+        "profiler",
+        "events",
+        "costs",
+        "sampler",
+        "alloc",
+        "enabled",
+    )
 
-    def __init__(self, registry, tracer, profiler, events=None):
+    def __init__(
+        self,
+        registry,
+        tracer,
+        profiler,
+        events=None,
+        costs=None,
+        sampler=None,
+        alloc=None,
+    ):
         self.registry = registry
         self.tracer = tracer
         self.profiler = profiler
         self.events = events if events is not None else NULL_EVENT_SINK
-        #: cached flag hot paths guard on (any pillar live?)
+        self.costs = costs if costs is not None else NULL_COSTS
+        self.sampler = sampler if sampler is not None else NULL_SAMPLER
+        self.alloc = alloc if alloc is not None else NULL_ALLOC
+        #: cached flag hot paths guard on (any *simulated-system* pillar
+        #: live?).  Deliberately excludes the cost ledger, sampler, and
+        #: allocation observatory: those measure the simulator and must
+        #: leave the telemetry-off fast paths (response templates, the
+        #: no-span round trip) in place — instrumented sites guard on
+        #: ``telemetry.costs.enabled`` separately.
         self.enabled = bool(registry.enabled or tracer.enabled)
 
     @classmethod
@@ -114,6 +157,9 @@ class Telemetry:
         profiling: bool = True,
         max_traces: int = 100_000,
         event_log=None,
+        costs: bool = False,
+        sampling: str | None = None,
+        profile_alloc: bool = False,
     ) -> "Telemetry":
         """A live bundle; switch off individual pillars as needed.
 
@@ -121,6 +167,12 @@ class Telemetry:
         when given, every finished trace streams there as the run
         progresses, and :meth:`finalize_events` appends the closing
         metrics/profile snapshots.
+
+        ``costs=True`` attaches a deterministic :class:`CostLedger`;
+        ``sampling`` names a :class:`SamplingProfiler` mode (``"trace"``
+        or ``"sample"``); ``profile_alloc=True`` attaches the
+        allocation observatory.  None of the three flips ``enabled`` —
+        they observe the simulator without disturbing its fast paths.
         """
         if event_log is None:
             sink = NULL_EVENT_SINK
@@ -141,6 +193,9 @@ class Telemetry:
             tracer=tracer,
             profiler=RunProfiler() if profiling else NullProfiler(),
             events=sink,
+            costs=CostLedger() if costs else None,
+            sampler=SamplingProfiler(mode=sampling) if sampling else None,
+            alloc=AllocationObservatory() if profile_alloc else None,
         )
 
     @classmethod
@@ -188,6 +243,8 @@ class Telemetry:
             sink.emit(event)
         for event in self.profiler.to_events():
             sink.emit(event)
+        for event in self.costs.to_events():
+            sink.emit(event)
         sink.flush()
         if close:
             sink.close()
@@ -202,8 +259,12 @@ NULL_TELEMETRY = Telemetry.disabled_bundle()
 
 __all__ = [
     "Alert",
+    "AllocationObservatory",
+    "COSTS_SCHEMA",
     "CampaignMonitor",
     "Clock",
+    "CostLedger",
+    "CostsEvent",
     "Counter",
     "DEFAULT_CLOCK",
     "DEFAULT_RTT_BUCKETS_MS",
@@ -223,13 +284,19 @@ __all__ = [
     "MetricsRegistry",
     "MetricsSnapshot",
     "MonotonicClock",
+    "NULL_ALLOC",
+    "NULL_COSTS",
     "NULL_EVENT_SINK",
+    "NULL_SAMPLER",
     "NULL_SPAN",
     "NULL_TELEMETRY",
     "Note",
+    "NullAllocationObservatory",
+    "NullCostLedger",
     "NullEventSink",
     "NullProfiler",
     "NullRegistry",
+    "NullSamplingProfiler",
     "NullTracer",
     "P2Quantile",
     "ProfileEvent",
@@ -240,6 +307,7 @@ __all__ = [
     "SLO",
     "SLOError",
     "Sample",
+    "SamplingProfiler",
     "Span",
     "SpanEvent",
     "Telemetry",
@@ -262,4 +330,5 @@ __all__ = [
     "replay_monitor",
     "score_alerts",
     "span_from_dict",
+    "subsystem_of_path",
 ]

@@ -155,6 +155,11 @@ def _health_rows(metrics: dict) -> list[list[str]]:
         rows.append([f"exchanges {outcome}", str(int(count))])
     failures = _counter_total(metrics, "measurement_failures_total")
     rows.append(["failed measurements", str(int(failures))])
+    # Ring-buffer evictions mean the per-server forensic log is partial;
+    # silent loss is the one thing a health panel may not hide.
+    dropped = _counter_total(metrics, "authoritative_query_log_dropped_total")
+    if dropped:
+        rows.append(["query-log entries dropped", str(int(dropped))])
     return rows
 
 

@@ -102,6 +102,25 @@ class ProfileEvent:
 
 
 @dataclass(frozen=True)
+class CostsEvent:
+    """The deterministic per-query cost ledger (``CostLedger.as_dict``).
+
+    Unlike :class:`ProfileEvent` this payload is pure seeded-simulation
+    output, but its template counters depend on the shard *layout* (each
+    shard's servers warm their own template caches), so — like profile
+    events — it is excluded from the canonical merged log and compared
+    across worker counts at equal shard counts instead.
+    """
+
+    costs: dict
+
+    kind = "costs"
+
+    def to_record(self) -> dict:
+        return {"kind": self.kind, "costs": self.costs}
+
+
+@dataclass(frozen=True)
 class RunMeta:
     """Campaign parameters, emitted once at run start."""
 
@@ -234,6 +253,8 @@ def _event_from_record(record: dict):
         return MetricsSnapshot(metrics=record["metrics"], at=record.get("at"))
     if kind == ProfileEvent.kind:
         return ProfileEvent(profile=record["profile"])
+    if kind == CostsEvent.kind:
+        return CostsEvent(costs=record["costs"])
     if kind == RunMeta.kind:
         return RunMeta(run=record["run"], at=record.get("at"))
     if kind == ViewComparisonEvent.kind:
@@ -659,6 +680,7 @@ class EventLog:
 
 
 __all__ = [
+    "CostsEvent",
     "DEFAULT_MAX_BUFFERED",
     "EVENT_LOG_KIND",
     "EVENT_SCHEMA_VERSION",

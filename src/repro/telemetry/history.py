@@ -1,0 +1,231 @@
+"""Bench trajectory: append-only history of profile sidecars.
+
+``benchmarks/baseline.json`` answers "did this PR regress against the
+pinned baseline?"; this module answers the longitudinal question — *how
+has each phase moved across commits, and which entry moved it?*  Every
+recorded bench run becomes one schema-versioned JSON entry in
+``benchmarks/history/`` (append-only: entries are never rewritten, a
+new run appends the next sequence number), and ``repro-dns
+bench-history`` renders the trend plus a regression attribution that
+reuses the same thresholds as the ``bench-diff`` gate.
+
+An entry is a thin wrapper around the sidecar shape
+(:mod:`repro.telemetry.regression`)::
+
+    {"schema": "repro-bench-history/1", "seq": 3,
+     "recorded_at": "2026-08-08T12:00:00Z", "git_commit": "...",
+     "probes": 300, "seed": 20170412, "runs": {"2A@120s": {...}}}
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import time
+from pathlib import Path
+
+from .regression import DEFAULT_MIN_SECONDS, DEFAULT_PHASE_THRESHOLD, diff_sidecars
+
+#: entry schema; bump on incompatible change.
+HISTORY_SCHEMA = "repro-bench-history/1"
+
+_ENTRY_NAME = re.compile(r"^(?P<seq>\d{4})-(?P<commit>[0-9a-z]+|unknown)\.json$")
+
+
+class HistoryError(ValueError):
+    """The directory does not hold a readable bench history."""
+
+
+def entry_from_sidecar(
+    sidecar: dict, seq: int, recorded_at: str | None = None
+) -> dict:
+    """Wrap one bench sidecar as a history entry."""
+    if recorded_at is None:
+        recorded_at = time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
+    return {
+        "schema": HISTORY_SCHEMA,
+        "seq": seq,
+        "recorded_at": recorded_at,
+        "git_commit": sidecar.get("git_commit", ""),
+        "probes": sidecar.get("probes"),
+        "seed": sidecar.get("seed"),
+        "runs": sidecar.get("runs", {}),
+    }
+
+
+def append_entry(
+    directory: str | Path, sidecar: dict, recorded_at: str | None = None
+) -> Path:
+    """Append ``sidecar`` as the next history entry; returns its path."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    seq = 0
+    for existing in directory.glob("*.json"):
+        match = _ENTRY_NAME.match(existing.name)
+        if match:
+            seq = max(seq, int(match.group("seq")))
+    seq += 1
+    entry = entry_from_sidecar(sidecar, seq, recorded_at=recorded_at)
+    commit = (entry["git_commit"] or "unknown")[:12] or "unknown"
+    path = directory / f"{seq:04d}-{commit}.json"
+    path.write_text(json.dumps(entry, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_history(directory: str | Path) -> list[dict]:
+    """Every entry in ``directory``, ordered by sequence number."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        raise HistoryError(f"{directory}: no such history directory")
+    entries = []
+    for path in sorted(directory.glob("*.json")):
+        if not _ENTRY_NAME.match(path.name):
+            continue
+        try:
+            entry = json.loads(path.read_text())
+        except json.JSONDecodeError as exc:
+            raise HistoryError(f"{path}: not JSON ({exc})") from None
+        if not isinstance(entry, dict) or entry.get("schema") != HISTORY_SCHEMA:
+            raise HistoryError(
+                f"{path}: entry schema {entry.get('schema')!r} != "
+                f"{HISTORY_SCHEMA!r}"
+            )
+        entry["_path"] = str(path)
+        entries.append(entry)
+    entries.sort(key=lambda entry: entry.get("seq", 0))
+    return entries
+
+
+def phase_series(
+    entries: list[dict], phases: list[str] | None = None
+) -> dict[tuple[str, str], list[float | None]]:
+    """(run key, phase) -> per-entry seconds (None where absent)."""
+    keys: list[tuple[str, str]] = []
+    seen = set()
+    for entry in entries:
+        for run_key, profile in sorted((entry.get("runs") or {}).items()):
+            for phase in sorted((profile or {}).get("phases", {})):
+                if phases is not None and not any(
+                    phase.startswith(prefix) for prefix in phases
+                ):
+                    continue
+                if (run_key, phase) not in seen:
+                    seen.add((run_key, phase))
+                    keys.append((run_key, phase))
+    series: dict[tuple[str, str], list[float | None]] = {}
+    for key in keys:
+        run_key, phase = key
+        row: list[float | None] = []
+        for entry in entries:
+            profile = (entry.get("runs") or {}).get(run_key) or {}
+            stat = profile.get("phases", {}).get(phase)
+            row.append(float(stat["seconds"]) if stat else None)
+        series[key] = row
+    return series
+
+
+def attribute_regressions(
+    entries: list[dict],
+    phase_threshold: float = DEFAULT_PHASE_THRESHOLD,
+    min_seconds: float = DEFAULT_MIN_SECONDS,
+    phases: list[str] | None = None,
+) -> list[dict]:
+    """Which phase moved, and at which entry.
+
+    Runs the ``bench-diff`` comparison over every consecutive entry
+    pair; each finding names the entry (seq + commit) that introduced
+    the slowdown, so a trend line that drifted across ten commits
+    decomposes into the commits that actually moved it.
+    """
+    findings = []
+    for base, new in zip(entries, entries[1:]):
+        diff = diff_sidecars(
+            base,
+            new,
+            phase_threshold=phase_threshold,
+            min_seconds=min_seconds,
+            base_path=f"entry {base.get('seq')}",
+            new_path=f"entry {new.get('seq')}",
+            phases=phases,
+        )
+        for delta in diff.phases:
+            if delta.regressed:
+                findings.append(
+                    {
+                        "seq": new.get("seq"),
+                        "git_commit": new.get("git_commit", ""),
+                        "recorded_at": new.get("recorded_at", ""),
+                        "run": delta.run,
+                        "phase": delta.phase,
+                        "base_s": delta.base_s,
+                        "new_s": delta.new_s,
+                        "ratio": delta.ratio,
+                    }
+                )
+    return findings
+
+
+def render_history(
+    entries: list[dict],
+    phases: list[str] | None = None,
+    last: int = 8,
+    phase_threshold: float = DEFAULT_PHASE_THRESHOLD,
+    min_seconds: float = DEFAULT_MIN_SECONDS,
+) -> str:
+    """Trend table over the last ``last`` entries plus attribution."""
+    if not entries:
+        return "bench history: no entries"
+    window = entries[-last:]
+    lines = [f"=== Bench trajectory — {len(entries)} entries ==="]
+    lines.append("")
+    header = f"{'run / phase':<42}" + "".join(
+        f" {'#' + str(entry.get('seq')):>9}" for entry in window
+    )
+    lines.append(header)
+    commits = f"{'':<42}" + "".join(
+        f" {(entry.get('git_commit') or 'unknown')[:9]:>9}" for entry in window
+    )
+    lines.append(commits)
+    lines.append("-" * len(header))
+    for (run_key, phase), row in phase_series(window, phases=phases).items():
+        cells = "".join(
+            f" {value:>8.3f}s" if value is not None else f" {'-':>9}"
+            for value in row
+        )
+        present = [value for value in row if value is not None]
+        trend = ""
+        if len(present) >= 2 and present[0] > 0:
+            trend = f"  ({present[-1] / present[0]:.2f}x)"
+        lines.append(f"{run_key + ' ' + phase:<42}{cells}{trend}")
+    findings = attribute_regressions(
+        entries,
+        phase_threshold=phase_threshold,
+        min_seconds=min_seconds,
+        phases=phases,
+    )
+    lines.append("")
+    if findings:
+        lines.append("Regression attribution (bench-diff thresholds)")
+        for finding in findings:
+            commit = (finding["git_commit"] or "unknown")[:12]
+            lines.append(
+                f"  entry #{finding['seq']} ({commit}): "
+                f"{finding['run']} {finding['phase']} "
+                f"{finding['base_s']:.3f}s -> {finding['new_s']:.3f}s "
+                f"({finding['ratio']:.2f}x)"
+            )
+    else:
+        lines.append("Regression attribution: no phase moved beyond thresholds")
+    return "\n".join(lines)
+
+
+__all__ = [
+    "HISTORY_SCHEMA",
+    "HistoryError",
+    "append_entry",
+    "attribute_regressions",
+    "entry_from_sidecar",
+    "load_history",
+    "phase_series",
+    "render_history",
+]

@@ -76,6 +76,9 @@ class CampaignMonitor:
         self.virtual_start: float | None = None
         self.finished = False
         self.events_seen = 0
+        #: server query-log ring-buffer evictions (closing snapshot);
+        #: nonzero means the per-server forensic log is partial.
+        self.query_log_dropped = 0
         self._wall_start: float | None = None
 
     # -- ingestion ----------------------------------------------------------
@@ -99,7 +102,16 @@ class CampaignMonitor:
                 self.finished = True
                 if event.at is not None:
                     self.virtual_now = max(self.virtual_now, float(event.at))
+                self._consume_metrics(event.metrics)
         return len(events)
+
+    def _consume_metrics(self, metrics: dict) -> None:
+        """Pull the forensic-loss counters out of the closing snapshot."""
+        from .dashboard import _counter_total
+
+        self.query_log_dropped = int(
+            _counter_total(metrics, "authoritative_query_log_dropped_total")
+        )
 
     def _consume_trace(self, event: TraceEvent) -> None:
         root = event.root
@@ -209,6 +221,11 @@ class CampaignMonitor:
             + "  p99="
             + (f"{p99:.1f}ms" if not math.isnan(p99) else "-")
         )
+        if self.query_log_dropped:
+            lines.append(
+                f"query-log entries dropped={self.query_log_dropped} "
+                "(forensic ring buffer overflowed; raise query_log_max)"
+            )
         sections = ["\n".join(lines)]
 
         if self.ns_counts:

@@ -80,3 +80,32 @@ class TestLiveLogParity:
         EventLogWriter(path).close()
         with pytest.raises(ValueError, match="no metrics snapshot"):
             render_dashboard_from_log(path)
+
+
+class TestQueryLogDropRow:
+    """Satellite: ring-buffer evictions must show up in the health panel."""
+
+    DROP_METRICS = {
+        "authoritative_query_log_dropped_total": {
+            "samples": [
+                {"labels": {"server": "ns1"}, "value": 5.0},
+                {"labels": {"server": "ns2"}, "value": 2.0},
+            ]
+        }
+    }
+
+    def test_drop_counter_surfaces_in_health_rows(self):
+        text = render_dashboard(self.DROP_METRICS)
+        assert "query-log entries dropped" in text
+        assert "7" in text
+
+    def test_row_absent_when_nothing_dropped(self):
+        assert "query-log entries dropped" not in render_dashboard({})
+
+    def test_row_absent_when_counter_is_zero(self):
+        metrics = {
+            "authoritative_query_log_dropped_total": {
+                "samples": [{"labels": {"server": "ns1"}, "value": 0.0}]
+            }
+        }
+        assert "query-log entries dropped" not in render_dashboard(metrics)

@@ -1,0 +1,155 @@
+"""Bench-trajectory semantics: append-only entries, trends, attribution."""
+
+import json
+
+import pytest
+
+from repro.telemetry.history import (
+    HISTORY_SCHEMA,
+    HistoryError,
+    append_entry,
+    attribute_regressions,
+    entry_from_sidecar,
+    load_history,
+    phase_series,
+    render_history,
+)
+from repro.telemetry.regression import SIDECAR_SCHEMA
+
+
+def sidecar(measure_s: float = 0.5, commit: str = "abc123def456") -> dict:
+    return {
+        "schema": SIDECAR_SCHEMA,
+        "git_commit": commit,
+        "probes": 300,
+        "seed": 20170412,
+        "runs": {
+            "2C@120s": {
+                "phases": {
+                    "experiment.measure": {
+                        "seconds": measure_s, "calls": 1,
+                    },
+                    "experiment.deploy": {"seconds": 0.001, "calls": 1},
+                },
+                "counters": {"experiment.observations": 900.0},
+            }
+        },
+    }
+
+
+class TestEntries:
+    def test_entry_wraps_sidecar(self):
+        entry = entry_from_sidecar(
+            sidecar(), seq=3, recorded_at="2026-08-08T00:00:00Z"
+        )
+        assert entry["schema"] == HISTORY_SCHEMA
+        assert entry["seq"] == 3
+        assert entry["git_commit"] == "abc123def456"
+        assert entry["probes"] == 300
+        assert "2C@120s" in entry["runs"]
+
+    def test_append_assigns_increasing_sequence(self, tmp_path):
+        first = append_entry(tmp_path, sidecar())
+        second = append_entry(tmp_path, sidecar())
+        assert first.name.startswith("0001-")
+        assert second.name.startswith("0002-")
+
+    def test_append_truncates_commit_in_filename(self, tmp_path):
+        path = append_entry(tmp_path, sidecar(commit="a" * 40))
+        assert path.name == f"0001-{'a' * 12}.json"
+
+    def test_append_without_commit_uses_unknown(self, tmp_path):
+        bare = sidecar()
+        bare["git_commit"] = None
+        path = append_entry(tmp_path, bare)
+        assert path.name == "0001-unknown.json"
+
+    def test_append_never_rewrites_existing_entries(self, tmp_path):
+        first = append_entry(tmp_path, sidecar(measure_s=0.5))
+        before = first.read_text()
+        append_entry(tmp_path, sidecar(measure_s=9.0))
+        assert first.read_text() == before
+        assert len(load_history(tmp_path)) == 2
+
+
+class TestLoading:
+    def test_load_orders_by_sequence(self, tmp_path):
+        for measure_s in (0.5, 0.6, 0.7):
+            append_entry(tmp_path, sidecar(measure_s=measure_s))
+        entries = load_history(tmp_path)
+        assert [entry["seq"] for entry in entries] == [1, 2, 3]
+
+    def test_load_skips_foreign_files(self, tmp_path):
+        append_entry(tmp_path, sidecar())
+        (tmp_path / "notes.json").write_text("{}")
+        (tmp_path / "README.md").write_text("not an entry")
+        assert len(load_history(tmp_path)) == 1
+
+    def test_missing_directory_raises(self, tmp_path):
+        with pytest.raises(HistoryError):
+            load_history(tmp_path / "absent")
+
+    def test_wrong_schema_raises(self, tmp_path):
+        path = append_entry(tmp_path, sidecar())
+        entry = json.loads(path.read_text())
+        entry["schema"] = "something/else"
+        path.write_text(json.dumps(entry))
+        with pytest.raises(HistoryError):
+            load_history(tmp_path)
+
+    def test_unparseable_entry_raises(self, tmp_path):
+        append_entry(tmp_path, sidecar())
+        (tmp_path / "0002-unknown.json").write_text("{not json")
+        with pytest.raises(HistoryError):
+            load_history(tmp_path)
+
+
+class TestTrends:
+    def test_phase_series_tracks_each_entry(self, tmp_path):
+        for measure_s in (0.5, 0.75):
+            append_entry(tmp_path, sidecar(measure_s=measure_s))
+        series = phase_series(load_history(tmp_path))
+        assert series[("2C@120s", "experiment.measure")] == [0.5, 0.75]
+
+    def test_phase_series_prefix_filter(self, tmp_path):
+        append_entry(tmp_path, sidecar())
+        series = phase_series(
+            load_history(tmp_path), phases=["experiment.measure"]
+        )
+        assert list(series) == [("2C@120s", "experiment.measure")]
+
+    def test_attribution_names_the_entry_that_moved(self, tmp_path):
+        append_entry(tmp_path, sidecar(measure_s=0.5, commit="aaa111"))
+        append_entry(tmp_path, sidecar(measure_s=0.52, commit="bbb222"))
+        append_entry(tmp_path, sidecar(measure_s=1.2, commit="ccc333"))
+        findings = attribute_regressions(load_history(tmp_path))
+        assert len(findings) == 1
+        finding = findings[0]
+        assert finding["seq"] == 3
+        assert finding["git_commit"] == "ccc333"
+        assert finding["phase"] == "experiment.measure"
+
+    def test_steady_history_attributes_nothing(self, tmp_path):
+        for _ in range(3):
+            append_entry(tmp_path, sidecar(measure_s=0.5))
+        assert attribute_regressions(load_history(tmp_path)) == []
+
+    def test_render_trend_and_attribution(self, tmp_path):
+        append_entry(tmp_path, sidecar(measure_s=0.5, commit="aaa111"))
+        append_entry(tmp_path, sidecar(measure_s=1.2, commit="bbb222"))
+        text = render_history(load_history(tmp_path))
+        assert "Bench trajectory" in text
+        assert "experiment.measure" in text
+        assert "(2.40x)" in text
+        assert "Regression attribution" in text
+        assert "bbb222" in text
+
+    def test_render_empty_history(self):
+        assert "no entries" in render_history([])
+
+    def test_render_last_window(self, tmp_path):
+        for index in range(4):
+            append_entry(tmp_path, sidecar(commit=f"c{index}00000"))
+        text = render_history(load_history(tmp_path), last=2)
+        assert "#3" in text and "#4" in text
+        assert "#1" not in text

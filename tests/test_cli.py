@@ -180,6 +180,165 @@ class TestBenchDiffCommand:
         assert main(["bench-diff", base, str(tmp_path / "absent.json")]) == 2
 
 
+class TestCostsCommand:
+    ARGS = [
+        "costs", "--probes", "20", "--duration", "10", "--seed", "3",
+    ]
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["costs"])
+        assert args.combo == "2C"
+        assert args.probes == 300
+        assert args.profile_mode == "trace"
+        assert args.log is None
+
+    def test_live_run_renders_decomposition(self, capsys, tmp_path):
+        export = tmp_path / "costs.json"
+        code = main(["--quiet", *self.ARGS, "--export", str(export)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Per-query overhead decomposition" in out
+        assert "us/query" in out
+        assert "Cost ledger" in out
+        data = json.loads(export.read_text())
+        assert data["schema"] == "repro-cost-ledger/1"
+        assert data["queries"] > 0
+
+    def test_trace_mode_attributes_the_measure_phase(self, capsys):
+        assert main(["--quiet", *self.ARGS]) == 0
+        out = capsys.readouterr().out
+        # the 5%-of-phase-time acceptance bar, printed per run
+        for line in out.splitlines():
+            if line.startswith("attributed ") and "measured" in line:
+                share = float(line.rsplit("(", 1)[1].rstrip("%)"))
+                assert share >= 95.0
+                break
+        else:
+            raise AssertionError(f"no attribution line in:\n{out}")
+
+    def test_sample_mode_writes_flamegraph(self, capsys, tmp_path):
+        flame = tmp_path / "flame.txt"
+        code = main([
+            "--quiet", "costs", "--probes", "60", "--duration", "20",
+            "--profile-mode", "sample", "--flamegraph", str(flame),
+        ])
+        out = capsys.readouterr().out
+        if code == 1:
+            # legitimately possible: a fast run can finish between polls
+            assert not flame.exists()
+            return
+        assert code == 0
+        assert flame.exists()
+        stack, count = flame.read_text().splitlines()[0].rsplit(" ", 1)
+        assert int(count) >= 1
+
+    def test_profile_alloc_reports_phases(self, capsys):
+        code = main(["--quiet", *self.ARGS, "--profile-alloc"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "experiment.measure" in out
+        assert "GC:" in out
+
+    def test_export_identical_for_serial_and_sharded(self, capsys, tmp_path):
+        serial = tmp_path / "serial.json"
+        sharded = tmp_path / "sharded.json"
+        base = [
+            "--quiet", "costs", "--probes", "20", "--duration", "10",
+            "--seed", "3", "--profile-mode", "off",
+        ]
+        assert main([*base, "--shards", "2", "--export", str(serial)]) == 0
+        assert main([
+            *base, "--workers", "2", "--shards", "2",
+            "--export", str(sharded),
+        ]) == 0
+        assert serial.read_bytes() == sharded.read_bytes()
+
+    def test_log_mode_round_trips_the_ledger(self, capsys, tmp_path):
+        log = tmp_path / "run.events.jsonl"
+        assert main(["--quiet", *self.ARGS, "--events", str(log)]) == 0
+        capsys.readouterr()
+        assert main(["--quiet", "costs", str(log)]) == 0
+        assert "Cost ledger" in capsys.readouterr().out
+
+    def test_log_without_costs_record_exits_one(self, capsys, tmp_path):
+        # a real event log, but produced without the cost ledger
+        log = tmp_path / "plain.events.jsonl"
+        assert main([
+            "--quiet", "run", "--probes", "10", "--duration", "10",
+            "--events", str(log),
+        ]) == 0
+        capsys.readouterr()
+        assert main(["--quiet", "costs", str(log)]) == 1
+
+    def test_unreadable_log_exits_two(self, capsys, tmp_path):
+        log = tmp_path / "empty.jsonl"
+        log.write_text("")
+        assert main(["--quiet", "costs", str(log)]) == 2
+
+
+class TestBenchHistoryCommand:
+    @staticmethod
+    def _sidecar(tmp_path, name, seconds):
+        from repro.telemetry.regression import SIDECAR_SCHEMA
+
+        path = tmp_path / name
+        path.write_text(json.dumps({
+            "schema": SIDECAR_SCHEMA,
+            "git_commit": "cafe" * 10,
+            "probes": 300,
+            "runs": {"2C@120s": {
+                "phases": {"experiment.measure": {"seconds": seconds}},
+            }},
+        }))
+        return str(path)
+
+    def test_record_and_render_trend(self, capsys, tmp_path):
+        history = tmp_path / "history"
+        first = self._sidecar(tmp_path, "a.json", 0.5)
+        second = self._sidecar(tmp_path, "b.json", 0.55)
+        for sidecar in (first, second):
+            assert main([
+                "--quiet", "bench-history", "--dir", str(history),
+                "--record", "--sidecar", sidecar,
+            ]) == 0
+            capsys.readouterr()
+        assert main(["bench-history", "--dir", str(history)]) == 0
+        out = capsys.readouterr().out
+        assert "Bench trajectory — 2 entries" in out
+        assert "experiment.measure" in out
+
+    def test_attributes_regressions(self, capsys, tmp_path):
+        history = tmp_path / "history"
+        for seconds in (0.5, 1.5):
+            assert main([
+                "--quiet", "bench-history", "--dir", str(history),
+                "--record",
+                "--sidecar", self._sidecar(tmp_path, f"{seconds}.json", seconds),
+            ]) == 0
+            capsys.readouterr()
+        assert main(["bench-history", "--dir", str(history)]) == 0
+        out = capsys.readouterr().out
+        assert "Regression attribution" in out
+        assert "3.00x" in out
+
+    def test_missing_directory_exits_two(self, capsys, tmp_path):
+        assert main([
+            "bench-history", "--dir", str(tmp_path / "absent"),
+        ]) == 2
+
+    def test_unreadable_sidecar_exits_two(self, capsys, tmp_path):
+        assert main([
+            "bench-history", "--dir", str(tmp_path / "h"), "--record",
+            "--sidecar", str(tmp_path / "absent.json"),
+        ]) == 2
+
+    def test_committed_history_renders(self, capsys):
+        """The repo ships a real trajectory under benchmarks/history/."""
+        assert main(["bench-history"]) == 0
+        out = capsys.readouterr().out
+        assert "Bench trajectory" in out
+
+
 class TestScorecardCommand:
     def test_scorecard_runs_and_renders(self, capsys):
         # Tiny scale: the verdicts are noisy, so only the mechanics are
