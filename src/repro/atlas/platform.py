@@ -228,6 +228,23 @@ class AtlasPlatform:
         always record the text form, so event logs are unaffected.
         """
         result = vp.resolver.resolve(qname if name is None else name, RRType.TXT)
+        return self._record(run, vp, qname, now, result)
+
+    def _record(
+        self,
+        run: MeasurementRun,
+        vp: VantagePoint,
+        qname: str,
+        now: float,
+        result,
+    ) -> QueryObservation:
+        """Record one finished resolution as an observation.
+
+        ``now`` is the query *issue* time (the measurement tick), not the
+        completion time: observations sort by (timestamp, vp_id) in the
+        canonical merge, and the issue time is the layout-invariant key
+        both the synchronous loop and the event kernel agree on.
+        """
         site = ""
         if result.succeeded:
             marker = result.txt_value() or ""
@@ -277,6 +294,7 @@ class AtlasPlatform:
         label_prefix: str = "m",
         heartbeat_every: int = 0,
         shard: int | None = None,
+        kernel: bool = False,
     ) -> MeasurementRun:
         """Run the paper's campaign: a TXT query per VP per interval.
 
@@ -289,6 +307,14 @@ class AtlasPlatform:
         timestamps, tick counts) and the parallel engine excludes them
         from the canonical merged log, so enabling them never perturbs
         a result.  The default 0 skips everything, including the flush.
+
+        ``kernel=True`` drives the campaign through the discrete-event
+        kernel: ticks are timer events, responses are delivery events,
+        and retries are timeout events, so the whole campaign is one
+        heap drain interleaving every in-flight query.  Observations
+        carry the same content as the synchronous loop — issue-time
+        timestamps, layout-invariant RNG streams — so the canonical
+        merged output stays byte-identical across worker layouts.
         """
         if not self.vantage_points:
             self.build_vantage_points()
@@ -303,29 +329,100 @@ class AtlasPlatform:
         suffix_text = f".probe.{domain}"
         costs = self.telemetry.costs
         costs_on = costs.enabled
-        with self.telemetry.profiler.phase("platform.measure"):
-            for tick in range(ticks):
-                if costs_on:
-                    # One virtual-time timer firing per measurement tick
-                    # — the loop the DES kernel will replace with a heap.
-                    costs.count("timer_event")
-                now = self.network.clock.now
-                for vp in self.vantage_points:
-                    label = f"{label_prefix}-{vp.vp_id}-{tick}"
-                    self._observe(
-                        run, vp, label + suffix_text, now,
-                        name=suffix.child(label.encode("ascii")),
-                    )
-                self.network.clock.advance(interval_s)
-                if heartbeat_every and (tick + 1) % heartbeat_every == 0:
-                    self._emit_heartbeat(
-                        tick + 1, ticks, len(run.observations), shard
-                    )
+        if kernel:
+            self._measure_kernel(
+                run, ticks, interval_s, label_prefix, suffix, suffix_text,
+                heartbeat_every, shard,
+            )
+        else:
+            with self.telemetry.profiler.phase("platform.measure"):
+                for tick in range(ticks):
+                    if costs_on:
+                        # One virtual-time timer firing per measurement
+                        # tick — the synchronous stand-in for the
+                        # kernel's tick event.
+                        costs.count("timer_event")
+                    now = self.network.clock.now
+                    for vp in self.vantage_points:
+                        label = f"{label_prefix}-{vp.vp_id}-{tick}"
+                        self._observe(
+                            run, vp, label + suffix_text, now,
+                            name=suffix.child(label.encode("ascii")),
+                        )
+                    self.network.clock.advance(interval_s)
+                    if heartbeat_every and (tick + 1) % heartbeat_every == 0:
+                        self._emit_heartbeat(
+                            tick + 1, ticks, len(run.observations), shard
+                        )
         self._emit_campaign_note(
             "measure.end", domain, interval_s, duration_s,
             observations=len(run.observations),
         )
         return run
+
+    def _measure_kernel(
+        self,
+        run: MeasurementRun,
+        ticks: int,
+        interval_s: float,
+        label_prefix: str,
+        suffix: Name,
+        suffix_text: str,
+        heartbeat_every: int,
+        shard: int | None,
+    ) -> None:
+        """The campaign as one event-kernel drain.
+
+        Every tick is a timer event issuing one query per VP (in vp_id
+        order, which pins the heap's tie-break sequence to the same
+        order the synchronous loop uses); completions append to the run
+        via per-query callbacks.  The drain runs past the campaign end
+        so in-flight retries finish — then the clock is brought to the
+        nominal campaign end if the last event fell short of it.
+        """
+        from functools import partial
+
+        from ..netsim.sched import EventKernel
+
+        clock = self.network.clock
+        costs = self.telemetry.costs
+        kernel = EventKernel(clock=clock, costs=costs)
+        epoch = clock.now
+        record = self._record
+        costs_on = costs.enabled
+
+        def tick_event(tick: int) -> None:
+            if costs_on:
+                costs.count("timer_event")
+            now = clock.now
+            for vp in self.vantage_points:
+                label = f"{label_prefix}-{vp.vp_id}-{tick}"
+                qname = label + suffix_text
+                vp.resolver.resolve_event(
+                    suffix.child(label.encode("ascii")),
+                    RRType.TXT,
+                    kernel,
+                    partial(record, run, vp, qname, now),
+                )
+
+        for tick in range(ticks):
+            kernel.call_at(epoch + tick * interval_s, tick_event, tick)
+        if heartbeat_every:
+            for tick in range(heartbeat_every, ticks + 1, heartbeat_every):
+                kernel.call_at(
+                    epoch + tick * interval_s,
+                    partial(self._emit_kernel_heartbeat, run, tick, ticks, shard),
+                )
+        with self.telemetry.profiler.phase("platform.measure"):
+            kernel.run()
+        end = epoch + ticks * interval_s
+        if end > clock.now:
+            clock.advance_to(end)
+
+    def _emit_kernel_heartbeat(
+        self, run: MeasurementRun, tick: int, ticks: int, shard: int | None
+    ) -> None:
+        self._emit_heartbeat(tick, ticks, len(run.observations), shard)
 
     def _emit_heartbeat(
         self, tick: int, ticks: int, observations: int, shard: int | None

@@ -140,6 +140,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         ipv6=args.ipv6,
         scenario=args.scenario,
         heartbeat_every_ticks=args.heartbeat_every,
+        kernel=args.kernel,
     )
     io.status(
         f"running {args.combo} ({', '.join(COMBINATIONS[args.combo].sites)}): "
@@ -248,6 +249,7 @@ def _cmd_faults_run(args: argparse.Namespace) -> int:
         duration_s=duration_s,
         seed=args.seed,
         scenario=scenario,
+        kernel=args.kernel,
     )
     io.status(
         f"running {args.combo} under scenario {scenario.name!r} "
@@ -783,6 +785,7 @@ def _cmd_costs(args: argparse.Namespace) -> int:
         duration_s=args.duration * 60.0,
         seed=args.seed,
         scenario=args.scenario,
+        kernel=args.kernel,
     )
     io.status(
         f"costing {args.combo}: {args.probes} probes, "
@@ -1143,6 +1146,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit a shard.heartbeat note every N measurement ticks "
         "for 'repro-dns top' (0 = off; never affects results)",
     )
+    run_parser.add_argument(
+        "--kernel", action="store_true",
+        help="drive the campaign through the discrete-event kernel "
+        "(ticks, deliveries, and retries as heap events)",
+    )
     run_parser.set_defaults(func=_cmd_run)
 
     analyze_parser = sub.add_parser("analyze", help="analyze a saved run")
@@ -1388,6 +1396,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="stream a telemetry event log (JSONL) carrying the costs "
         "record to FILE",
     )
+    costs_parser.add_argument(
+        "--kernel", action="store_true",
+        help="cost the campaign on the discrete-event kernel instead "
+        "of the synchronous per-query loop",
+    )
     costs_parser.set_defaults(func=_cmd_costs)
 
     history_parser = sub.add_parser(
@@ -1533,6 +1546,10 @@ def build_parser() -> argparse.ArgumentParser:
     faults_run.add_argument(
         "--export", metavar="FILE",
         help="save the resolved scenario as a scenario JSON file",
+    )
+    faults_run.add_argument(
+        "--kernel", action="store_true",
+        help="drive the campaign through the discrete-event kernel",
     )
     faults_run.set_defaults(func=_cmd_faults_run)
 

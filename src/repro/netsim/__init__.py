@@ -4,6 +4,7 @@ from .addressing import Ipv4Allocator, Ipv6Allocator
 from .anycast import AnycastGroup, AnycastSite
 from .clock import SimClock
 from .events import EventScheduler
+from .sched import EventKernel
 from .geo import (
     ATLAS_CONTINENT_WEIGHTS,
     DATACENTERS,
@@ -43,6 +44,7 @@ __all__ = [
     "Continent",
     "DATACENTERS",
     "DeliveryError",
+    "EventKernel",
     "EventScheduler",
     "FaultEvent",
     "FaultPlan",

@@ -1,103 +1,76 @@
-"""A small discrete-event engine driving the shared :class:`SimClock`."""
+"""Telemetry-counting facade over the discrete-event kernel.
+
+The heap, ordering, and cancellation semantics live in
+:class:`~repro.netsim.sched.EventKernel`; this subclass keeps the
+historical :class:`EventScheduler` surface (``schedule_at`` /
+``schedule_in``) and adds per-event metrics when a telemetry bundle is
+attached — the right tool for instrumented, human-scale runs, while the
+bare kernel is what campaign hot loops drive.
+"""
 
 from __future__ import annotations
 
-import heapq
-import itertools
-from dataclasses import dataclass, field
 from typing import Callable
 
 from ..telemetry import NULL_TELEMETRY
 from .clock import SimClock
+from .sched import EventKernel
 
 
-@dataclass(order=True)
-class _ScheduledEvent:
-    time: float
-    seq: int
-    callback: Callable[[], None] = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
-
-
-class EventScheduler:
+class EventScheduler(EventKernel):
     """Priority-queue event loop over virtual time.
 
     Events scheduled for the same instant run in scheduling order, which
     keeps campaign runs reproducible.
     """
 
+    __slots__ = ("telemetry",)
+
     def __init__(self, clock: SimClock | None = None, telemetry=None):
-        self.clock = clock if clock is not None else SimClock()
+        super().__init__(clock=clock)
         self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
-        self._queue: list[_ScheduledEvent] = []
-        self._counter = itertools.count()
-        self._processed = 0
 
-    @property
-    def now(self) -> float:
-        return self.clock.now
-
-    @property
-    def pending(self) -> int:
-        return sum(1 for event in self._queue if not event.cancelled)
-
-    @property
-    def processed(self) -> int:
-        return self._processed
-
-    def schedule_at(self, timestamp: float, callback: Callable[[], None]) -> _ScheduledEvent:
+    def schedule_at(self, timestamp: float, callback: Callable[[], None]) -> list:
         """Run ``callback`` at an absolute virtual time."""
-        if timestamp < self.clock.now:
-            raise ValueError(
-                f"cannot schedule at {timestamp} before now {self.clock.now}"
-            )
-        event = _ScheduledEvent(timestamp, next(self._counter), callback)
-        heapq.heappush(self._queue, event)
-        return event
+        return self.call_at(timestamp, callback)
 
-    def schedule_in(self, delay: float, callback: Callable[[], None]) -> _ScheduledEvent:
+    def schedule_in(self, delay: float, callback: Callable[[], None]) -> list:
         """Run ``callback`` after a relative delay."""
-        if delay < 0:
-            raise ValueError(f"negative delay {delay}")
-        return self.schedule_at(self.clock.now + delay, callback)
-
-    def cancel(self, event: _ScheduledEvent) -> None:
-        event.cancelled = True
+        return self.call_later(delay, callback)
 
     def step(self) -> bool:
         """Process the next event; returns False when the queue is empty."""
-        while self._queue:
-            event = heapq.heappop(self._queue)
-            if event.cancelled:
-                continue
-            self.clock.advance_to(event.time)
-            event.callback()
-            self._processed += 1
-            telemetry = self.telemetry
-            if telemetry.enabled:
-                registry = telemetry.registry
-                registry.counter(
-                    "sim_events_processed_total",
-                    "discrete events executed by the scheduler",
-                ).inc()
-                registry.gauge(
-                    "sim_events_pending", "events waiting in the scheduler queue"
-                ).set(self.pending)
-            return True
-        return False
+        if not super().step():
+            return False
+        telemetry = self.telemetry
+        if telemetry.enabled:
+            registry = telemetry.registry
+            registry.counter(
+                "sim_events_processed_total",
+                "discrete events executed by the scheduler",
+            ).inc()
+            registry.gauge(
+                "sim_events_pending", "events waiting in the scheduler queue"
+            ).set(self.pending)
+        return True
 
-    def run_until(self, timestamp: float) -> None:
-        """Process every event with time <= ``timestamp``, then jump there."""
-        while self._queue:
-            head = self._queue[0]
-            if head.cancelled:
-                heapq.heappop(self._queue)
-                continue
-            if head.time > timestamp:
+    def run_until(self, timestamp: float) -> int:
+        """Process every event with time <= ``timestamp``, then jump there.
+
+        Routed through :meth:`step` so the per-event telemetry counters
+        fire; the bare kernel's inlined loop skips them by design.
+        """
+        executed = 0
+        heap = self._heap
+        while heap:
+            head = heap[0]
+            if head[0] > timestamp:
                 break
-            self.step()
+            if self.step():
+                executed += 1
         if timestamp > self.clock.now:
             self.clock.advance_to(timestamp)
+        return executed
 
     def run(self, max_events: int | None = None) -> int:
         """Drain the queue; returns the number of events processed."""
@@ -107,3 +80,6 @@ class EventScheduler:
             if max_events is not None and count >= max_events:
                 break
         return count
+
+
+__all__ = ["EventScheduler"]

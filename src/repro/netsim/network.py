@@ -152,6 +152,86 @@ class SimNetwork:
 
     # -- transport ------------------------------------------------------------
 
+    def sample_path(
+        self,
+        client_location: Location,
+        client_address: str,
+        dst_address: str,
+    ) -> tuple:
+        """Resolve route + draw the fate of one exchange at virtual now.
+
+        Returns ``(lost, rtt_ms, handler, code, fault_drop, is_anycast,
+        latency_fault)``.  ``fault_drop`` is ``"ns_outage"`` /
+        ``"loss"`` / ``"brownout"`` when a fault caused the loss, else
+        ``None``; on an outage no route is attempted and ``handler`` is
+        ``None``.  Raises :class:`DeliveryError` for unroutable
+        destinations (unknown address or fully withdrawn anycast group).
+
+        This is the single place exchange outcomes are drawn: the
+        synchronous :meth:`round_trip` and the event kernel's send path
+        both call it, so every draw comes from the same per-(client,
+        destination) streams in the same order — the property the
+        serial≡K-worker byte-identity contract rests on.  The draw
+        count depends only on which faults are active (a pure function
+        of ``(dst_address, now)``), never on outcomes.
+        """
+        telemetry = self.telemetry
+        # The cost ledger is independent of `telemetry.enabled` — it
+        # counts work in both the traced and untraced paths (that is
+        # its point: measure the fast path, not a slowed-down
+        # stand-in).  Never draws RNG.
+        costs = telemetry.costs
+        costs_on = costs.enabled
+        faults = self.faults
+        if faults is not None:
+            active = faults.active(dst_address, self.clock.now)
+            if costs_on:
+                costs.count("fault_eval")
+        else:
+            active = None
+        if active is not None and active.outage:
+            return (True, None, None, "", "ns_outage", False, False)
+        site_location, handler, code = self.route(
+            client_location, client_address, dst_address,
+            exclude_sites=active.withdrawn if active is not None else None,
+        )
+        lost, rtt_ms = self.latency.sample_exchange(
+            client_address, dst_address,
+            client_location.point, site_location.point,
+        )
+        if costs_on:
+            costs.count("rng_draw")
+        fault_drop = None
+        if active is not None:
+            # One draw per active probabilistic fault, outcomes
+            # notwithstanding, so the pair stream advances identically
+            # in every layout.
+            if active.loss_rate > 0.0:
+                stream = faults.pair_rng(client_address, dst_address)
+                if stream.random() < active.loss_rate:
+                    lost = True
+                    fault_drop = "loss"
+                if costs_on:
+                    costs.count("rng_draw")
+            if active.answer_rate < 1.0:
+                stream = faults.pair_rng(client_address, dst_address)
+                if stream.random() >= active.answer_rate:
+                    lost = True
+                    fault_drop = fault_drop or "brownout"
+                if costs_on:
+                    costs.count("rng_draw")
+        is_anycast = dst_address in self._anycast
+        if lost:
+            return (True, None, handler, code, fault_drop, is_anycast, False)
+        rtt_ms *= self._pair_multiplier(client_address, dst_address)
+        latency_fault = False
+        if active is not None and (
+            active.latency_multiplier != 1.0 or active.latency_extra_ms != 0.0
+        ):
+            rtt_ms = rtt_ms * active.latency_multiplier + active.latency_extra_ms
+            latency_fault = True
+        return (False, rtt_ms, handler, code, fault_drop, is_anycast, latency_fault)
+
     def round_trip(
         self,
         client_location: Location,
@@ -173,52 +253,12 @@ class SimNetwork:
         sharded runs reproduce the serial byte stream exactly.
         """
         telemetry = self.telemetry
-        # The cost ledger is independent of `telemetry.enabled` — it
-        # counts work in *both* branches (that is its point: measure the
-        # fast path, not a slowed-down stand-in).  Never draws RNG.
-        costs = telemetry.costs
-        costs_on = costs.enabled
-        faults = self.faults
-        if faults is not None:
-            active = faults.active(dst_address, self.clock.now)
-            if costs_on:
-                costs.count("fault_eval")
-        else:
-            active = None
         if not telemetry.enabled:
-            if active is not None and active.outage:
-                return RoundTrip(response=None, rtt_ms=None, lost=True, served_by="")
-            site_location, handler, code = self.route(
-                client_location, client_address, dst_address,
-                exclude_sites=active.withdrawn if active is not None else None,
+            lost, rtt_ms, handler, code, _drop, _anycast, _lat = self.sample_path(
+                client_location, client_address, dst_address
             )
-            lost, rtt_ms = self.latency.sample_exchange(
-                client_address, dst_address,
-                client_location.point, site_location.point,
-            )
-            if costs_on:
-                costs.count("rng_draw")
-            if active is not None:
-                # Draw-count depends only on which faults are active —
-                # a pure function of (dst, now) — never on outcomes, so
-                # the pair stream advances identically in every layout.
-                if active.loss_rate > 0.0:
-                    stream = faults.pair_rng(client_address, dst_address)
-                    if stream.random() < active.loss_rate:
-                        lost = True
-                    if costs_on:
-                        costs.count("rng_draw")
-                if active.answer_rate < 1.0:
-                    stream = faults.pair_rng(client_address, dst_address)
-                    if stream.random() >= active.answer_rate:
-                        lost = True
-                    if costs_on:
-                        costs.count("rng_draw")
             if lost:
                 return RoundTrip(response=None, rtt_ms=None, lost=True, served_by="")
-            rtt_ms *= self._pair_multiplier(client_address, dst_address)
-            if active is not None:
-                rtt_ms = rtt_ms * active.latency_multiplier + active.latency_extra_ms
             response = handler(payload, client_address, self.clock.now)
             return RoundTrip(
                 response=response, rtt_ms=rtt_ms, lost=False, served_by=code
@@ -231,7 +271,10 @@ class SimNetwork:
             "net.round_trip", at=now, client=client_address, dst=dst_address
         )
         try:
-            if active is not None and active.outage:
+            (
+                lost, rtt_ms, handler, code, fault_drop, is_anycast, latency_fault,
+            ) = self.sample_path(client_location, client_address, dst_address)
+            if fault_drop == "ns_outage":
                 span.set(lost=True, fault="ns_outage")
                 span.event("fault_outage", at=now)
                 registry.counter(
@@ -240,37 +283,9 @@ class SimNetwork:
                     ("dst", "fault"),
                 ).labels(dst=dst_address, fault="ns_outage").inc()
                 return RoundTrip(response=None, rtt_ms=None, lost=True, served_by="")
-            site_location, handler, code = self.route(
-                client_location, client_address, dst_address,
-                exclude_sites=active.withdrawn if active is not None else None,
-            )
             span.set(site=code)
-            if dst_address in self._anycast:
+            if is_anycast:
                 span.event("anycast_catchment", at=now, site=code)
-            lost, rtt_ms = self.latency.sample_exchange(
-                client_address, dst_address,
-                client_location.point, site_location.point,
-            )
-            if costs_on:
-                costs.count("rng_draw")
-            fault_drop = None
-            if active is not None:
-                # Same draw discipline as the untraced branch: one draw
-                # per active probabilistic fault, outcomes notwithstanding.
-                if active.loss_rate > 0.0:
-                    stream = self.faults.pair_rng(client_address, dst_address)
-                    if stream.random() < active.loss_rate:
-                        lost = True
-                        fault_drop = "loss"
-                    if costs_on:
-                        costs.count("rng_draw")
-                if active.answer_rate < 1.0:
-                    stream = self.faults.pair_rng(client_address, dst_address)
-                    if stream.random() >= active.answer_rate:
-                        lost = True
-                        fault_drop = fault_drop or "brownout"
-                    if costs_on:
-                        costs.count("rng_draw")
             if lost:
                 span.set(lost=True)
                 span.event("loss", at=now)
@@ -288,11 +303,7 @@ class SimNetwork:
                         ("dst",),
                     ).labels(dst=dst_address).inc()
                 return RoundTrip(response=None, rtt_ms=None, lost=True, served_by="")
-            rtt_ms *= self._pair_multiplier(client_address, dst_address)
-            if active is not None and (
-                active.latency_multiplier != 1.0 or active.latency_extra_ms != 0.0
-            ):
-                rtt_ms = rtt_ms * active.latency_multiplier + active.latency_extra_ms
+            if latency_fault:
                 span.set(fault="latency")
             span.set(lost=False, rtt_ms=round(rtt_ms, 3))
             span.event("rtt_draw", at=now, rtt_ms=round(rtt_ms, 3))
@@ -315,6 +326,142 @@ class SimNetwork:
             if isinstance(rtt, (int, float)):
                 end = now + rtt / 1000.0
             tracer.finish_span(span, at=end)
+
+    def transmit(
+        self,
+        kernel,
+        client_location: Location,
+        client_address: str,
+        dst_address: str,
+        payload: bytes,
+        on_result,
+        parent=None,
+    ) -> None:
+        """Event-kernel send: draw the exchange fate now, deliver later.
+
+        A delivered response becomes one kernel event at ``now + rtt``:
+        the destination handler runs inside it, stamped with the query's
+        mid-flight arrival time (``send + rtt/2``), and
+        ``on_result(RoundTrip)`` fires with the response.  A lost
+        exchange calls ``on_result`` with a lost RoundTrip
+        *synchronously* — the caller owns the timeout policy and
+        schedules its own retry timer, so a loss costs no kernel event
+        here.  Raises :class:`DeliveryError` exactly like
+        :meth:`round_trip` for unroutable destinations.
+
+        Outcomes are drawn by :meth:`sample_path` at send time, so the
+        per-pair streams advance in exactly the send order — which the
+        kernel makes deterministic — and the serial≡K-worker byte
+        identity carries over unchanged.
+
+        With telemetry enabled the same ``net.round_trip`` span
+        content, events, and counters as the synchronous path are
+        emitted; ``parent`` anchors the span explicitly (interleaved
+        resolutions cannot use the tracer's active-span stack).  The
+        span finishes at delivery time, and the handler runs with the
+        span activated so authoritative spans nest beneath it.
+        """
+        telemetry = self.telemetry
+        send_time = self.clock.now
+        if not telemetry.enabled:
+            lost, rtt_ms, handler, code, _drop, _anycast, _lat = self.sample_path(
+                client_location, client_address, dst_address
+            )
+            if lost:
+                on_result(
+                    RoundTrip(response=None, rtt_ms=None, lost=True, served_by="")
+                )
+                return
+
+            def deliver():
+                response = handler(
+                    payload, client_address, send_time + rtt_ms / 2000.0
+                )
+                on_result(
+                    RoundTrip(
+                        response=response, rtt_ms=rtt_ms, lost=False, served_by=code
+                    )
+                )
+
+            kernel.call_later(rtt_ms / 1000.0, deliver)
+            return
+
+        tracer = telemetry.tracer
+        registry = telemetry.registry
+        span = tracer.start_span(
+            "net.round_trip", at=send_time, parent=parent,
+            client=client_address, dst=dst_address,
+        )
+        try:
+            (
+                lost, rtt_ms, handler, code, fault_drop, is_anycast, latency_fault,
+            ) = self.sample_path(client_location, client_address, dst_address)
+        except Exception:
+            tracer.finish_span(span, at=send_time)
+            raise
+        if fault_drop == "ns_outage":
+            span.set(lost=True, fault="ns_outage")
+            span.event("fault_outage", at=send_time)
+            registry.counter(
+                "sim_fault_drops_total",
+                "round trips dropped by an injected fault",
+                ("dst", "fault"),
+            ).labels(dst=dst_address, fault="ns_outage").inc()
+            tracer.finish_span(span, at=send_time)
+            on_result(RoundTrip(response=None, rtt_ms=None, lost=True, served_by=""))
+            return
+        span.set(site=code)
+        if is_anycast:
+            span.event("anycast_catchment", at=send_time, site=code)
+        if lost:
+            span.set(lost=True)
+            span.event("loss", at=send_time)
+            if fault_drop is not None:
+                span.set(fault=fault_drop)
+                registry.counter(
+                    "sim_fault_drops_total",
+                    "round trips dropped by an injected fault",
+                    ("dst", "fault"),
+                ).labels(dst=dst_address, fault=fault_drop).inc()
+            else:
+                registry.counter(
+                    "sim_lost_total",
+                    "round trips lost in the simulated network",
+                    ("dst",),
+                ).labels(dst=dst_address).inc()
+            tracer.finish_span(span, at=send_time)
+            on_result(RoundTrip(response=None, rtt_ms=None, lost=True, served_by=""))
+            return
+        if latency_fault:
+            span.set(fault="latency")
+        span.set(lost=False, rtt_ms=round(rtt_ms, 3))
+        span.event("rtt_draw", at=send_time, rtt_ms=round(rtt_ms, 3))
+        registry.counter(
+            "sim_round_trips_total",
+            "query/response exchanges delivered, by destination and site",
+            ("dst", "site"),
+        ).labels(dst=dst_address, site=code).inc()
+        registry.histogram(
+            "sim_rtt_ms", "sampled round-trip time (ms)", ("site",)
+        ).labels(site=code).observe(rtt_ms)
+
+        def deliver():
+            tracer.activate(span)
+            try:
+                response = handler(
+                    payload, client_address, send_time + rtt_ms / 2000.0
+                )
+            finally:
+                tracer.deactivate(span)
+            span.set(answered=response is not None)
+            tracer.finish_span(span, at=send_time + rtt_ms / 1000.0)
+            on_result(
+                RoundTrip(
+                    response=response, rtt_ms=rtt_ms, lost=False, served_by=code
+                )
+            )
+
+        kernel.call_later(rtt_ms / 1000.0, deliver)
 
     def base_rtt_ms(
         self, client_location: Location, client_key: str, dst_address: str

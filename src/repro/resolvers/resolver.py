@@ -37,6 +37,11 @@ from .rrcache import RecordCache
 
 MAX_REFERRALS = 16
 
+#: response classification codes shared by the synchronous referral
+#: loop and the event-driven resolution path, so both engines apply
+#: identical semantics (including the dead-referral SERVFAIL fix).
+_NXDOMAIN, _ERROR, _REFERRAL, _DEAD_REFERRAL, _DESCEND, _ANSWER, _NODATA = range(7)
+
 
 @dataclass(frozen=True)
 class ExchangeRecord:
@@ -220,17 +225,23 @@ class RecursiveResolver:
             )
             tracer.finish_span(span, at=end)
 
-    def _resolve(
+    def _resolution_prologue(
         self,
         qname: Name,
         qtype: RRType,
         rrclass: RRClass,
         span,
-    ) -> ResolutionResult:
+        result: ResolutionResult,
+    ) -> tuple[Name, list[str]] | None:
+        """CHAOS self-answers and cache lookups, shared by both engines.
+
+        Returns ``None`` when ``result`` is already complete (no network
+        exchange needed), else the starting ``(zone, addresses)`` for
+        the referral walk.
+        """
         now = self.network.clock.now
         costs = self.telemetry.costs
         costs_on = costs.enabled
-        result = ResolutionResult(qname=qname, qtype=qtype)
 
         if rrclass == RRClass.CH:
             if qtype == RRType.TXT and qname in CHAOS_SELF_NAMES:
@@ -244,7 +255,7 @@ class RecursiveResolver:
                 result.served_by = f"resolver-{self.address}"
             else:
                 result.rcode = Rcode.REFUSED
-            return result
+            return None
 
         if costs_on:
             costs.count("cache_lookup")
@@ -254,7 +265,7 @@ class RecursiveResolver:
             result.answers = list(cached.records)
             result.from_cache = True
             span.set(cache="hit").event("cache_hit", at=now)
-            return result
+            return None
         if costs_on:
             costs.count("cache_lookup")
         negative = self.record_cache.get_negative(qname, qtype, now)
@@ -262,14 +273,58 @@ class RecursiveResolver:
             result.rcode = Rcode.NXDOMAIN if negative.nxdomain else Rcode.NOERROR
             result.from_cache = True
             span.set(cache="negative").event("cache_negative_hit", at=now)
-            return result
+            return None
         span.set(cache="miss").event("cache_miss", at=now)
 
         start = self._deepest_known_zone(qname)
         if start is None:
             result.rcode = Rcode.SERVFAIL
+            return None
+        return start[0], list(start[1])
+
+    def _classify_response(
+        self, message: Message, send_name: Name, qname: Name
+    ) -> tuple[int, list[str] | None, Name | None]:
+        """Classify one authoritative response for the referral walk.
+
+        Returns ``(kind, referral_addresses, referral_cut)``.  Both the
+        synchronous loop and the event-driven path route through this,
+        so fixes to the walk semantics apply to each identically.
+        """
+        if message.rcode == Rcode.NXDOMAIN:
+            return _NXDOMAIN, None, None
+        if message.rcode != Rcode.NOERROR:
+            return _ERROR, None, None
+        if not message.answers:
+            referral = self._referral_addresses(message)
+            if referral:
+                return _REFERRAL, referral, self._referral_cut(message)
+            if self._referral_cut(message) is not None:
+                # A referral whose glue is all unroutable: a dead end,
+                # not proof the name lacks data.  Falling through to
+                # NODATA would poison the negative cache with a bogus
+                # entry that outlives the routing problem.
+                return _DEAD_REFERRAL, None, None
+        if send_name != qname:
+            # Minimized probe: the intermediate name exists (NOERROR),
+            # so descend one label and keep asking the same servers.
+            return _DESCEND, None, None
+        if message.answers:
+            return _ANSWER, None, None
+        return _NODATA, None, None
+
+    def _resolve(
+        self,
+        qname: Name,
+        qtype: RRType,
+        rrclass: RRClass,
+        span,
+    ) -> ResolutionResult:
+        result = ResolutionResult(qname=qname, qtype=qtype)
+        start = self._resolution_prologue(qname, qtype, rrclass, span, result)
+        if start is None:
             return result
-        current_zone, addresses = start[0], list(start[1])
+        current_zone, addresses = start
 
         for _ in range(MAX_REFERRALS):
             send_name, send_type = self._minimized_question(
@@ -282,28 +337,28 @@ class RecursiveResolver:
                 result.rcode = Rcode.SERVFAIL
                 return result
             message, address, served_by, rtt_ms = response
-            if message.rcode == Rcode.NXDOMAIN:
+            kind, referral, cut = self._classify_response(message, send_name, qname)
+            if kind == _NXDOMAIN:
                 self._cache_negative(message, send_name, send_type, nxdomain=True)
                 self._finalize(result, message, address, served_by, rtt_ms)
                 result.rcode = Rcode.NXDOMAIN
                 return result
-            if message.rcode != Rcode.NOERROR:
+            if kind == _ERROR:
                 result.rcode = message.rcode
                 self._finalize(result, message, address, served_by, rtt_ms)
                 return result
-            referral = self._referral_addresses(message)
-            if referral and not message.answers:
+            if kind == _REFERRAL:
                 addresses = referral
-                cut = self._referral_cut(message)
                 if cut is not None:
                     current_zone = cut
                 continue
-            if send_name != qname:
-                # Minimized probe: the intermediate name exists (NOERROR),
-                # so descend one label and keep asking the same servers.
+            if kind == _DEAD_REFERRAL:
+                result.rcode = Rcode.SERVFAIL
+                return result
+            if kind == _DESCEND:
                 current_zone = send_name
                 continue
-            if message.answers:
+            if kind == _ANSWER:
                 self.record_cache.put(
                     qname, qtype, list(message.answers), self.network.clock.now
                 )
@@ -330,6 +385,87 @@ class RecursiveResolver:
         child = current_zone.child(relative[-1])
         return child, RRType.NS
 
+    # -- event-driven resolution ------------------------------------------------
+
+    def resolve_event(
+        self,
+        qname: Name | str,
+        qtype: RRType,
+        kernel,
+        done,
+        rrclass: RRClass = RRClass.IN,
+    ) -> None:
+        """Begin a resolution driven by the event kernel.
+
+        ``done(result)`` fires when the resolution completes —
+        synchronously for CHAOS self-queries and cache hits, otherwise
+        from a kernel event at the virtual completion time.  Retries
+        are real timer events (attempt N fires at ``send + N×timeout``)
+        and responses are delivery events at ``send + rtt``, so one
+        process interleaves thousands of in-flight resolutions and the
+        clock advances through the kernel, never per query.
+
+        Semantics (caches, selection, referral walk, retry budget,
+        telemetry counters) are shared with :meth:`resolve` via
+        :meth:`_resolution_prologue` and :meth:`_classify_response`.
+        """
+        if isinstance(qname, str):
+            qname = Name.from_text(qname)
+        telemetry = self.telemetry
+        costs = telemetry.costs
+        if costs.enabled:
+            costs.count("query")
+        span = NULL_SPAN
+        if telemetry.enabled:
+            # Explicit parent: interleaved resolutions would corrupt the
+            # tracer's active-span stack, so event-path spans never use it.
+            span = telemetry.tracer.start_span(
+                "resolver.resolve",
+                at=kernel.now,
+                parent=None,
+                resolver=self.address,
+                qname=qname.to_text(),
+                qtype=getattr(qtype, "name", str(int(qtype))),
+            )
+        result = ResolutionResult(qname=qname, qtype=qtype)
+        state = _EventResolution(self, kernel, qname, qtype, done, span, result)
+        start = self._resolution_prologue(qname, qtype, rrclass, span, result)
+        if start is None:
+            state._complete()
+            return
+        state.current_zone, state.addresses = start
+        state._begin_iteration()
+
+    def _emit_resolution_metrics(self, result: ResolutionResult, span) -> None:
+        """Completion-side counters + root-span close, one per resolution."""
+        telemetry = self.telemetry
+        rcode = (
+            getattr(result.rcode, "name", str(result.rcode))
+            if result.rcode is not None
+            else "NONE"
+        )
+        span.set(rcode=rcode, site=result.served_by)
+        registry = telemetry.registry
+        registry.counter(
+            "resolver_queries_total", "resolutions attempted by recursives"
+        ).inc()
+        registry.counter(
+            "resolver_resolutions_total",
+            "completed resolutions, by outcome rcode",
+            ("rcode",),
+        ).labels(rcode=rcode).inc()
+        cache_outcome = str(span.attributes.get("cache", "miss"))
+        registry.counter(
+            "resolver_cache_total",
+            "record-cache outcomes per resolution",
+            ("result",),
+        ).labels(result=cache_outcome).inc()
+        end = max(
+            [child.end for child in span.children if child.end is not None]
+            + [span.start]
+        )
+        telemetry.tracer.finish_span(span, at=end)
+
     # -- internals ---------------------------------------------------------------
 
     def _query_with_retries(
@@ -344,7 +480,15 @@ class RecursiveResolver:
         costs = telemetry.costs
         costs_on = costs.enabled
         question_tail = QUESTION_TAIL_STRUCT.pack(int(qtype), int(RRClass.IN))
+        # Failed attempts wait out the full timeout before the next try:
+        # attempt N's span starts at now + N×timeout, so serialized
+        # waits stack in the trace instead of overlapping (which made
+        # forensics undercount wasted wait).  The clock itself does not
+        # advance on this synchronous path; the event kernel realizes
+        # the same schedule as actual timer events.
+        waited_s = 0.0
         for attempt in range(self.max_retries + 1):
+            attempt_at = now + waited_s
             address = self.selector.select(addresses, self.infra_cache, now)
             send_name = (
                 self._randomize_case(qname) if self.case_randomization else qname
@@ -368,7 +512,7 @@ class RecursiveResolver:
             span = NULL_SPAN
             if telemetry.enabled:
                 span = telemetry.tracer.start_span(
-                    "resolver.exchange", at=now, ns=address, attempt=attempt + 1
+                    "resolver.exchange", at=attempt_at, ns=address, attempt=attempt + 1
                 )
             outcome = "ok"
             try:
@@ -398,14 +542,23 @@ class RecursiveResolver:
                 try:
                     message = self._response_memo.decode(trip.response, send_name)
                 except Exception:
+                    result.exchanges.append(ExchangeRecord(address, None, True, ""))
                     self.selector.on_timeout(
                         address, addresses, self.infra_cache, now
                     )
                     outcome = "garbled"
                     continue
                 if message.msg_id != msg_id:
+                    # Spoofed/mismatched id: the response is discarded,
+                    # so the attempt failed exactly like a garbled one —
+                    # the selector must learn it and the exchange must
+                    # appear in result.exchanges.
+                    result.exchanges.append(ExchangeRecord(address, None, True, ""))
+                    self.selector.on_timeout(
+                        address, addresses, self.infra_cache, now
+                    )
                     outcome = "id_mismatch"
-                    continue  # spoofed/mismatched: ignore, treat as failure
+                    continue
                 if self.case_randomization and message.questions:
                     echoed = message.questions[0].name.labels
                     if echoed != send_name.labels:
@@ -425,18 +578,21 @@ class RecursiveResolver:
                 if telemetry.enabled:
                     span.set(outcome=outcome)
                     # Virtual end: the answer's RTT, or the full timeout
-                    # the resolver waits before moving on.
+                    # the resolver waits before moving on — measured
+                    # from this attempt's (offset) start.
                     if outcome == "ok":
                         rtt_ms = span.attributes.get("rtt_ms", 0.0)
-                        end = now + float(rtt_ms) / 1000.0
+                        end = attempt_at + float(rtt_ms) / 1000.0
                     else:
-                        end = now + self.timeout_ms / 1000.0
+                        end = attempt_at + self.timeout_ms / 1000.0
                     telemetry.tracer.finish_span(span, at=end)
                     telemetry.registry.counter(
                         "resolver_exchanges_total",
                         "exchange attempts against authoritatives, by outcome",
                         ("outcome",),
                     ).labels(outcome=outcome).inc()
+                if outcome != "ok":
+                    waited_s += self.timeout_ms / 1000.0
         return None
 
     def _referral_cut(self, message: Message) -> Name | None:
@@ -499,3 +655,238 @@ class RecursiveResolver:
         result.final_address = address
         result.served_by = served_by
         result.rtt_ms = rtt_ms
+
+
+class _EventResolution:
+    """One in-flight resolution on the event kernel.
+
+    Owns the referral-walk state the synchronous loop keeps on its call
+    stack.  Each network send becomes either a delivery event (response
+    arrives at ``send + rtt``) or a retry timer (attempt N+1 fires at
+    ``send + timeout``); the state machine advances inside those events
+    and calls ``done(result)`` when the walk terminates.
+    """
+
+    __slots__ = (
+        "resolver", "kernel", "qname", "qtype", "done", "result", "span",
+        "current_zone", "addresses", "iterations", "attempt",
+        "send_name", "send_type", "sent_name", "question_tail",
+        "msg_id", "address", "exch_span", "send_time", "exch_outcome",
+    )
+
+    def __init__(self, resolver, kernel, qname, qtype, done, span, result):
+        self.resolver = resolver
+        self.kernel = kernel
+        self.qname = qname
+        self.qtype = qtype
+        self.done = done
+        self.span = span
+        self.result = result
+        self.current_zone: Name | None = None
+        self.addresses: list[str] = []
+        self.iterations = 0
+        self.attempt = 0
+
+    # -- referral walk -----------------------------------------------------
+
+    def _begin_iteration(self) -> None:
+        if self.iterations >= MAX_REFERRALS:
+            self.result.rcode = Rcode.SERVFAIL
+            self._complete()
+            return
+        self.iterations += 1
+        resolver = self.resolver
+        self.send_name, self.send_type = resolver._minimized_question(
+            self.qname, self.qtype, self.current_zone
+        )
+        self.question_tail = QUESTION_TAIL_STRUCT.pack(
+            int(self.send_type), int(RRClass.IN)
+        )
+        self.attempt = 0
+        self._send()
+
+    def _send(self) -> None:
+        resolver = self.resolver
+        kernel = self.kernel
+        now = kernel.now
+        telemetry = resolver.telemetry
+        costs = telemetry.costs
+        self.address = resolver.selector.select(
+            self.addresses, resolver.infra_cache, now
+        )
+        self.sent_name = (
+            resolver._randomize_case(self.send_name)
+            if resolver.case_randomization
+            else self.send_name
+        )
+        self.msg_id = resolver.rng.randrange(0x10000)
+        wire = (
+            HEADER_STRUCT.pack(self.msg_id, 0, 1, 0, 0, 0)
+            + self.sent_name.to_wire()
+            + self.question_tail
+        )
+        if costs.enabled:
+            # Same per-attempt accounting as the synchronous path: one
+            # seeded draw (the message id) and one wire build.
+            costs.count("rng_draw")
+            costs.count("encode")
+        resolver.queries_sent += 1
+        self.send_time = now
+        self.exch_span = NULL_SPAN
+        parent = None
+        if telemetry.enabled:
+            self.exch_span = telemetry.tracer.start_span(
+                "resolver.exchange",
+                at=now,
+                parent=self.span,
+                ns=self.address,
+                attempt=self.attempt + 1,
+            )
+            parent = self.exch_span
+        try:
+            resolver.network.transmit(
+                kernel, resolver.location, resolver.address, self.address,
+                wire, self._on_trip, parent=parent,
+            )
+        except Exception:
+            # Host gone (withdrawn mid-measurement): a timeout to us.
+            self._attempt_failed("unreachable")
+
+    def _attempt_failed(self, outcome: str) -> None:
+        """Wait out the timeout window, then book the failure and retry."""
+        self.exch_outcome = outcome
+        deadline = self.send_time + self.resolver.timeout_ms / 1000.0
+        # A garbled/spoofed response can arrive after the timeout would
+        # have fired (RTT beyond the timeout); never schedule into the past.
+        if deadline < self.kernel.now:
+            deadline = self.kernel.now
+        self.kernel.call_at(deadline, self._timeout_fired)
+
+    def _timeout_fired(self) -> None:
+        resolver = self.resolver
+        outcome = self.exch_outcome
+        if outcome != "spoof_rejected":
+            # Spoof rejections mirror the synchronous path: counted on
+            # the resolver, no exchange record, no selector feedback.
+            self.result.exchanges.append(
+                ExchangeRecord(self.address, None, True, "")
+            )
+            resolver.selector.on_timeout(
+                self.address, self.addresses, resolver.infra_cache,
+                self.kernel.now,
+            )
+        self._finish_exchange_span(outcome, None)
+        self.attempt += 1
+        if self.attempt > resolver.max_retries:
+            self.result.rcode = Rcode.SERVFAIL
+            self._complete()
+            return
+        self._send()
+
+    def _on_trip(self, trip) -> None:
+        resolver = self.resolver
+        if trip.lost or trip.response is None:
+            self._attempt_failed("timeout")
+            return
+        costs = resolver.telemetry.costs
+        if costs.enabled:
+            costs.count("decode")
+        try:
+            message = resolver._response_memo.decode(trip.response, self.sent_name)
+        except Exception:
+            self._attempt_failed("garbled")
+            return
+        if message.msg_id != self.msg_id:
+            self._attempt_failed("id_mismatch")
+            return
+        if resolver.case_randomization and message.questions:
+            if message.questions[0].name.labels != self.sent_name.labels:
+                # Case mismatch: off-path spoof; discard the response.
+                resolver.spoofs_rejected += 1
+                self._attempt_failed("spoof_rejected")
+                return
+        now = self.kernel.now
+        self.result.exchanges.append(
+            ExchangeRecord(self.address, trip.rtt_ms, False, trip.served_by)
+        )
+        resolver.selector.on_response(
+            self.address, trip.rtt_ms, self.addresses, resolver.infra_cache, now
+        )
+        if resolver.telemetry.enabled:
+            self.exch_span.set(
+                site=trip.served_by, rtt_ms=round(trip.rtt_ms, 3)
+            )
+        self._finish_exchange_span("ok", trip.rtt_ms)
+        self._handle_response(message, trip)
+
+    def _handle_response(self, message: Message, trip) -> None:
+        resolver = self.resolver
+        result = self.result
+        kind, referral, cut = resolver._classify_response(
+            message, self.send_name, self.qname
+        )
+        address, served_by, rtt_ms = self.address, trip.served_by, trip.rtt_ms
+        if kind == _NXDOMAIN:
+            resolver._cache_negative(
+                message, self.send_name, self.send_type, nxdomain=True
+            )
+            resolver._finalize(result, message, address, served_by, rtt_ms)
+            result.rcode = Rcode.NXDOMAIN
+            self._complete()
+            return
+        if kind == _ERROR:
+            result.rcode = message.rcode
+            resolver._finalize(result, message, address, served_by, rtt_ms)
+            self._complete()
+            return
+        if kind == _REFERRAL:
+            self.addresses = referral
+            if cut is not None:
+                self.current_zone = cut
+            self._begin_iteration()
+            return
+        if kind == _DEAD_REFERRAL:
+            result.rcode = Rcode.SERVFAIL
+            self._complete()
+            return
+        if kind == _DESCEND:
+            self.current_zone = self.send_name
+            self._begin_iteration()
+            return
+        if kind == _ANSWER:
+            resolver.record_cache.put(
+                self.qname, self.qtype, list(message.answers),
+                resolver.network.clock.now,
+            )
+            resolver._finalize(result, message, address, served_by, rtt_ms)
+            self._complete()
+            return
+        # NODATA: name exists but not this type.
+        resolver._cache_negative(message, self.qname, self.qtype, nxdomain=False)
+        resolver._finalize(result, message, address, served_by, rtt_ms)
+        self._complete()
+
+    # -- bookkeeping -------------------------------------------------------
+
+    def _finish_exchange_span(self, outcome: str, rtt_ms: float | None) -> None:
+        telemetry = self.resolver.telemetry
+        if not telemetry.enabled:
+            return
+        span = self.exch_span
+        span.set(outcome=outcome)
+        if outcome == "ok":
+            end = self.send_time + float(rtt_ms) / 1000.0
+        else:
+            end = self.send_time + self.resolver.timeout_ms / 1000.0
+        telemetry.tracer.finish_span(span, at=end)
+        telemetry.registry.counter(
+            "resolver_exchanges_total",
+            "exchange attempts against authoritatives, by outcome",
+            ("outcome",),
+        ).labels(outcome=outcome).inc()
+
+    def _complete(self) -> None:
+        resolver = self.resolver
+        if resolver.telemetry.enabled:
+            resolver._emit_resolution_metrics(self.result, self.span)
+        self.done(self.result)

@@ -42,6 +42,7 @@ COUNTERS = (
     "cache_lookup",   # resolver record-cache probes (incl. negative)
     "fault_eval",     # FaultPlan.active() evaluations
     "timer_event",    # measurement ticks (virtual-time timer firings)
+    "sched_event",    # discrete events executed by the event kernel
     "query",          # resolutions issued — the per-query denominator
 )
 

@@ -29,6 +29,11 @@ from typing import Iterator
 
 log = logging.getLogger("repro.telemetry.tracing")
 
+#: sentinel for ``start_span(parent=...)``: "use the active-span stack".
+#: ``None`` is a meaningful value there (start a new root), so the
+#: default must be a distinct object.
+_USE_STACK = object()
+
 
 @dataclass(frozen=True)
 class SpanEvent:
@@ -155,9 +160,26 @@ class Tracer:
 
     # -- span lifecycle ----------------------------------------------------
 
-    def start_span(self, name: str, at: float, **attributes: object) -> Span:
-        """Open a span at virtual time ``at``, nested under the active one."""
-        parent = self._stack[-1] if self._stack else None
+    def start_span(
+        self, name: str, at: float, parent=_USE_STACK, **attributes: object
+    ) -> Span:
+        """Open a span at virtual time ``at``.
+
+        By default the span nests under the active one and becomes the
+        new top of the active-span stack — the right behaviour for
+        synchronous call trees.  Event-driven code interleaves many
+        resolutions, so the stack cannot describe its nesting: pass
+        ``parent=`` explicitly (a :class:`Span`, or ``None`` for a new
+        root) and the span is attached there *without* touching the
+        stack.  Use :meth:`activate`/:meth:`deactivate` around a
+        handler call if spans started inside it should nest under an
+        explicitly-parented span.
+        """
+        if parent is _USE_STACK:
+            parent = self._stack[-1] if self._stack else None
+            push = True
+        else:
+            push = False
         if parent is None:
             trace_id = self._next_trace_id
             self._next_trace_id += 1
@@ -169,8 +191,20 @@ class Tracer:
             span.attributes.update(attributes)
         if parent is not None:
             parent.children.append(span)
-        self._stack.append(span)
+        if push:
+            self._stack.append(span)
         return span
+
+    def activate(self, span: Span) -> None:
+        """Make ``span`` the active parent for stack-nested child spans."""
+        self._stack.append(span)
+
+    def deactivate(self, span: Span) -> None:
+        """Undo :meth:`activate`; tolerant of unbalanced nesting."""
+        if self._stack and self._stack[-1] is span:
+            self._stack.pop()
+        elif span in self._stack:
+            self._stack.remove(span)
 
     def finish_span(self, span: Span, at: float) -> None:
         """Close a span; root spans are retained (up to ``max_traces``)."""
@@ -221,9 +255,13 @@ class Tracer:
             at = self._end_at if self._end_at is not None else self._span.start
             self._tracer.finish_span(self._span, at)
 
-    def span(self, name: str, at: float, **attributes: object) -> "_SpanContext":
+    def span(
+        self, name: str, at: float, parent=_USE_STACK, **attributes: object
+    ) -> "_SpanContext":
         """Context-manager form of :meth:`start_span`/:meth:`finish_span`."""
-        return self._SpanContext(self, self.start_span(name, at, **attributes))
+        return self._SpanContext(
+            self, self.start_span(name, at, parent=parent, **attributes)
+        )
 
     @property
     def active(self) -> Span | None:
@@ -304,14 +342,20 @@ class NullTracer:
     active = None
     sink = None
 
-    def start_span(self, name: str, at: float, **attributes) -> _NullSpan:
+    def start_span(self, name: str, at: float, parent=None, **attributes) -> _NullSpan:
         return NULL_SPAN
 
     def finish_span(self, span, at: float) -> None:
         pass
 
-    def span(self, name: str, at: float, **attributes) -> _NullSpan:
+    def span(self, name: str, at: float, parent=None, **attributes) -> _NullSpan:
         return NULL_SPAN
+
+    def activate(self, span) -> None:
+        pass
+
+    def deactivate(self, span) -> None:
+        pass
 
     def iter_spans(self):
         return iter(())
