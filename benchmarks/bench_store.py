@@ -1,0 +1,244 @@
+"""The columnar observation store: the 1M-row data plane.
+
+Three figures go into the bench sidecar:
+
+``store-append@…``
+    1M rows through the closure-bound ``append`` fast path — the exact
+    call the measurement loop makes per query.  The hard floor is the
+    headline target: at least **1M observations/s appended**.
+``store-merge@…``
+    8 ASN-style shards of 125k rows each, merged and canonically
+    re-sorted — the parallel engine's gather path.
+``store-memory@…``
+    tracemalloc ceilings: 1M rows must stay within a pinned allocation
+    budget (the whole point of columns over per-row objects — a frozen
+    dataclass per row costs ~10x more).
+
+Wall-clock throughputs land under ``values`` (not gated); the gated
+``counters`` carry only seeded, deterministic figures — row counts,
+string-pool sizes, and the logical bytes/row of the columns.
+"""
+
+import time
+import tracemalloc
+from types import SimpleNamespace
+
+from repro.core.store import ObservationStore
+
+APPEND_ROWS = 1_000_000
+APPEND_VPS = 200
+MERGE_SHARDS = 8
+MERGE_ROWS = 1_000_000
+
+#: hard floors / ceilings asserted every run.
+APPEND_FLOOR_ROWS_PER_S = 1_000_000
+CAMPAIGN_FLOOR_ROWS_PER_S = 600_000
+MERGE_FLOOR_ROWS_PER_S = 1_000_000
+PEAK_CEILING_BYTES = 150 * 1024 * 1024
+
+
+def build_profiles(store, vps=APPEND_VPS):
+    suffix_id = store.intern(".probe.ourtestdomain.nl.")
+    pids = [
+        store.profile_id(
+            1000 + vp, f"10.9.{vp % 16}.{vp % 250}",
+            ("bind", "unbound", "powerdns")[vp % 3], "EU",
+        )
+        for vp in range(vps)
+    ]
+    return suffix_id, pids
+
+
+def fill_store(store, rows, vps=APPEND_VPS):
+    """Campaign-shaped fill: per-row label bytes, shared suffix."""
+    suffix_id, pids = build_profiles(store, vps)
+    append = store.append
+    for tick in range(rows // vps):
+        now = 120.0 * tick
+        for vp in range(vps):
+            append(
+                vp, pids[vp], now, f"m-{vp}-{tick}".encode("ascii"),
+                suffix_id, "FRA", "10.0.0.1", 33.0, 1, True,
+            )
+    return store
+
+
+def logical_bytes(store):
+    """Bytes the columns logically hold (capacity over-allocation aside)."""
+    total = len(store._labels)
+    for name in ("_vp", "_prof", "_t", "_rtt", "_att", "_ok",
+                 "_site", "_auth", "_sfx", "_lend"):
+        column = getattr(store, name)
+        total += column.itemsize * len(column)
+    return total
+
+
+def test_store_append_throughput(benchmark, run_cache):
+    """The per-row cost of the fast path, labels precomputed."""
+    store = ObservationStore()
+    suffix_id, pids = build_profiles(store)
+    labels = [f"m-{vp}-0".encode("ascii") for vp in range(APPEND_VPS)]
+
+    def append_rows() -> float:
+        append = store.append
+        ticks = APPEND_ROWS // APPEND_VPS
+        start = time.perf_counter()
+        for tick in range(ticks):
+            now = 120.0 * tick
+            for vp in range(APPEND_VPS):
+                append(
+                    vp, pids[vp], now, labels[vp], suffix_id,
+                    "FRA", "10.0.0.1", 33.0, 1, True,
+                )
+        return time.perf_counter() - start
+
+    elapsed = benchmark.pedantic(append_rows, rounds=1, iterations=1)
+    rate = APPEND_ROWS / elapsed
+
+    # The campaign shape on top: the measurement loop also formats one
+    # label string per query before appending.
+    campaign = ObservationStore()
+    start = time.perf_counter()
+    fill_store(campaign, APPEND_ROWS)
+    campaign_elapsed = time.perf_counter() - start
+    campaign_rate = len(campaign) / campaign_elapsed
+
+    run_cache.put(
+        "store-append",
+        0.0,
+        SimpleNamespace(
+            profile={
+                "phases": {
+                    "store.append": {"seconds": elapsed, "calls": 1},
+                    "store.append_campaign": {
+                        "seconds": campaign_elapsed, "calls": 1,
+                    },
+                },
+                "counters": {
+                    "store.append_rows": float(APPEND_ROWS),
+                    "store.append_strings": float(len(store._strings)),
+                    "store.append_profiles": float(len(store._profiles)),
+                },
+                "values": {
+                    "store.append_rows_per_s": round(rate),
+                    "store.append_campaign_rows_per_s": round(campaign_rate),
+                },
+            }
+        ),
+    )
+    print()
+    print(
+        f"store append: {APPEND_ROWS} rows in {elapsed:.3f}s "
+        f"({rate / 1e6:.2f}M rows/s; campaign shape "
+        f"{campaign_rate / 1e6:.2f}M rows/s)"
+    )
+    assert rate >= APPEND_FLOOR_ROWS_PER_S, (
+        f"append fast path fell below 1M rows/s: {rate:,.0f}"
+    )
+    assert campaign_rate >= CAMPAIGN_FLOOR_ROWS_PER_S, (
+        f"campaign-shaped append fell below {CAMPAIGN_FLOOR_ROWS_PER_S:,} "
+        f"rows/s: {campaign_rate:,.0f}"
+    )
+
+
+def test_store_merge_throughput(benchmark, run_cache):
+    """Gather path: merge 8 interleaved shards, restore canonical order."""
+    shards = [ObservationStore() for _ in range(MERGE_SHARDS)]
+    per_shard = MERGE_ROWS // MERGE_SHARDS
+    for index, shard in enumerate(shards):
+        # Round-robin VP ownership: canonical order interleaves across
+        # shards, so sort_canonical does the real permutation work the
+        # ASN-sharded engine hands it.
+        fill_store(shard, per_shard, vps=APPEND_VPS // MERGE_SHARDS)
+    total = sum(len(shard) for shard in shards)
+
+    def merge_all():
+        merged = ObservationStore()
+        start = time.perf_counter()
+        for shard in shards:
+            merged.merge(shard)
+        merge_elapsed = time.perf_counter() - start
+        start = time.perf_counter()
+        merged.sort_canonical()
+        sort_elapsed = time.perf_counter() - start
+        return merged, merge_elapsed, sort_elapsed
+
+    merged, merge_elapsed, sort_elapsed = benchmark.pedantic(
+        merge_all, rounds=1, iterations=1
+    )
+    assert len(merged) == total
+    merge_rate = total / merge_elapsed
+    gather_rate = total / (merge_elapsed + sort_elapsed)
+
+    run_cache.put(
+        "store-merge",
+        0.0,
+        SimpleNamespace(
+            profile={
+                "phases": {
+                    "store.merge": {"seconds": merge_elapsed, "calls": 1},
+                    "store.sort_canonical": {
+                        "seconds": sort_elapsed, "calls": 1,
+                    },
+                },
+                "counters": {
+                    "store.merge_rows": float(total),
+                    "store.merge_shards": float(MERGE_SHARDS),
+                    "store.merge_strings": float(len(merged._strings)),
+                },
+                "values": {
+                    "store.merge_rows_per_s": round(merge_rate),
+                    "store.gather_rows_per_s": round(gather_rate),
+                },
+            }
+        ),
+    )
+    print()
+    print(
+        f"store merge: {total} rows over {MERGE_SHARDS} shards in "
+        f"{merge_elapsed:.3f}s ({merge_rate / 1e6:.2f}M rows/s), "
+        f"canonical sort {sort_elapsed:.3f}s "
+        f"(gather {gather_rate / 1e6:.2f}M rows/s)"
+    )
+    assert merge_rate >= MERGE_FLOOR_ROWS_PER_S, (
+        f"merge fell below 1M rows/s: {merge_rate:,.0f}"
+    )
+
+
+def test_store_memory_ceiling(run_cache):
+    """1M rows must fit in a pinned allocation budget."""
+    tracemalloc.start()
+    store = fill_store(ObservationStore(), APPEND_ROWS)
+    current, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    per_row = logical_bytes(store) / len(store)
+
+    run_cache.put(
+        "store-memory",
+        0.0,
+        SimpleNamespace(
+            profile={
+                "phases": {},
+                "counters": {
+                    "store.memory_rows": float(len(store)),
+                    "store.logical_bytes_per_row": round(per_row, 2),
+                },
+                "values": {
+                    "store.tracemalloc_peak_mb": round(peak / 1048576, 1),
+                    "store.tracemalloc_current_mb": round(
+                        current / 1048576, 1
+                    ),
+                },
+            }
+        ),
+    )
+    print()
+    print(
+        f"store memory: {len(store)} rows, logical {per_row:.1f} B/row, "
+        f"tracemalloc peak {peak / 1048576:.1f} MiB "
+        f"(ceiling {PEAK_CEILING_BYTES / 1048576:.0f} MiB)"
+    )
+    assert peak < PEAK_CEILING_BYTES, (
+        f"1M-row store peaked at {peak / 1048576:.1f} MiB, "
+        f"over the {PEAK_CEILING_BYTES / 1048576:.0f} MiB ceiling"
+    )

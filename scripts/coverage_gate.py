@@ -38,6 +38,10 @@ GATED = {
     # are the per-event cost baseline the DES kernel is judged against,
     # so its counting/merge paths must stay pinned by tests.
     "repro.telemetry.costs": SRC / "repro" / "telemetry" / "costs.py",
+    # The columnar data plane every campaign flows through: append,
+    # merge, canonical sort, and the row view must stay pinned — a
+    # silent column skew corrupts every export downstream.
+    "repro.core.store": SRC / "repro" / "core" / "store.py",
 }
 
 #: committed line-coverage floors (percent).  Measured at the PR that
@@ -48,6 +52,7 @@ FLOORS = {
     "repro.resolvers": 93.0,  # 97.3% measured at the gate's introduction
     "repro.telemetry": 90.0,  # 95.4% measured when the package was gated
     "repro.telemetry.costs": 90.0,  # 100% measured when the module landed
+    "repro.core.store": 90.0,  # 98%+ measured when the store landed
 }
 
 

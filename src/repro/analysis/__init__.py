@@ -35,6 +35,7 @@ from .ground_truth import (
 )
 from .paper import PAPER_CLAIMS, PaperClaim, Scorecard
 from .probe_all import ProbeAllResult, analyze_probe_all, queries_until_all
+from .streams import iter_observation_fields, site_completion_times
 from .query_share import (
     QueryShareResult,
     SiteShare,
@@ -111,6 +112,8 @@ __all__ = [
     "analyze_rtt_sensitivity",
     "fraction_to_site",
     "hot_cache_observations",
+    "iter_observation_fields",
+    "site_completion_times",
     "median",
     "quantile",
     "queries_until_all",

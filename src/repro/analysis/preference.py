@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from ..atlas.platform import QueryObservation
 from ..netsim.geo import Continent
 from .stats import median
+from .streams import iter_observation_fields
 
 WEAK_THRESHOLD = 0.60
 STRONG_THRESHOLD = 0.90
@@ -77,29 +78,51 @@ def vp_preferences(
     sites: set[str],
     min_queries: int = 10,
 ) -> list[VpPreference]:
-    """Per-VP site shares and RTTs over the successful observations."""
-    by_vp: dict[int, list[QueryObservation]] = {}
-    for obs in observations:
-        if obs.succeeded and obs.site:
-            by_vp.setdefault(obs.vp_id, []).append(obs)
-    preferences = []
-    for vp_id, rows in by_vp.items():
-        if len(rows) < min_queries:
+    """Per-VP site shares and RTTs over the successful observations.
+
+    Single streaming pass: per-VP totals, per-site counts, and per-site
+    RTT samples accumulate as rows go by — no per-VP row lists, so a
+    store-backed campaign is aggregated without resurrecting row
+    objects.
+    """
+    totals: dict[int, int] = {}
+    continents: dict[int, Continent] = {}
+    site_counts: dict[int, dict[str, int]] = {}
+    site_rtts: dict[int, dict[str, list[float]]] = {}
+    for vp, _t, site, ok, rtt, continent in iter_observation_fields(
+        observations
+    ):
+        if not ok or not site:
             continue
+        if vp not in totals:
+            totals[vp] = 0
+            continents[vp] = continent
+            site_counts[vp] = {}
+            site_rtts[vp] = {}
+        totals[vp] += 1
+        counts = site_counts[vp]
+        counts[site] = counts.get(site, 0) + 1
+        if rtt is not None:
+            site_rtts[vp].setdefault(site, []).append(rtt)
+    preferences = []
+    for vp_id, queries in totals.items():
+        if queries < min_queries:
+            continue
+        counts = site_counts[vp_id]
+        rtts = site_rtts[vp_id]
         share: dict[str, float] = {}
-        rtt: dict[str, float] = {}
+        rtt_by_site: dict[str, float] = {}
         for site in sorted(sites):
-            site_rows = [obs for obs in rows if obs.site == site]
-            share[site] = len(site_rows) / len(rows)
-            samples = [obs.rtt_ms for obs in site_rows if obs.rtt_ms is not None]
-            rtt[site] = median(samples) if samples else float("nan")
+            share[site] = counts.get(site, 0) / queries
+            samples = rtts.get(site)
+            rtt_by_site[site] = median(samples) if samples else float("nan")
         preferences.append(
             VpPreference(
                 vp_id=vp_id,
-                continent=rows[0].continent,
-                queries=len(rows),
+                continent=continents[vp_id],
+                queries=queries,
                 share_by_site=share,
-                median_rtt_by_site=rtt,
+                median_rtt_by_site=rtt_by_site,
             )
         )
     return preferences

@@ -11,6 +11,7 @@ from dataclasses import dataclass
 
 from ..atlas.platform import QueryObservation
 from .stats import BoxplotStats
+from .streams import iter_observation_fields, site_completion_times
 
 
 @dataclass(frozen=True)
@@ -51,20 +52,36 @@ def analyze_probe_all(
     combo_id: str = "",
     min_queries: int = 10,
 ) -> ProbeAllResult:
-    """Compute the Figure 2 statistics for one combination's run."""
-    by_vp: dict[int, list[QueryObservation]] = {}
-    for obs in observations:
-        by_vp.setdefault(obs.vp_id, []).append(obs)
+    """Compute the Figure 2 statistics for one combination's run.
+
+    Streaming version: rather than bucketing every row into per-VP
+    lists, pass one finds each VP's completion timestamp (any answer
+    counts here, not just successes — §4.1 counts queries, and the
+    legacy scan behaved the same) and pass two counts the rows before
+    it, which is exactly the completing row's index in timestamp order.
+    """
+    completion = site_completion_times(
+        observations, sites, successful_only=False
+    )
+    row_count: dict[int, int] = {}
+    queries_before: dict[int, int] = dict.fromkeys(completion, 0)
+    for vp, t, _site, _ok, _rtt, _continent in iter_observation_fields(
+        observations
+    ):
+        row_count[vp] = row_count.get(vp, 0) + 1
+        boundary = completion.get(vp)
+        if boundary is not None and t < boundary:
+            queries_before[vp] += 1
 
     counts: list[float] = []
     eligible = 0
-    for rows in by_vp.values():
-        if len(rows) < min_queries:
+    for vp, rows in row_count.items():
+        if rows < min_queries:
             continue
         eligible += 1
-        needed = queries_until_all(rows, sites)
-        if needed is not None:
-            counts.append(float(needed))
+        if vp in completion:
+            # Queries *after the first* until every site answered.
+            counts.append(float(queries_before[vp]))
     if eligible == 0:
         raise ValueError("no vantage point sent enough queries")
     return ProbeAllResult(

@@ -11,6 +11,7 @@ from dataclasses import dataclass
 
 from ..atlas.platform import QueryObservation
 from .stats import median
+from .streams import iter_observation_fields, site_completion_times
 
 
 @dataclass(frozen=True)
@@ -71,23 +72,44 @@ def analyze_query_share(
     combo_id: str = "",
     hot_cache_only: bool = True,
 ) -> QueryShareResult:
-    rows = [obs for obs in observations if obs.succeeded and obs.site]
-    if hot_cache_only:
-        rows = hot_cache_observations(rows, sites)
-        rows = [obs for obs in rows if obs.succeeded and obs.site]
-    if not rows:
+    """Streaming version: two passes, no row materialization.
+
+    Pass one finds each VP's hot-cache boundary (the timestamp at which
+    it has been answered by every site); pass two tallies the rows past
+    it.  Accepts a plain observation list or a store-backed rows view —
+    the latter is read column-wise.
+    """
+    hot_time = (
+        site_completion_times(observations, sites) if hot_cache_only else None
+    )
+    total = 0
+    counts = dict.fromkeys(sites, 0)
+    rtts: dict[str, list[float]] = {site: [] for site in sites}
+    for vp, t, site, ok, rtt, _continent in iter_observation_fields(
+        observations
+    ):
+        if not ok or not site:
+            continue
+        if hot_time is not None:
+            boundary = hot_time.get(vp)
+            # The completing row itself is still warm-up: keep only
+            # rows strictly past the boundary.
+            if boundary is None or t <= boundary:
+                continue
+        total += 1
+        if site in counts:
+            counts[site] += 1
+            if rtt is not None:
+                rtts[site].append(rtt)
+    if not total:
         raise ValueError("no successful observations")
-    total = len(rows)
-    shares = []
-    for site in sorted(sites):
-        site_rows = [obs for obs in rows if obs.site == site]
-        rtts = [obs.rtt_ms for obs in site_rows if obs.rtt_ms is not None]
-        shares.append(
-            SiteShare(
-                site=site,
-                query_share=len(site_rows) / total,
-                median_rtt_ms=median(rtts) if rtts else float("nan"),
-                queries=len(site_rows),
-            )
+    shares = [
+        SiteShare(
+            site=site,
+            query_share=counts[site] / total,
+            median_rtt_ms=median(rtts[site]) if rtts[site] else float("nan"),
+            queries=counts[site],
         )
+        for site in sorted(sites)
+    ]
     return QueryShareResult(combo_id=combo_id, sites=shares)

@@ -1,0 +1,117 @@
+"""Streaming field access for analysis passes.
+
+The analysis modules used to materialize per-VP lists of
+:class:`QueryObservation` objects; on a 1M-probe campaign that
+resurrects every row as a full Python object and holds all of them at
+once.  :func:`iter_observation_fields` yields plain tuples instead,
+and — when the rows come from a columnar
+:class:`~repro.core.store.ObservationStore` — zips directly over the
+typed columns, so a pass over a million rows only ever allocates the
+one tuple being consumed.
+
+The tuple is ``(vp_id, timestamp, site, succeeded, rtt_ms,
+continent)`` — the fields the figure pipelines aggregate on.  ``site``
+is the answering site name (empty on failure), ``rtt_ms`` is ``None``
+when the query never completed, and ``continent`` is the VP's
+:class:`~repro.netsim.geo.Continent`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..core.store import ObservationStore
+
+__all__ = ["iter_observation_fields", "site_completion_times"]
+
+#: Row tuple shape yielded by :func:`iter_observation_fields`.
+FieldRow = "tuple[int, float, str, bool, float | None, Continent]"
+
+
+def iter_observation_fields(observations) -> Iterator[tuple]:
+    """Yield ``(vp_id, timestamp, site, succeeded, rtt_ms, continent)``.
+
+    ``observations`` may be any iterable of observation-shaped objects
+    (the legacy list path) or an
+    :class:`~repro.core.store.ObservationRows` view, in which case the
+    backing store's columns are read without materializing row objects.
+    The input must be re-iterable: the streaming analyses make two
+    passes (boundary discovery, then aggregation).
+    """
+    store = getattr(observations, "store", None)
+    if isinstance(store, ObservationStore):
+        strings = store._strings
+        continents = [
+            store._continent(profile[3]) for profile in store._profiles
+        ]
+        for vp, prof, t, sid, ok, rtt in zip(
+            store._vp,
+            store._prof,
+            store._t,
+            store._site,
+            store._ok,
+            store._rtt,
+        ):
+            yield (
+                vp,
+                t,
+                strings[sid],
+                bool(ok),
+                None if rtt != rtt else rtt,  # NaN column slot -> None
+                continents[prof],
+            )
+        return
+    for obs in observations:
+        yield (
+            obs.vp_id,
+            obs.timestamp,
+            obs.site,
+            obs.succeeded,
+            obs.rtt_ms,
+            obs.continent,
+        )
+
+
+def site_completion_times(
+    observations, sites: set[str], successful_only: bool = True
+) -> dict[int, float]:
+    """Per-VP timestamp of the row that completes its view of ``sites``.
+
+    A VP "completes" when, replaying its rows in timestamp order, the
+    set of sites it has been answered by first equals ``sites`` exactly
+    (the §4.1/§4.2 "seen every authoritative" condition).  The result
+    maps ``vp_id`` to that completing row's timestamp; VPs that never
+    complete are absent.
+
+    Computed order-independently from per-site first-seen times, so it
+    gives the same answer whether rows arrive in emission order or in
+    the kernel's completion order.  A site outside ``sites`` observed
+    strictly before the would-be completion means set equality never
+    held at any prefix, so the VP never completes — mirroring the
+    latching list scan this replaces.  (Equal-timestamp ties were
+    resolved by list position in the old scan; campaign timestamps are
+    unique per VP, so ties do not arise in practice.)
+    """
+    if not sites:
+        return {}
+    first_seen: dict[int, dict[str, float]] = {}
+    for vp, t, site, ok, _rtt, _continent in iter_observation_fields(
+        observations
+    ):
+        if not site or (successful_only and not ok):
+            continue
+        seen = first_seen.setdefault(vp, {})
+        prev = seen.get(site)
+        if prev is None or t < prev:
+            seen[site] = t
+    completion: dict[int, float] = {}
+    for vp, seen in first_seen.items():
+        if not sites <= seen.keys():
+            continue
+        boundary = max(seen[site] for site in sites)
+        if any(
+            t < boundary for site, t in seen.items() if site not in sites
+        ):
+            continue
+        completion[vp] = boundary
+    return completion

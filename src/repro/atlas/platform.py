@@ -10,8 +10,13 @@ cache-busting unique labels.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
+from ..core.store import (
+    MeasurementRun,
+    ObservationStore,
+    QueryObservation,
+)
 from ..dns.name import Name
 from ..dns.types import RRType
 from ..netsim.events import EventScheduler
@@ -40,44 +45,6 @@ class VantagePoint:
     @property
     def continent(self) -> Continent:
         return self.probe.continent
-
-
-@dataclass(frozen=True)
-class QueryObservation:
-    """One measured query, combining client- and server-side views."""
-
-    vp_id: int
-    probe_id: int
-    recursive_address: str
-    impl_name: str
-    continent: Continent
-    timestamp: float
-    qname: str
-    site: str                 # site code from the TXT marker ("" if failed)
-    authoritative: str        # service address the answer came from
-    rtt_ms: float | None      # recursive→authoritative RTT of the answer
-    attempts: int
-    succeeded: bool
-
-
-@dataclass
-class MeasurementRun:
-    """All observations of one campaign plus its parameters."""
-
-    domain: str
-    interval_s: float
-    duration_s: float
-    observations: list[QueryObservation] = field(default_factory=list)
-
-    def by_vp(self) -> dict[int, list[QueryObservation]]:
-        grouped: dict[int, list[QueryObservation]] = {}
-        for obs in self.observations:
-            grouped.setdefault(obs.vp_id, []).append(obs)
-        return grouped
-
-    @property
-    def vp_count(self) -> int:
-        return len({obs.vp_id for obs in self.observations})
 
 
 class AtlasPlatform:
@@ -214,56 +181,63 @@ class AtlasPlatform:
 
     # -- measurement ------------------------------------------------------------
 
-    def _observe(
-        self,
-        run: MeasurementRun,
-        vp: VantagePoint,
-        qname: str,
-        now: float,
-        name: Name | None = None,
-    ) -> QueryObservation:
-        """Fire one measurement query and record the observation.
+    def _profiled_vps(
+        self, store: ObservationStore
+    ) -> list[tuple[VantagePoint, int]]:
+        """Pair each VP with its store profile id, registered once.
 
-        ``name`` is an optional pre-parsed form of ``qname``; observations
-        always record the text form, so event logs are unaffected.
+        The profile carries the VP's constant columns (probe id,
+        recursive address, implementation, continent), so the per-query
+        record is a handful of scalar appends.
         """
-        result = vp.resolver.resolve(qname if name is None else name, RRType.TXT)
-        return self._record(run, vp, qname, now, result)
+        return [
+            (
+                vp,
+                store.profile_id(
+                    vp.probe.probe_id,
+                    vp.resolver.address,
+                    vp.impl_name,
+                    vp.continent,
+                ),
+            )
+            for vp in self.vantage_points
+        ]
 
     def _record(
         self,
-        run: MeasurementRun,
+        store: ObservationStore,
         vp: VantagePoint,
-        qname: str,
+        profile_id: int,
+        label: bytes,
+        suffix_id: int,
         now: float,
         result,
-    ) -> QueryObservation:
-        """Record one finished resolution as an observation.
+    ) -> None:
+        """Record one finished resolution as a store row.
 
         ``now`` is the query *issue* time (the measurement tick), not the
         completion time: observations sort by (timestamp, vp_id) in the
         canonical merge, and the issue time is the layout-invariant key
-        both the synchronous loop and the event kernel agree on.
+        both the synchronous loop and the event kernel agree on.  The
+        qname is stored as its unique ``label`` bytes plus the interned
+        campaign suffix (``suffix_id``) — no qname string materializes.
         """
         site = ""
         if result.succeeded:
             marker = result.txt_value() or ""
             site = marker.rsplit("-", 1)[-1] if marker else ""
-        obs = QueryObservation(
-            vp_id=vp.vp_id,
-            probe_id=vp.probe.probe_id,
-            recursive_address=vp.resolver.address,
-            impl_name=vp.impl_name,
-            continent=vp.continent,
-            timestamp=now,
-            qname=qname,
-            site=site,
-            authoritative=result.final_address,
-            rtt_ms=result.rtt_ms,
-            attempts=len(result.exchanges),
-            succeeded=result.succeeded,
+        store.append(
+            vp.vp_id,
+            profile_id,
+            now,
+            label,
+            suffix_id,
+            site,
+            result.final_address,
+            result.rtt_ms,
+            result.attempts,
+            result.succeeded,
         )
-        run.observations.append(obs)
         telemetry = self.telemetry
         if telemetry.enabled:
             registry = telemetry.registry
@@ -284,7 +258,6 @@ class AtlasPlatform:
                     "measurements with no successful answer",
                 ).inc()
             telemetry.profiler.count("observations")
-        return obs
 
     def measure(
         self,
@@ -326,15 +299,21 @@ class AtlasPlatform:
         # Parse the invariant suffix once; each query name is then one
         # prepended label instead of a full text parse per query.
         suffix = Name.from_text(f"probe.{domain}").intern()
-        suffix_text = f".probe.{domain}"
+        store = run.store
+        suffix_id = store.intern(f".probe.{domain}")
+        profiled = self._profiled_vps(store)
         costs = self.telemetry.costs
         costs_on = costs.enabled
         if kernel:
             self._measure_kernel(
-                run, ticks, interval_s, label_prefix, suffix, suffix_text,
-                heartbeat_every, shard,
+                run, ticks, interval_s, label_prefix, suffix, suffix_id,
+                profiled, heartbeat_every, shard,
             )
         else:
+            clock = self.network.clock
+            record = self._record
+            txt = RRType.TXT
+            child = suffix.child
             with self.telemetry.profiler.phase("platform.measure"):
                 for tick in range(ticks):
                     if costs_on:
@@ -342,21 +321,21 @@ class AtlasPlatform:
                         # tick — the synchronous stand-in for the
                         # kernel's tick event.
                         costs.count("timer_event")
-                    now = self.network.clock.now
-                    for vp in self.vantage_points:
-                        label = f"{label_prefix}-{vp.vp_id}-{tick}"
-                        self._observe(
-                            run, vp, label + suffix_text, now,
-                            name=suffix.child(label.encode("ascii")),
+                    now = clock.now
+                    for vp, pid in profiled:
+                        label = f"{label_prefix}-{vp.vp_id}-{tick}".encode(
+                            "ascii"
                         )
-                    self.network.clock.advance(interval_s)
+                        result = vp.resolver.resolve(child(label), txt)
+                        record(store, vp, pid, label, suffix_id, now, result)
+                    clock.advance(interval_s)
                     if heartbeat_every and (tick + 1) % heartbeat_every == 0:
                         self._emit_heartbeat(
-                            tick + 1, ticks, len(run.observations), shard
+                            tick + 1, ticks, len(store), shard
                         )
         self._emit_campaign_note(
             "measure.end", domain, interval_s, duration_s,
-            observations=len(run.observations),
+            observations=len(run.store),
         )
         return run
 
@@ -367,7 +346,8 @@ class AtlasPlatform:
         interval_s: float,
         label_prefix: str,
         suffix: Name,
-        suffix_text: str,
+        suffix_id: int,
+        profiled: list[tuple[VantagePoint, int]],
         heartbeat_every: int,
         shard: int | None,
     ) -> None:
@@ -388,6 +368,7 @@ class AtlasPlatform:
         costs = self.telemetry.costs
         kernel = EventKernel(clock=clock, costs=costs)
         epoch = clock.now
+        store = run.store
         record = self._record
         costs_on = costs.enabled
 
@@ -395,14 +376,13 @@ class AtlasPlatform:
             if costs_on:
                 costs.count("timer_event")
             now = clock.now
-            for vp in self.vantage_points:
-                label = f"{label_prefix}-{vp.vp_id}-{tick}"
-                qname = label + suffix_text
+            for vp, pid in profiled:
+                label = f"{label_prefix}-{vp.vp_id}-{tick}".encode("ascii")
                 vp.resolver.resolve_event(
-                    suffix.child(label.encode("ascii")),
+                    suffix.child(label),
                     RRType.TXT,
                     kernel,
-                    partial(record, run, vp, qname, now),
+                    partial(record, store, vp, pid, label, suffix_id, now),
                 )
 
         for tick in range(ticks):
@@ -422,7 +402,7 @@ class AtlasPlatform:
     def _emit_kernel_heartbeat(
         self, run: MeasurementRun, tick: int, ticks: int, shard: int | None
     ) -> None:
-        self._emit_heartbeat(tick, ticks, len(run.observations), shard)
+        self._emit_heartbeat(tick, ticks, len(run.store), shard)
 
     def _emit_heartbeat(
         self, tick: int, ticks: int, observations: int, shard: int | None
@@ -492,27 +472,26 @@ class AtlasPlatform:
         epoch = self.network.clock.now
 
         suffix = Name.from_text(f"probe.{domain}").intern()
-        suffix_text = f".probe.{domain}"
+        store = run.store
+        suffix_id = store.intern(f".probe.{domain}")
 
-        def fire(vp: VantagePoint, tick: int) -> None:
+        def fire(vp: VantagePoint, pid: int, tick: int) -> None:
             now = self.network.clock.now
-            label = f"{label_prefix}-{vp.vp_id}-{tick}"
-            self._observe(
-                run, vp, label + suffix_text, now,
-                name=suffix.child(label.encode("ascii")),
-            )
+            label = f"{label_prefix}-{vp.vp_id}-{tick}".encode("ascii")
+            result = vp.resolver.resolve(suffix.child(label), RRType.TXT)
+            self._record(store, vp, pid, label, suffix_id, now, result)
             next_at = now + interval_s
             if next_at - epoch < duration_s:
-                scheduler.schedule_at(next_at, lambda: fire(vp, tick + 1))
+                scheduler.schedule_at(next_at, lambda: fire(vp, pid, tick + 1))
 
-        for vp in self.vantage_points:
+        for vp, pid in self._profiled_vps(store):
             # Phase derives from the VP identity, not a shared stream, so
             # the firing schedule survives population resharding.
             phase = derive_rng(self.seed, "phase", vp.vp_id).uniform(
                 0.0, interval_s
             )
             scheduler.schedule_at(
-                epoch + phase, lambda vp=vp: fire(vp, 0)
+                epoch + phase, lambda vp=vp, pid=pid: fire(vp, pid, 0)
             )
         self._emit_campaign_note(
             "measure.start", domain, interval_s, duration_s,
@@ -521,6 +500,6 @@ class AtlasPlatform:
             scheduler.run_until(epoch + duration_s)
         self._emit_campaign_note(
             "measure.end", domain, interval_s, duration_s,
-            observations=len(run.observations),
+            observations=len(run.store),
         )
         return run

@@ -159,6 +159,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             workers=args.workers,
             shards=args.shards or None,
             telemetry=telemetry,
+            spill_dir=args.spill_events,
         )
         io.status(
             f"merged {result.shards} shards from {result.workers} worker(s)"
@@ -174,9 +175,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.out:
         written = save_run(result.run, args.out)
         io.status(f"wrote {written} observations to {args.out}")
-    sites = set(COMBINATIONS[args.combo].sites)
-    ticks = int(config.duration_s // config.interval_s)
-    _print_analyses(io, result.observations, sites, args.combo, ticks)
+    if not args.no_analyze:
+        sites = set(COMBINATIONS[args.combo].sites)
+        ticks = int(config.duration_s // config.interval_s)
+        _print_analyses(io, result.observations, sites, args.combo, ticks)
     return 0
 
 
@@ -269,6 +271,7 @@ def _cmd_faults_run(args: argparse.Namespace) -> int:
             workers=args.workers,
             shards=args.shards or None,
             telemetry=telemetry,
+            spill_dir=args.spill_events,
         )
         io.status(
             f"merged {result.shards} shards from {result.workers} worker(s)"
@@ -1137,6 +1140,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="stream a telemetry event log (JSONL) to FILE",
     )
     run_parser.add_argument(
+        "--spill-events", metavar="DIR",
+        help="with --workers/--shards: each worker spills its event "
+        "records to DIR/shard-NNNN.events.jsonl instead of buffering "
+        "them in memory; the merged log is byte-identical either way",
+    )
+    run_parser.add_argument(
         "--scenario", default=None, metavar="NAME|FILE",
         help="inject a fault timeline: a bundled scenario name "
         "(see 'faults list') or a scenario JSON file",
@@ -1150,6 +1159,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--kernel", action="store_true",
         help="drive the campaign through the discrete-event kernel "
         "(ticks, deliveries, and retries as heap events)",
+    )
+    run_parser.add_argument(
+        "--no-analyze", action="store_true",
+        help="skip the post-run figure tables (for smoke campaigns too "
+        "short or too large for the per-VP query thresholds)",
     )
     run_parser.set_defaults(func=_cmd_run)
 
@@ -1542,6 +1556,12 @@ def build_parser() -> argparse.ArgumentParser:
     faults_run.add_argument(
         "--events", metavar="FILE",
         help="stream a telemetry event log (JSONL) to FILE",
+    )
+    faults_run.add_argument(
+        "--spill-events", metavar="DIR",
+        help="with --workers/--shards: each worker spills its event "
+        "records to DIR/shard-NNNN.events.jsonl instead of buffering "
+        "them in memory; the merged log is byte-identical either way",
     )
     faults_run.add_argument(
         "--export", metavar="FILE",

@@ -1,5 +1,11 @@
 """The paper's experiments and operator guidance (core contribution)."""
 
+from .store import (
+    MeasurementRun,
+    ObservationRows,
+    ObservationStore,
+    QueryObservation,
+)
 from .capture import (
     Capture,
     CapturedExchange,
@@ -66,7 +72,11 @@ __all__ = [
     "ExperimentConfig",
     "ExperimentResult",
     "FIGURE6_INTERVALS_MIN",
+    "MeasurementRun",
+    "ObservationRows",
+    "ObservationStore",
     "ParallelExperimentResult",
+    "QueryObservation",
     "partition_probes",
     "run_parallel",
     "ResilienceEvaluator",

@@ -10,7 +10,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..atlas.platform import AtlasPlatform, MeasurementRun
 from ..atlas.probes import Probe, ProbeGenerator
 from ..netsim.latency import LatencyModel, LatencyParameters
 from ..netsim.network import SimNetwork
@@ -19,6 +18,7 @@ from ..seeding import derive
 from ..telemetry import NULL_TELEMETRY, RunProfiler
 from .combinations import COMBINATIONS
 from .deployment import AuthoritativeSpec, Deployment
+from .store import MeasurementRun
 
 DEFAULT_DOMAIN = "ourtestdomain.nl."
 
@@ -201,6 +201,11 @@ class TestbedExperiment:
                 )
                 if self.config.ipv6:
                     probes = [probe for probe in probes if probe.ipv6_capable]
+        # Imported lazily: ``atlas.platform`` itself imports
+        # ``core.store``, so a module-level import here would close an
+        # import cycle through the ``repro.core`` package.
+        from ..atlas.platform import AtlasPlatform
+
         platform = AtlasPlatform(
             self.network, probes, self.population, seed=self.platform_seed,
             telemetry=self.telemetry,
@@ -232,7 +237,7 @@ class TestbedExperiment:
         profiler.record("config.num_probes", self.config.num_probes)
         profiler.record("config.seed", self.config.seed)
         profiler.count("experiment.runs")
-        profiler.count("experiment.observations", len(run.observations))
+        profiler.count("experiment.observations", len(run.store))
         if events.enabled:
             # Close out the log: end-state metrics + the phase profile.
             # (The writer stays open so callers can append more events.)

@@ -37,7 +37,8 @@ from __future__ import annotations
 import multiprocessing
 from dataclasses import dataclass, field
 
-from ..atlas.platform import MeasurementRun
+from pathlib import Path
+
 from ..atlas.probes import Probe, ProbeGenerator
 from ..seeding import derive
 from ..telemetry import (
@@ -52,12 +53,15 @@ from ..telemetry import (
     RecordingEventSink,
     RunMeta,
     RunProfiler,
+    SpillingEventSink,
     Telemetry,
     Tracer,
+    iter_raw_records,
     normalize_trace_records,
     span_from_dict,
 )
 from .experiment import ExperimentConfig, TestbedExperiment
+from .store import MeasurementRun, ObservationStore
 
 
 @dataclass
@@ -127,8 +131,24 @@ def _run_shard(payload: tuple) -> dict:
     into a shard-tagged :class:`RecordingEventSink` and retains nothing
     in memory (``max_traces=0``) — records are the transport.
     """
-    shard_index, config, probes, want_metrics, want_events, want_costs = payload
-    sink = RecordingEventSink(shard=shard_index) if want_events else None
+    (
+        shard_index, config, probes,
+        want_metrics, want_events, want_costs, spill_dir,
+    ) = payload
+    sink = None
+    spill_path = None
+    if want_events:
+        if spill_dir is not None:
+            # Memory-bounded transport: the worker streams its records
+            # into a follower-compatible JSONL segment and keeps only a
+            # bounded tail buffered, so event volume never scales the
+            # worker's footprint.
+            spill_path = str(
+                Path(spill_dir) / f"shard-{shard_index:04d}.events.jsonl"
+            )
+            sink = SpillingEventSink(path=spill_path, shard=shard_index)
+        else:
+            sink = RecordingEventSink(shard=shard_index)
     telemetry = Telemetry(
         registry=MetricsRegistry() if want_metrics else NullRegistry(),
         tracer=Tracer(max_traces=0, sink=sink) if want_events else NullTracer(),
@@ -139,11 +159,18 @@ def _run_shard(payload: tuple) -> dict:
     result = TestbedExperiment(
         config, telemetry=telemetry, probes=probes, shard=shard_index
     ).run()
+    if spill_path is not None:
+        sink.close()
     return {
         "shard": shard_index,
-        "observations": result.run.observations,
+        "store": result.run.store,
         "registry": telemetry.registry if want_metrics else None,
-        "records": sink.records if sink is not None else [],
+        "records": (
+            sink.records
+            if sink is not None and spill_path is None
+            else []
+        ),
+        "spill_path": spill_path,
         "server_query_counts": result.server_query_counts,
         "addresses": result.addresses,
         "site_of_address": result.site_of_address,
@@ -184,6 +211,7 @@ def run_parallel(
     workers: int = 1,
     shards: int | None = None,
     telemetry=None,
+    spill_dir: str | Path | None = None,
 ) -> ParallelExperimentResult:
     """Run one campaign sharded over ``workers`` processes and merge.
 
@@ -193,6 +221,13 @@ def run_parallel(
     pool), through the *same* merge path, so its artifacts — including
     the event log, byte for byte — are the reference the parallel runs
     are tested against.
+
+    ``spill_dir`` bounds worker memory: each shard streams its event
+    records into a JSONL segment under that directory instead of
+    accumulating them in RAM (see
+    :class:`~repro.telemetry.SpillingEventSink`).  The merge reads the
+    segments back, so the canonical merged log is byte-identical with
+    or without spilling.
     """
     if workers <= 0:
         raise ValueError(f"workers must be positive, got {workers}")
@@ -215,8 +250,14 @@ def run_parallel(
         ]
         if not buckets:
             buckets = [[]]
+    if spill_dir is not None:
+        spill_dir = str(spill_dir)
+        Path(spill_dir).mkdir(parents=True, exist_ok=True)
     payloads = [
-        (index, config, bucket, want_metrics, want_events, want_costs)
+        (
+            index, config, bucket,
+            want_metrics, want_events, want_costs, spill_dir,
+        )
         for index, bucket in enumerate(buckets)
     ]
 
@@ -228,20 +269,28 @@ def run_parallel(
             processes = min(workers, len(payloads))
             with context.Pool(processes=processes) as pool:
                 shard_results = pool.map(_run_shard, payloads)
+    for result in shard_results:
+        # Spilled shards shipped a segment path instead of in-memory
+        # records; load them once for the merge (the bound protects the
+        # *workers* — the merge still sees every record).
+        if result["spill_path"] is not None:
+            result["records"] = list(iter_raw_records(result["spill_path"]))
 
     with profiler.phase("parallel.merge"):
-        observations = [
-            obs for result in shard_results for obs in result["observations"]
-        ]
-        # (timestamp, vp_id) reproduces the serial emission order:
-        # ticks share one timestamp and VPs fire in vp_id order.
-        observations.sort(key=lambda obs: (obs.timestamp, obs.vp_id))
+        # Column-level merge: each shard ships its store and the rows
+        # are re-sorted to (timestamp, vp_id) — the serial emission
+        # order (ticks share one timestamp, VPs fire in vp_id order) —
+        # without ever materializing an observation object.
+        merged = ObservationStore()
+        for result in shard_results:
+            merged.merge(result["store"])
+        merged.sort_canonical()
         template = shard_results[0]
         run = MeasurementRun(
             domain=config.domain.rstrip("."),
             interval_s=config.interval_s,
             duration_s=config.duration_s,
-            observations=observations,
+            store=merged,
         )
         server_query_counts: dict[str, int] = {}
         for result in shard_results:
@@ -303,7 +352,7 @@ def run_parallel(
     profiler.record("config.num_probes", config.num_probes)
     profiler.record("config.seed", config.seed)
     profiler.count("experiment.runs")
-    profiler.count("experiment.observations", len(observations))
+    profiler.count("experiment.observations", len(merged))
     return ParallelExperimentResult(
         config=config,
         run=run,

@@ -11,8 +11,8 @@ import json
 from pathlib import Path
 from typing import Iterable, Iterator
 
-from ..atlas.platform import MeasurementRun, QueryObservation
 from ..netsim.geo import Continent
+from .store import MeasurementRun, QueryObservation
 
 
 def observation_to_dict(obs: QueryObservation) -> dict:
@@ -50,7 +50,12 @@ def observation_from_dict(row: dict) -> QueryObservation:
 
 
 def save_run(run: MeasurementRun, path: str | Path) -> int:
-    """Write a run as JSONL with a header line; returns rows written."""
+    """Write a run as JSONL with a header line; returns rows written.
+
+    Rows stream straight out of the columnar store — no observation
+    objects materialize, so saving a 33M-row campaign allocates only
+    one transient dict at a time.
+    """
     path = Path(path)
     with path.open("w") as fh:
         header = {
@@ -60,9 +65,11 @@ def save_run(run: MeasurementRun, path: str | Path) -> int:
             "duration_s": run.duration_s,
         }
         fh.write(json.dumps(header) + "\n")
-        for obs in run.observations:
-            fh.write(json.dumps(observation_to_dict(obs)) + "\n")
-    return len(run.observations)
+        dumps = json.dumps
+        write = fh.write
+        for row in run.store.iter_dicts():
+            write(dumps(row) + "\n")
+    return len(run.store)
 
 
 def load_run(path: str | Path) -> MeasurementRun:
@@ -77,10 +84,11 @@ def load_run(path: str | Path) -> MeasurementRun:
             interval_s=header["interval_s"],
             duration_s=header["duration_s"],
         )
+        append = run.store.append_dict
         for line in fh:
             line = line.strip()
             if line:
-                run.observations.append(observation_from_dict(json.loads(line)))
+                append(json.loads(line))
     return run
 
 

@@ -8,30 +8,43 @@ from __future__ import annotations
 
 
 class SimClock:
-    """A monotonically advancing virtual clock, in seconds."""
+    """A monotonically advancing virtual clock, in seconds.
+
+    ``now`` is a plain attribute, not a property: the resolver caches
+    and the event kernel read it once per lookup/event, and at millions
+    of events per campaign a descriptor call on the hot path is real
+    money.  The kernel advances time by assigning ``now`` directly;
+    everything else goes through :meth:`advance`/:meth:`advance_to`,
+    which keep the monotonicity check.
+    """
 
     def __init__(self, start: float = 0.0):
-        self._now = float(start)
+        self.now = float(start)
 
     @property
-    def now(self) -> float:
-        return self._now
+    def _now(self) -> float:
+        # Compatibility alias for pre-attribute callers.
+        return self.now
+
+    @_now.setter
+    def _now(self, value: float) -> None:
+        self.now = value
 
     def advance(self, seconds: float) -> float:
         """Move time forward; negative steps are a programming error."""
         if seconds < 0:
             raise ValueError(f"cannot advance clock by {seconds}")
-        self._now += seconds
-        return self._now
+        self.now += seconds
+        return self.now
 
     def advance_to(self, timestamp: float) -> float:
         """Jump to an absolute time, which must not be in the past."""
-        if timestamp < self._now:
+        if timestamp < self.now:
             raise ValueError(
-                f"cannot move clock backwards from {self._now} to {timestamp}"
+                f"cannot move clock backwards from {self.now} to {timestamp}"
             )
-        self._now = timestamp
-        return self._now
+        self.now = timestamp
+        return self.now
 
     def __repr__(self) -> str:
-        return f"SimClock(now={self._now:.6f})"
+        return f"SimClock(now={self.now:.6f})"

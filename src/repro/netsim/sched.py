@@ -117,7 +117,7 @@ class EventKernel:
             # Heap order makes the assignment monotonic by construction;
             # skipping advance_to's back-in-time check is safe here and
             # saves a method call per event.
-            self.clock._now = entry[TIME]
+            self.clock.now = entry[TIME]
             arg = entry[ARG]
             if arg is _NO_ARG:
                 fn()
@@ -149,7 +149,7 @@ class EventKernel:
             if fn is None:
                 continue
             self._live -= 1
-            clock._now = entry[TIME]
+            clock.now = entry[TIME]
             arg = entry[ARG]
             if arg is _NO_ARG:
                 fn()
@@ -175,7 +175,7 @@ class EventKernel:
             if fn is None:
                 continue
             self._live -= 1
-            clock._now = entry[TIME]
+            clock.now = entry[TIME]
             arg = entry[ARG]
             if arg is _NO_ARG:
                 fn()

@@ -64,6 +64,11 @@ class ResolutionResult:
     served_by: str = ""          # site code of the final answering server
     final_address: str = ""      # service address the final answer came from
     rtt_ms: float | None = None  # RTT of the final exchange
+    #: exchange attempts made (always maintained, a bare int); equals
+    #: ``len(exchanges)`` whenever exchange recording is on.
+    attempts: int = 0
+    #: per-exchange records — populated only when the resolver's
+    #: ``record_exchanges`` is on (telemetry/ledger active, or forced).
     exchanges: list[ExchangeRecord] = field(default_factory=list)
     from_cache: bool = False
 
@@ -96,6 +101,7 @@ class RecursiveResolver:
         qname_minimization: bool = False,
         case_randomization: bool = False,
         telemetry=None,
+        record_exchanges: bool | None = None,
     ):
         self.address = address
         self.location = location
@@ -110,6 +116,16 @@ class RecursiveResolver:
             selector.telemetry = self.telemetry
         self.infra_cache = InfrastructureCache(ttl_s=infra_ttl_s)
         self.record_cache = RecordCache()
+        self.record_cache.bind_clock(network.clock)
+        # Per-exchange ExchangeRecord allocation is opt-in: campaigns
+        # only need the attempt *count* unless telemetry or the cost
+        # ledger wants the full exchange detail.  ``None`` auto-gates on
+        # those pillars; tests and tools can force it on explicitly.
+        if record_exchanges is None:
+            record_exchanges = (
+                self.telemetry.enabled or self.telemetry.costs.enabled
+            )
+        self.record_exchanges = record_exchanges
         self.timeout_ms = timeout_ms
         self.max_retries = max_retries
         # Derived, not hash()-based: str hashes vary per process under
@@ -259,7 +275,7 @@ class RecursiveResolver:
 
         if costs_on:
             costs.count("cache_lookup")
-        cached = self.record_cache.get(qname, qtype, now)
+        cached = self.record_cache.lookup(qname, qtype)
         if cached is not None:
             result.rcode = Rcode.NOERROR
             result.answers = list(cached.records)
@@ -268,7 +284,7 @@ class RecursiveResolver:
             return None
         if costs_on:
             costs.count("cache_lookup")
-        negative = self.record_cache.get_negative(qname, qtype, now)
+        negative = self.record_cache.lookup_negative(qname, qtype)
         if negative is not None:
             result.rcode = Rcode.NXDOMAIN if negative.nxdomain else Rcode.NOERROR
             result.from_cache = True
@@ -479,6 +495,7 @@ class RecursiveResolver:
         telemetry = self.telemetry
         costs = telemetry.costs
         costs_on = costs.enabled
+        record_exchanges = self.record_exchanges
         question_tail = QUESTION_TAIL_STRUCT.pack(int(qtype), int(RRClass.IN))
         # Failed attempts wait out the full timeout before the next try:
         # attempt N's span starts at now + N×timeout, so serialized
@@ -522,16 +539,26 @@ class RecursiveResolver:
                     )
                 except Exception:
                     # Host gone (withdrawn mid-measurement): a timeout to us.
-                    result.exchanges.append(ExchangeRecord(address, None, True, ""))
+                    result.attempts += 1
+                    if record_exchanges:
+                        if costs_on:
+                            costs.count("exchange_record")
+                        result.exchanges.append(
+                            ExchangeRecord(address, None, True, "")
+                        )
                     self.selector.on_timeout(
                         address, addresses, self.infra_cache, now
                     )
                     outcome = "unreachable"
                     continue
                 if trip.lost or trip.response is None:
-                    result.exchanges.append(
-                        ExchangeRecord(address, None, True, "")
-                    )
+                    result.attempts += 1
+                    if record_exchanges:
+                        if costs_on:
+                            costs.count("exchange_record")
+                        result.exchanges.append(
+                            ExchangeRecord(address, None, True, "")
+                        )
                     self.selector.on_timeout(
                         address, addresses, self.infra_cache, now
                     )
@@ -542,7 +569,13 @@ class RecursiveResolver:
                 try:
                     message = self._response_memo.decode(trip.response, send_name)
                 except Exception:
-                    result.exchanges.append(ExchangeRecord(address, None, True, ""))
+                    result.attempts += 1
+                    if record_exchanges:
+                        if costs_on:
+                            costs.count("exchange_record")
+                        result.exchanges.append(
+                            ExchangeRecord(address, None, True, "")
+                        )
                     self.selector.on_timeout(
                         address, addresses, self.infra_cache, now
                     )
@@ -551,9 +584,15 @@ class RecursiveResolver:
                 if message.msg_id != msg_id:
                     # Spoofed/mismatched id: the response is discarded,
                     # so the attempt failed exactly like a garbled one —
-                    # the selector must learn it and the exchange must
-                    # appear in result.exchanges.
-                    result.exchanges.append(ExchangeRecord(address, None, True, ""))
+                    # the selector must learn it and the attempt must be
+                    # booked on the result.
+                    result.attempts += 1
+                    if record_exchanges:
+                        if costs_on:
+                            costs.count("exchange_record")
+                        result.exchanges.append(
+                            ExchangeRecord(address, None, True, "")
+                        )
                     self.selector.on_timeout(
                         address, addresses, self.infra_cache, now
                     )
@@ -566,9 +605,13 @@ class RecursiveResolver:
                         self.spoofs_rejected += 1
                         outcome = "spoof_rejected"
                         continue
-                result.exchanges.append(
-                    ExchangeRecord(address, trip.rtt_ms, False, trip.served_by)
-                )
+                result.attempts += 1
+                if record_exchanges:
+                    if costs_on:
+                        costs.count("exchange_record")
+                    result.exchanges.append(
+                        ExchangeRecord(address, trip.rtt_ms, False, trip.served_by)
+                    )
                 self.selector.on_response(
                     address, trip.rtt_ms, addresses, self.infra_cache, now
                 )
@@ -768,9 +811,14 @@ class _EventResolution:
         if outcome != "spoof_rejected":
             # Spoof rejections mirror the synchronous path: counted on
             # the resolver, no exchange record, no selector feedback.
-            self.result.exchanges.append(
-                ExchangeRecord(self.address, None, True, "")
-            )
+            self.result.attempts += 1
+            if resolver.record_exchanges:
+                costs = resolver.telemetry.costs
+                if costs.enabled:
+                    costs.count("exchange_record")
+                self.result.exchanges.append(
+                    ExchangeRecord(self.address, None, True, "")
+                )
             resolver.selector.on_timeout(
                 self.address, self.addresses, resolver.infra_cache,
                 self.kernel.now,
@@ -806,9 +854,14 @@ class _EventResolution:
                 self._attempt_failed("spoof_rejected")
                 return
         now = self.kernel.now
-        self.result.exchanges.append(
-            ExchangeRecord(self.address, trip.rtt_ms, False, trip.served_by)
-        )
+        self.result.attempts += 1
+        if resolver.record_exchanges:
+            costs = resolver.telemetry.costs
+            if costs.enabled:
+                costs.count("exchange_record")
+            self.result.exchanges.append(
+                ExchangeRecord(self.address, trip.rtt_ms, False, trip.served_by)
+            )
         resolver.selector.on_response(
             self.address, trip.rtt_ms, self.addresses, resolver.infra_cache, now
         )

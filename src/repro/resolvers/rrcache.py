@@ -31,13 +31,34 @@ class NegativeEntry:
 
 @dataclass
 class RecordCache:
-    """TTL-driven cache of positive and negative answers."""
+    """TTL-driven cache of positive and negative answers.
+
+    Expiry can be keyed off a bound simulation clock
+    (:meth:`bind_clock` + :meth:`lookup`/:meth:`lookup_negative`): the
+    resolver binds its network's clock once and lookups read
+    ``clock.now`` — a plain attribute kept current by the event kernel's
+    heap — instead of threading a ``now`` argument through every call.
+    The explicit-``now`` methods remain for unbound use.
+    """
 
     max_entries: int = 100_000
     _positive: dict[tuple[Name, RRType], CacheEntry] = field(default_factory=dict)
     _negative: dict[tuple[Name, RRType], NegativeEntry] = field(default_factory=dict)
     hits: int = 0
     misses: int = 0
+    clock: object | None = None
+
+    def bind_clock(self, clock) -> None:
+        """Key expiry off ``clock.now`` for the bound-lookup methods."""
+        self.clock = clock
+
+    def lookup(self, name: Name, rrtype: RRType) -> CacheEntry | None:
+        """Positive lookup at the bound clock's current instant."""
+        return self.get(name, rrtype, self.clock.now)
+
+    def lookup_negative(self, name: Name, rrtype: RRType) -> NegativeEntry | None:
+        """Negative lookup at the bound clock's current instant."""
+        return self.get_negative(name, rrtype, self.clock.now)
 
     def get(self, name: Name, rrtype: RRType, now: float) -> CacheEntry | None:
         entry = self._positive.get((name, rrtype))

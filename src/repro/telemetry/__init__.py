@@ -48,9 +48,11 @@ from .events import (
     RawEvent,
     RecordingEventSink,
     RunMeta,
+    SpillingEventSink,
     TraceEvent,
     ViewComparisonEvent,
     canonical_json_value,
+    iter_raw_records,
     normalize_trace_records,
     read_events,
     span_from_dict,
@@ -310,6 +312,7 @@ __all__ = [
     "SamplingProfiler",
     "Span",
     "SpanEvent",
+    "SpillingEventSink",
     "Telemetry",
     "TraceAnalytics",
     "TraceEvent",
@@ -321,6 +324,7 @@ __all__ = [
     "default_slos",
     "evaluate_slos",
     "fault_windows_from_notes",
+    "iter_raw_records",
     "normalize_trace_records",
     "quantile_from_buckets",
     "read_events",

@@ -452,6 +452,126 @@ class RecordingEventSink:
         )
 
 
+class SpillingEventSink:
+    """A :class:`RecordingEventSink` whose records spill to disk.
+
+    Same canonicalisation and shard tagging, but instead of an
+    unbounded ``records`` list the sink holds at most ``max_buffered``
+    serialized lines in memory and streams the rest into a JSONL
+    *spill segment* at ``path``.  The segment starts with the standard
+    event-log header, so :class:`EventLogFollower`, :func:`read_events`
+    and the dashboard can tail a spilling worker mid-campaign exactly
+    like a normal log.
+
+    This bounds the *worker*: a shard's memory footprint no longer
+    scales with its event volume.  The parallel merge reads the
+    segments back (:func:`iter_raw_records`) and produces the same
+    canonical merged log, byte for byte, as the in-memory transport.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        path: str | Path,
+        shard: int | None = None,
+        max_buffered: int = DEFAULT_MAX_BUFFERED,
+    ):
+        if max_buffered <= 0:
+            raise ValueError(f"max_buffered must be positive, got {max_buffered}")
+        self.path = Path(path)
+        self.shard = shard
+        self.max_buffered = max_buffered
+        self.emitted = 0
+        self.dropped = 0
+        self._buffer: list[str] = []
+        self._closed = False
+        self._warned = False
+        self._fh: io.TextIOBase = self.path.open("w")
+        header = {"kind": EVENT_LOG_KIND, "version": EVENT_SCHEMA_VERSION}
+        self._fh.write(json.dumps(header) + "\n")
+        self._fh.flush()
+
+    def emit(self, event) -> bool:
+        if self._closed:
+            self.dropped += 1
+            if not self._warned:
+                self._warned = True
+                log.warning(
+                    "spill segment %s is closed; dropping further events "
+                    "(dropped=%d)", self.path, self.dropped,
+                )
+            return False
+        record = canonical_json_value(event.to_record())
+        if self.shard is not None:
+            record["shard"] = self.shard
+        self._buffer.append(json.dumps(record))
+        self.emitted += 1
+        if len(self._buffer) >= self.max_buffered:
+            self.flush()
+        return True
+
+    def emit_span(self, span: Span) -> bool:
+        return self.emit(TraceEvent(root=span))
+
+    def flush(self) -> None:
+        if self._buffer and not self._closed:
+            self._fh.write("\n".join(self._buffer) + "\n")
+            self._fh.flush()
+            self._buffer.clear()
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self.flush()
+        self._fh.close()
+        self._closed = True
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def iter_records(self):
+        """Stream back every spilled record (raw dicts, emit order)."""
+        self.flush()
+        return iter_raw_records(self.path)
+
+    def of_kind(self, kind: str) -> list[dict]:
+        return [
+            record
+            for record in self.iter_records()
+            if record.get("kind") == kind
+        ]
+
+    def __enter__(self) -> "SpillingEventSink":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"SpillingEventSink({str(self.path)!r}, shard={self.shard}, "
+            f"emitted={self.emitted}, closed={self._closed})"
+        )
+
+
+def iter_raw_records(path: str | Path):
+    """Stream an event log's records as plain dicts, header validated.
+
+    The merge-side counterpart of :class:`SpillingEventSink`: shard
+    segments come back as the same raw-dict stream an in-memory
+    :class:`RecordingEventSink` would have held.
+    """
+    path = Path(path)
+    with path.open() as fh:
+        _validate_header(path, fh.readline())
+        for line in fh:
+            line = line.strip()
+            if line:
+                yield json.loads(line)
+
+
 def _strip_span_ids(node: dict) -> dict:
     """A span dict without its tracer-private ids, children recursed."""
     clean = {
@@ -696,9 +816,11 @@ __all__ = [
     "RawEvent",
     "RecordingEventSink",
     "RunMeta",
+    "SpillingEventSink",
     "TraceEvent",
     "ViewComparisonEvent",
     "canonical_json_value",
+    "iter_raw_records",
     "normalize_trace_records",
     "read_events",
     "span_from_dict",

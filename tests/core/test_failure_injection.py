@@ -68,6 +68,7 @@ class TestSingleResolverFailover:
             network,
             BindSelector(rng=random.Random(4)),
             rng=random.Random(5),
+            record_exchanges=True,
         )
         resolver.add_stub_zone(DOMAIN, addresses)
         resolver.resolve(f"a.probe.{DOMAIN}", RRType.TXT)

@@ -63,6 +63,7 @@ def make_resolver(network, selector=None, city="AMS"):
         network,
         selector if selector is not None else RandomSelector(rng=random.Random(1)),
         rng=random.Random(2),
+        record_exchanges=True,
     )
     resolver.add_stub_zone(ORIGIN, ["10.0.0.1", "10.0.0.2"])
     return resolver
@@ -186,6 +187,7 @@ class TestLossAndRetry:
             PROBE_CITIES["AMS"],
             dead,
             RandomSelector(rng=random.Random(8)),
+            record_exchanges=True,
         )
         resolver.add_stub_zone(ORIGIN, ["10.0.0.1"])
         result = resolver.resolve("probe.ourtestdomain.nl.", RRType.TXT)
@@ -220,6 +222,7 @@ class TestReferrals:
             PROBE_CITIES["AMS"],
             network,
             RandomSelector(rng=random.Random(9)),
+            record_exchanges=True,
         )
         resolver.add_stub_zone("nl.", ["10.1.0.1"])
         result = resolver.resolve("probe.ourtestdomain.nl.", RRType.TXT)

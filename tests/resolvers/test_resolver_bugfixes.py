@@ -66,6 +66,7 @@ class RecordingSelector(RandomSelector):
 
 
 def make_resolver(network, selector=None, **kwargs):
+    kwargs.setdefault("record_exchanges", True)
     resolver = RecursiveResolver(
         "10.9.0.1",
         PROBE_CITIES["AMS"],

@@ -200,6 +200,7 @@ class TestResolverServfailUnderTotalOutage:
             network,
             SELECTOR_CLASSES[name](rng=random.Random(3)),
             rng=random.Random(4),
+            record_exchanges=True,
         )
         resolver.add_stub_zone(DOMAIN, addresses)
         result = resolver.resolve(f"x.probe.{DOMAIN}", RRType.TXT)
