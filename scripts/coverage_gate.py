@@ -42,6 +42,10 @@ GATED = {
     # merge, canonical sort, and the row view must stay pinned — a
     # silent column skew corrupts every export downstream.
     "repro.core.store": SRC / "repro" / "core" / "store.py",
+    # The authoritative-side attack mitigation: slip/drop decisions
+    # feed the adversarial-campaign determinism contract, so window
+    # math and bucket accounting must stay pinned by tests.
+    "repro.dns.rrl": SRC / "repro" / "dns" / "rrl.py",
 }
 
 #: committed line-coverage floors (percent).  Measured at the PR that
@@ -53,6 +57,7 @@ FLOORS = {
     "repro.telemetry": 90.0,  # 95.4% measured when the package was gated
     "repro.telemetry.costs": 90.0,  # 100% measured when the module landed
     "repro.core.store": 90.0,  # 98%+ measured when the store landed
+    "repro.dns.rrl": 90.0,  # 100% measured when the edge tests landed
 }
 
 

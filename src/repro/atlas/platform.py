@@ -63,6 +63,7 @@ class AtlasPlatform:
         public_resolver_share: float = 0.0,
         telemetry=None,
         seed: int | None = None,
+        resolver_options: dict | None = None,
     ):
         self.network = network
         self.probes = probes
@@ -86,6 +87,12 @@ class AtlasPlatform:
         self.public_resolver_share = public_resolver_share
         if self.public_resolver_share > 0.0 and not self.public_services:
             raise ValueError("public_resolver_share needs public_services")
+        #: extra RecursiveResolver kwargs applied to every ISP resolver
+        #: (e.g. MaxFetch mitigations during adversarial campaigns).
+        self.resolver_options = dict(resolver_options or {})
+        #: compiled :class:`repro.netsim.adversary.AttackPlan` driving a
+        #: botnet subset of VPs (None = benign campaign).
+        self.attack_plan = None
         self.vantage_points: list[VantagePoint] = []
         self._resolver_by_as: dict[int, RecursiveResolver] = {}
         self._impl_by_resolver: dict[str, str] = {}
@@ -120,6 +127,7 @@ class AtlasPlatform:
             sample.selector,
             infra_ttl_s=sample.infra_ttl_s,
             rng=derive_rng(self.seed, "resolver", probe.probe_id, ordinal),
+            **self.resolver_options,
         )
         self._impl_by_resolver[address] = sample.impl_name
         return resolver, sample.impl_name
@@ -304,16 +312,21 @@ class AtlasPlatform:
         profiled = self._profiled_vps(store)
         costs = self.telemetry.costs
         costs_on = costs.enabled
+        # Botnet membership is a pure function of (attack seed, vp_id):
+        # any shard conscripts the same VPs the serial run would.
+        plan = self.attack_plan
+        bots = plan.bot_ids(vp.vp_id for vp, _ in profiled) if plan else frozenset()
         if kernel:
             self._measure_kernel(
                 run, ticks, interval_s, label_prefix, suffix, suffix_id,
-                profiled, heartbeat_every, shard,
+                profiled, heartbeat_every, shard, plan, bots,
             )
         else:
             clock = self.network.clock
             record = self._record
             txt = RRType.TXT
             child = suffix.child
+            epoch = clock.now
             with self.telemetry.profiler.phase("platform.measure"):
                 for tick in range(ticks):
                     if costs_on:
@@ -322,12 +335,22 @@ class AtlasPlatform:
                         # kernel's tick event.
                         costs.count("timer_event")
                     now = clock.now
+                    attacking = plan is not None and plan.active(now - epoch)
                     for vp, pid in profiled:
-                        label = f"{label_prefix}-{vp.vp_id}-{tick}".encode(
-                            "ascii"
-                        )
-                        result = vp.resolver.resolve(child(label), txt)
-                        record(store, vp, pid, label, suffix_id, now, result)
+                        if attacking and vp.vp_id in bots:
+                            qname, label, s_text = plan.query_for(
+                                vp.vp_id, tick
+                            )
+                            sid = store.intern(s_text)
+                            if costs_on:
+                                costs.count("attack_query")
+                        else:
+                            label = f"{label_prefix}-{vp.vp_id}-{tick}".encode(
+                                "ascii"
+                            )
+                            qname, sid = child(label), suffix_id
+                        result = vp.resolver.resolve(qname, txt)
+                        record(store, vp, pid, label, sid, now, result)
                     clock.advance(interval_s)
                     if heartbeat_every and (tick + 1) % heartbeat_every == 0:
                         self._emit_heartbeat(
@@ -350,6 +373,8 @@ class AtlasPlatform:
         profiled: list[tuple[VantagePoint, int]],
         heartbeat_every: int,
         shard: int | None,
+        plan=None,
+        bots: frozenset = frozenset(),
     ) -> None:
         """The campaign as one event-kernel drain.
 
@@ -376,13 +401,23 @@ class AtlasPlatform:
             if costs_on:
                 costs.count("timer_event")
             now = clock.now
+            # Same per-VP attack decision as the synchronous loop — the
+            # qname stream must not depend on the engine.
+            attacking = plan is not None and plan.active(now - epoch)
             for vp, pid in profiled:
-                label = f"{label_prefix}-{vp.vp_id}-{tick}".encode("ascii")
+                if attacking and vp.vp_id in bots:
+                    qname, label, s_text = plan.query_for(vp.vp_id, tick)
+                    sid = store.intern(s_text)
+                    if costs_on:
+                        costs.count("attack_query")
+                else:
+                    label = f"{label_prefix}-{vp.vp_id}-{tick}".encode("ascii")
+                    qname, sid = suffix.child(label), suffix_id
                 vp.resolver.resolve_event(
-                    suffix.child(label),
+                    qname,
                     RRType.TXT,
                     kernel,
-                    partial(record, store, vp, pid, label, suffix_id, now),
+                    partial(record, store, vp, pid, label, sid, now),
                 )
 
         for tick in range(ticks):

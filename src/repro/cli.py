@@ -356,6 +356,162 @@ def _print_fault_windows(
     )
 
 
+def _cmd_attack_list(args: argparse.Namespace) -> int:
+    from .netsim.adversary import BUILTIN_ATTACKS
+
+    rows = [
+        [name, profile.vector, description]
+        for name, (profile, description) in sorted(BUILTIN_ATTACKS.items())
+    ]
+    args.io.emit(
+        render_table(
+            ["attack", "vector", "description"], rows,
+            title="Bundled attack profiles",
+        )
+    )
+    return 0
+
+
+def _cmd_attack_run(args: argparse.Namespace) -> int:
+    io = args.io
+    duration_s = args.duration * 60.0
+    from .netsim.adversary import (
+        AttackError,
+        AttackPlan,
+        resolve_attack,
+        scaled_profile,
+    )
+
+    overrides = {
+        key: value
+        for key, value in {
+            "bot_share": args.bot_share,
+            "fan_out": args.fan_out,
+            "max_fetch": args.max_fetch,
+            "max_fetch_per_delegation": args.max_fetch_per_delegation,
+            "rrl_qps": args.rrl_qps,
+        }.items()
+        if value is not None
+    }
+    try:
+        profile = resolve_attack(args.attack)
+        if overrides:
+            profile = scaled_profile(profile, **overrides)
+    except AttackError as exc:
+        io.status(f"error: {exc}")
+        return 2
+    config = ExperimentConfig.for_combination(
+        args.combo,
+        num_probes=args.probes,
+        interval_s=args.interval * 60.0,
+        duration_s=duration_s,
+        seed=args.seed,
+        attack=profile,
+        kernel=args.kernel,
+    )
+    mitigations = []
+    if profile.max_fetch is not None:
+        mitigations.append(f"max_fetch={profile.max_fetch}")
+    if profile.max_fetch_per_delegation is not None:
+        mitigations.append(
+            f"per_delegation={profile.max_fetch_per_delegation}"
+        )
+    if profile.rrl_qps is not None:
+        mitigations.append(f"rrl_qps={profile.rrl_qps}")
+    io.status(
+        f"running {args.combo} under attack {profile.name!r} "
+        f"({profile.vector}, bot_share={profile.bot_share:g}, "
+        f"{', '.join(mitigations) if mitigations else 'unmitigated'}): "
+        f"{args.probes} probes, every {args.interval:g} min "
+        f"for {args.duration:g} min"
+    )
+    from .telemetry import Telemetry
+
+    # The ledger is always on: fetch-amplification accounting is the
+    # attack report.  The event log only when a path was requested.
+    telemetry = Telemetry.enabled_bundle(
+        metrics=bool(args.events),
+        tracing=bool(args.events),
+        event_log=args.events or None,
+        costs=True,
+    )
+    if args.workers > 1 or args.shards:
+        from .core import run_parallel
+
+        result = run_parallel(
+            config,
+            workers=args.workers,
+            shards=args.shards or None,
+            telemetry=telemetry,
+            spill_dir=args.spill_events,
+        )
+        io.status(
+            f"merged {result.shards} shards from {result.workers} worker(s)"
+        )
+    else:
+        result = TestbedExperiment(config, telemetry=telemetry).run()
+    if args.events:
+        telemetry.events.close()
+        io.status(f"wrote event log to {args.events}")
+    if args.export_costs:
+        telemetry.costs.write(args.export_costs)
+        io.status(f"wrote cost ledger to {args.export_costs}")
+    if args.out:
+        written = save_run(result.run, args.out)
+        io.status(f"wrote {written} observations to {args.out}")
+    if args.export:
+        profile.save(args.export)
+        io.status(f"wrote attack profile to {args.export}")
+
+    # Rebuild the plan purely for reporting (window edges are data).
+    plan = AttackPlan(
+        profile, seed=0, duration_s=duration_s, victim_domain=config.domain
+    )
+    io.emit("attack timeline:")
+    for at, name, data in plan.transitions():
+        knobs = "".join(
+            f" {key}={value}"
+            for key, value in data.items()
+            if key not in ("attack", "vector") and value is not None
+        )
+        io.emit(
+            f"  {at:9.1f}s  {name:<12} {data['attack']:<20} "
+            f"({data['vector']}){knobs}"
+        )
+    _print_amplification(io, telemetry.costs)
+    ns_of_address = {
+        address: spec.name
+        for spec, address in zip(config.authoritatives, result.addresses)
+    }
+    _print_fault_windows(io, result.observations, ns_of_address, plan, duration_s)
+    return 0
+
+
+def _print_amplification(io: CliWriter, costs) -> None:
+    """Fetch-amplification + RRL accounting from the cost ledger."""
+    totals = costs.totals()
+    attack_queries = totals.get("attack_query", 0)
+    fetches = totals.get("ns_fetch", 0)
+    rows = [
+        ["client queries", str(totals.get("query", 0))],
+        ["attack queries", str(attack_queries)],
+        ["glueless NS fetches", str(fetches)],
+    ]
+    if attack_queries:
+        rows.append(
+            ["fetch amplification", f"{fetches / attack_queries:.2f}x"]
+        )
+    checks = totals.get("rrl_check", 0)
+    if checks:
+        rows.extend([
+            ["RRL checks", str(checks)],
+            ["RRL slipped (TC)", str(totals.get("rrl_slip", 0))],
+            ["RRL dropped", str(totals.get("rrl_drop", 0))],
+        ])
+    io.emit()
+    io.emit(render_table(["metric", "value"], rows, title="attack accounting"))
+
+
 def _cmd_analyze(args: argparse.Namespace) -> int:
     run = load_run(args.run)
     sites = set(args.sites)
@@ -1572,6 +1728,86 @@ def build_parser() -> argparse.ArgumentParser:
         help="drive the campaign through the discrete-event kernel",
     )
     faults_run.set_defaults(func=_cmd_faults_run)
+
+    attack_parser = sub.add_parser(
+        "attack", help="adversarial workloads: NXNSAttack, water torture"
+    )
+    attack_sub = attack_parser.add_subparsers(dest="attack_command", required=True)
+
+    attack_list = attack_sub.add_parser(
+        "list", help="list the bundled attack profiles"
+    )
+    attack_list.set_defaults(func=_cmd_attack_list)
+
+    attack_run = attack_sub.add_parser(
+        "run", help="run a combination under an adversarial workload"
+    )
+    attack_run.add_argument(
+        "--attack", default="nxns", metavar="NAME|FILE",
+        help="bundled attack name or attack-profile JSON file "
+        "(default: nxns)",
+    )
+    attack_run.add_argument("--combo", default="2C", choices=sorted(COMBINATIONS))
+    attack_run.add_argument("--probes", type=int, default=300)
+    attack_run.add_argument("--interval", type=float, default=2.0, help="minutes")
+    attack_run.add_argument("--duration", type=float, default=60.0, help="minutes")
+    attack_run.add_argument("--seed", type=int, default=0)
+    attack_run.add_argument(
+        "--bot-share", type=float, metavar="FRAC",
+        help="override the profile's botnet share of the VPs",
+    )
+    attack_run.add_argument(
+        "--fan-out", type=int, metavar="N",
+        help="override the delegation bombs' glueless NS fan-out",
+    )
+    attack_run.add_argument(
+        "--max-fetch", type=int, metavar="N",
+        help="cap glueless NS fetches per client query (MaxFetch)",
+    )
+    attack_run.add_argument(
+        "--max-fetch-per-delegation", type=int, metavar="N",
+        help="cap fetches chased out of any single referral",
+    )
+    attack_run.add_argument(
+        "--rrl-qps", type=int, metavar="QPS",
+        help="rate-limit error responses at the authoritatives (RRL)",
+    )
+    attack_run.add_argument(
+        "--workers", type=int, default=1,
+        help="shard the probe population over N processes; merged "
+        "output is identical for any N (default: 1, in-process)",
+    )
+    attack_run.add_argument(
+        "--shards", type=int, default=0,
+        help="shard count when it should differ from --workers "
+        "(0 = one shard per worker); forces the sharded engine even "
+        "with --workers 1",
+    )
+    attack_run.add_argument("--out", help="save observations as JSONL")
+    attack_run.add_argument(
+        "--events", metavar="FILE",
+        help="stream a telemetry event log (JSONL) to FILE",
+    )
+    attack_run.add_argument(
+        "--spill-events", metavar="DIR",
+        help="with --workers/--shards: each worker spills its event "
+        "records to DIR/shard-NNNN.events.jsonl instead of buffering "
+        "them in memory; the merged log is byte-identical either way",
+    )
+    attack_run.add_argument(
+        "--export-costs", metavar="FILE",
+        help="write the canonical cost-ledger JSON (amplification, "
+        "RRL slip/drop counts) to FILE",
+    )
+    attack_run.add_argument(
+        "--export", metavar="FILE",
+        help="save the resolved attack profile as a JSON file",
+    )
+    attack_run.add_argument(
+        "--kernel", action="store_true",
+        help="drive the campaign through the discrete-event kernel",
+    )
+    attack_run.set_defaults(func=_cmd_attack_run)
 
     return parser
 

@@ -41,6 +41,10 @@ class ExperimentConfig:
     #: fault timeline for the run: a :class:`~repro.netsim.faults.Scenario`,
     #: a bundled scenario name, or a scenario file path (None = no faults).
     scenario: object | None = None
+    #: adversarial workload: an
+    #: :class:`~repro.netsim.adversary.AttackProfile`, a bundled attack
+    #: name, or a profile file path (None = benign campaign).
+    attack: object | None = None
     #: emit a ``shard.heartbeat`` note every N measurement ticks for the
     #: live monitor (0 = off; heartbeats never enter the canonical
     #: merged event log, so results are identical either way).
@@ -125,9 +129,13 @@ class TestbedExperiment:
         self.probe_seed = derive(seed, "probes")
         self.platform_seed = derive(seed, "platform")
         self.fault_seed = derive(seed, "faults")
+        self.attack_seed = derive(seed, "attack")
         #: the compiled fault plan, set by :meth:`run` when a scenario
         #: is configured (None before the run or without one)
         self.fault_plan = None
+        #: the compiled attack plan, set by :meth:`run` when an attack
+        #: is configured (None before the run or without one)
+        self.attack_plan = None
         #: pre-generated probe subset (shard workers); None = generate all
         self._probes = probes
 
@@ -140,6 +148,15 @@ class TestbedExperiment:
 
         return resolve_scenario(scenario, self.config.duration_s)
 
+    def _attack_profile(self):
+        """The run's AttackProfile, resolving bundled names/paths."""
+        attack = self.config.attack
+        if attack is None or not isinstance(attack, str):
+            return attack
+        from ..netsim.adversary import resolve_attack
+
+        return resolve_attack(attack)
+
     def run(self) -> ExperimentResult:
         profiler = self.profiler
         events = self.telemetry.events
@@ -149,6 +166,7 @@ class TestbedExperiment:
         costs = self.telemetry.costs
         alloc = self.telemetry.alloc
         scenario = self._fault_scenario()
+        attack = self._attack_profile()
         if events.enabled:
             from ..telemetry import RunMeta
 
@@ -161,6 +179,7 @@ class TestbedExperiment:
                 "seed": self.config.seed,
                 "ipv6": self.config.ipv6,
                 "scenario": scenario.name if scenario is not None else None,
+                "attack": attack.name if attack is not None else None,
                 "kernel": self.config.kernel,
             }))
         base = "2001:db8:53" if self.config.ipv6 else "10.0"
@@ -190,6 +209,33 @@ class TestbedExperiment:
 
                 for at, name, data in self.fault_plan.transitions():
                     events.emit(Note(name=name, data=data, at=at))
+        if attack is not None:
+            from ..netsim.adversary import AttackPlan
+
+            self.attack_plan = AttackPlan(
+                attack,
+                seed=self.attack_seed,
+                duration_s=self.config.duration_s,
+                victim_domain=self.config.domain,
+            )
+            # The attacker's authoritative (delegation bombs) joins the
+            # testbed at a fixed address outside the victim's range.
+            self.attack_plan.deploy(self.network, telemetry=self.telemetry)
+            limiter_factory = self.attack_plan.rate_limiter_factory()
+            if limiter_factory is not None:
+                # RRL on the victim's authoritatives: each engine gets
+                # its own limiter (per-site state, like real deployments).
+                for deployed in self.deployment.deployed:
+                    for engine in deployed.engines.values():
+                        engine.rate_limiter = limiter_factory()
+            if events.enabled:
+                # Like fault transitions: the attack window is data
+                # known a priori, so the notes are emitted up front and
+                # survive the canonical parallel merge.
+                from ..telemetry import Note
+
+                for at, name, data in self.attack_plan.transitions():
+                    events.emit(Note(name=name, data=data, at=at))
         with profiler.phase("experiment.probes"), \
                 costs.phase("experiment.probes"), \
                 alloc.phase("experiment.probes"):
@@ -209,12 +255,22 @@ class TestbedExperiment:
         platform = AtlasPlatform(
             self.network, probes, self.population, seed=self.platform_seed,
             telemetry=self.telemetry,
+            resolver_options=(
+                self.attack_plan.resolver_options()
+                if self.attack_plan is not None
+                else None
+            ),
         )
+        platform.attack_plan = self.attack_plan
         with profiler.phase("experiment.build_vps"), \
                 costs.phase("experiment.build_vps"), \
                 alloc.phase("experiment.build_vps"):
             platform.build_vantage_points()
             platform.configure_zone(self.config.domain, addresses)
+            if self.attack_plan is not None:
+                stub = self.attack_plan.stub_zone()
+                if stub is not None:
+                    platform.configure_zone(stub[0], stub[1])
         # The sampler's window is exactly the measure phase: its
         # subsystem self-times partition the same interval the phase
         # timer measures, so shares in `repro-dns costs` sum to the

@@ -395,15 +395,15 @@ def _write_merged_log(
     )
     if run_meta is not None:
         sink.emit(RunMeta(run=run_meta["run"], at=run_meta.get("at")))
-    # Fault transitions are derived from the scenario, so every shard
-    # emitted the identical sequence: take the first shard's copy and
-    # re-emit it fresh (dropping the in-flight shard tag).
+    # Fault and attack transitions are derived from the scenario/profile,
+    # so every shard emitted the identical sequence: take the first
+    # shard's copy and re-emit it fresh (dropping the in-flight shard tag).
     for records in shard_records:
         fault_notes = [
             record
             for record in records
             if record.get("kind") == "note"
-            and str(record.get("name", "")).startswith("fault.")
+            and str(record.get("name", "")).startswith(("fault.", "attack."))
         ]
         if fault_notes:
             for record in fault_notes:

@@ -41,6 +41,10 @@ class AttackScenario:
     target_ns: tuple[int, ...] | None = None
     #: number of synthetic bot origins used to compute catchment spread
     bot_count: int = 300
+    #: fetch-amplification factor at the recursives: every attack query
+    #: multiplies into this many fetches against the targets (the
+    #: NXNSAttack mechanism; 1.0 = a plain volumetric flood).
+    amplification: float = 1.0
 
     def qps_per_target(self, ns_count: int) -> dict[int, float]:
         targets = (
@@ -48,8 +52,38 @@ class AttackScenario:
         )
         if not targets:
             return {}
-        share = self.total_qps / len(targets)
+        share = self.total_qps * self.amplification / len(targets)
         return {index: share for index in targets}
+
+
+def nxns_attack(
+    bot_qps: float,
+    fan_out: int,
+    max_fetch: int | None = None,
+    max_fetch_per_delegation: int | None = None,
+    target_ns: tuple[int, ...] | None = None,
+    bot_count: int = 300,
+) -> AttackScenario:
+    """An NXNSAttack as a capacity-model :class:`AttackScenario`.
+
+    ``bot_qps`` is what the botnet sends at the recursives; what lands
+    on the victim's NSes is that times the per-query fetch
+    amplification, which mitigated resolvers cap at ``max_fetch`` (and
+    per delegation at ``max_fetch_per_delegation``) — mirroring the
+    bounds :class:`~repro.resolvers.resolver.RecursiveResolver`
+    enforces in the packet-level simulation.
+    """
+    amplification = float(fan_out)
+    if max_fetch_per_delegation is not None:
+        amplification = min(amplification, float(max_fetch_per_delegation))
+    if max_fetch is not None:
+        amplification = min(amplification, float(max_fetch))
+    return AttackScenario(
+        total_qps=bot_qps,
+        target_ns=target_ns,
+        bot_count=bot_count,
+        amplification=amplification,
+    )
 
 
 @dataclass

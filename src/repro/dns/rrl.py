@@ -52,6 +52,15 @@ class ResponseRateLimiter:
     _buckets: dict[tuple[str, str], _Bucket] = field(default_factory=dict)
     dropped: int = 0
     slipped: int = 0
+    _checks_since_prune: int = 0
+
+    #: self-prune cadence: every N checks, expire stale buckets so a
+    #: long water-torture campaign (one bucket per unique NOERROR qname)
+    #: cannot grow memory without bound.  Pruning is behaviour-neutral —
+    #: any pruned bucket is past its window and would be reset on its
+    #: next touch anyway — so the cadence being traffic-dependent does
+    #: not perturb deterministic slip/drop decisions.
+    PRUNE_EVERY = 4096
 
     def _client_network(self, client: str) -> str:
         address = client.rsplit(":", 1)[0] if ":" in client and client.count(":") == 1 else client
@@ -62,6 +71,10 @@ class ResponseRateLimiter:
 
     def check(self, client: str, response_key: str, now: float) -> RrlAction:
         """Account one response; returns how to treat it."""
+        self._checks_since_prune += 1
+        if self._checks_since_prune >= self.PRUNE_EVERY:
+            self._checks_since_prune = 0
+            self.prune(now)
         key = (self._client_network(client), response_key)
         bucket = self._buckets.get(key)
         if bucket is None or now - bucket.window_start >= self.window_s:

@@ -283,11 +283,28 @@ class AuthoritativeServer:
             from .rrl import RrlAction
 
             question = response.questions[0]
-            response_key = f"{question.name}/{int(question.rrtype)}/{int(response.rcode)}"
+            if response.rcode == Rcode.NOERROR:
+                response_key = (
+                    f"{question.name}/{int(question.rrtype)}/{int(response.rcode)}"
+                )
+            else:
+                # BIND-style: error responses bucket per *zone*, not per
+                # qname — otherwise a random-subdomain water torture gets
+                # a fresh bucket per query and RRL never engages.
+                zone = self.find_zone(question.name)
+                scope = zone.origin if zone is not None else question.name
+                response_key = f"{scope}/-/{int(response.rcode)}"
+            if costs_on:
+                costs.count("rrl_check")
             action = self.rate_limiter.check(client, response_key, now)
             if action is RrlAction.DROP:
+                if costs_on:
+                    costs.count("rrl_drop")
                 return None
             if action is RrlAction.SLIP:
+                if costs_on:
+                    costs.count("rrl_slip")
+                    costs.count("encode")
                 slip = query.make_response()
                 slip.truncated = True
                 return slip.to_wire()

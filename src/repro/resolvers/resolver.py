@@ -37,6 +37,12 @@ from .rrcache import RecordCache
 
 MAX_REFERRALS = 16
 
+#: nesting bound for glueless-NS sub-resolutions (an NS target whose
+#: resolution needs another glueless delegation, and so on).  Real
+#: resolvers bound this chase; without a bound a crafted zone could
+#: recurse indefinitely.
+MAX_FETCH_DEPTH = 4
+
 #: response classification codes shared by the synchronous referral
 #: loop and the event-driven resolution path, so both engines apply
 #: identical semantics (including the dead-referral SERVFAIL fix).
@@ -71,6 +77,9 @@ class ResolutionResult:
     #: ``record_exchanges`` is on (telemetry/ledger active, or forced).
     exchanges: list[ExchangeRecord] = field(default_factory=list)
     from_cache: bool = False
+    #: glueless-NS sub-resolutions spawned by this client query (all
+    #: nesting levels) — the NXNSAttack fetch-amplification numerator.
+    ns_fetches: int = 0
 
     @property
     def succeeded(self) -> bool:
@@ -102,6 +111,8 @@ class RecursiveResolver:
         case_randomization: bool = False,
         telemetry=None,
         record_exchanges: bool | None = None,
+        max_fetch: int | None = None,
+        max_fetch_per_delegation: int | None = None,
     ):
         self.address = address
         self.location = location
@@ -138,6 +149,14 @@ class RecursiveResolver:
         #: zone origin -> authoritative service addresses
         self.stub_zones: dict[Name, list[str]] = {}
         self.queries_sent = 0
+        #: MaxFetch-style mitigations (NXNSAttack): total glueless-NS
+        #: sub-resolutions allowed per client query, and how many NS
+        #: targets of a single delegation may be chased.  ``None`` means
+        #: unmitigated (the pre-2020 resolver behaviour the attack hit).
+        self.max_fetch = max_fetch
+        self.max_fetch_per_delegation = max_fetch_per_delegation
+        #: resolver-lifetime count of glueless-NS sub-resolutions.
+        self.ns_fetches = 0
         #: RFC 7816: leak only one label per zone cut while walking down
         self.qname_minimization = qname_minimization
         #: DNS-0x20: randomize qname case and verify the echo (anti-spoof)
@@ -313,14 +332,16 @@ class RecursiveResolver:
             return _ERROR, None, None
         if not message.answers:
             referral = self._referral_addresses(message)
+            cut = self._referral_cut(message)
             if referral:
-                return _REFERRAL, referral, self._referral_cut(message)
-            if self._referral_cut(message) is not None:
-                # A referral whose glue is all unroutable: a dead end,
-                # not proof the name lacks data.  Falling through to
-                # NODATA would poison the negative cache with a bogus
-                # entry that outlives the routing problem.
-                return _DEAD_REFERRAL, None, None
+                return _REFERRAL, referral, cut
+            if cut is not None:
+                # A referral without routable glue: not proof the name
+                # lacks data (falling through to NODATA would poison the
+                # negative cache), but also not necessarily a dead end —
+                # the caller may resolve the NS target names themselves
+                # (the glueless fetch the NXNSAttack amplifies).
+                return _DEAD_REFERRAL, None, cut
         if send_name != qname:
             # Minimized probe: the intermediate name exists (NOERROR),
             # so descend one label and keep asking the same servers.
@@ -335,8 +356,16 @@ class RecursiveResolver:
         qtype: RRType,
         rrclass: RRClass,
         span,
+        depth: int = 0,
+        budget: ResolutionResult | None = None,
+        pending: tuple[Name, ...] = (),
     ) -> ResolutionResult:
         result = ResolutionResult(qname=qname, qtype=qtype)
+        if budget is None:
+            # ``budget`` is the top-level client result: nested NS
+            # fetches all bill their amplification against it, so
+            # ``max_fetch`` bounds the whole tree, not each level.
+            budget = result
         start = self._resolution_prologue(qname, qtype, rrclass, span, result)
         if start is None:
             return result
@@ -369,6 +398,18 @@ class RecursiveResolver:
                     current_zone = cut
                 continue
             if kind == _DEAD_REFERRAL:
+                # Glueless (or unroutable-glue) delegation: chase the NS
+                # target names with sub-resolutions — the fetch fan-out
+                # the NXNSAttack amplifies, bounded by ``max_fetch`` /
+                # ``max_fetch_per_delegation`` / MAX_FETCH_DEPTH.
+                fetched = self._fetch_ns_addresses(
+                    message, span, depth, budget, pending
+                )
+                if fetched:
+                    addresses = fetched
+                    if cut is not None:
+                        current_zone = cut
+                    continue
                 result.rcode = Rcode.SERVFAIL
                 return result
             if kind == _DESCEND:
@@ -645,6 +686,88 @@ class RecursiveResolver:
                 return record.name
         return None
 
+    def _referral_ns_targets(self, message: Message) -> list[Name]:
+        """NS target names from a referral, for glueless-NS fetching."""
+        targets: list[Name] = []
+        seen: set[Name] = set()
+        for record in message.authorities:
+            if record.rrtype == RRType.NS:
+                target = record.rdata.target
+                if target not in seen:
+                    seen.add(target)
+                    targets.append(target)
+        return targets
+
+    def _fetch_budget_left(self, budget: ResolutionResult) -> bool:
+        return self.max_fetch is None or budget.ns_fetches < self.max_fetch
+
+    def _bill_ns_fetch(self, budget: ResolutionResult) -> None:
+        budget.ns_fetches += 1
+        self.ns_fetches += 1
+        costs = self.telemetry.costs
+        if costs.enabled:
+            costs.count("ns_fetch")
+
+    @staticmethod
+    def _capped_fetch_targets(
+        targets: list[Name], cap: int | None, pending: tuple[Name, ...]
+    ) -> list[Name]:
+        """Drop targets already being fetched up-stack, apply the per-
+        delegation cap.  Shared by both engines so the scan order (and
+        therefore every seeded draw downstream) is identical."""
+        targets = [target for target in targets if target not in pending]
+        if cap is not None:
+            targets = targets[:cap]
+        return targets
+
+    def _fetch_ns_addresses(
+        self,
+        message: Message,
+        span,
+        depth: int,
+        budget: ResolutionResult,
+        pending: tuple[Name, ...],
+    ) -> list[str]:
+        """Resolve glueless NS target names to routable addresses.
+
+        Each target costs one sub-resolution ("NS fetch") billed against
+        the top-level query's ``budget`` — the quantity the NXNSAttack
+        inflates and ``max_fetch`` caps.  Scanning stops at the first
+        target that yields routable addresses: the walk only needs one
+        reachable server, so eager fan-out would overstate benign cost
+        (while a bomb's never-resolving targets still consume the full
+        fan-out).
+        """
+        if depth >= MAX_FETCH_DEPTH:
+            return []
+        targets = self._capped_fetch_targets(
+            self._referral_ns_targets(message),
+            self.max_fetch_per_delegation,
+            pending,
+        )
+        addresses: list[str] = []
+        for target in targets:
+            if not self._fetch_budget_left(budget):
+                break
+            self._bill_ns_fetch(budget)
+            sub = self._resolve(
+                target, RRType.A, RRClass.IN, span,
+                depth=depth + 1, budget=budget, pending=pending + (target,),
+            )
+            addresses = self._routable_answer_addresses(sub)
+            if addresses:
+                break
+        return addresses
+
+    def _routable_answer_addresses(self, sub: ResolutionResult) -> list[str]:
+        addresses = []
+        for record in sub.answers:
+            if record.rrtype in (RRType.A, RRType.AAAA):
+                address = record.rdata.address
+                if self.network.knows(address):
+                    addresses.append(address)
+        return addresses
+
     def _randomize_case(self, name: Name) -> Name:
         """DNS-0x20: flip each ASCII letter's case with probability 1/2."""
         labels = []
@@ -715,9 +838,14 @@ class _EventResolution:
         "current_zone", "addresses", "iterations", "attempt",
         "send_name", "send_type", "sent_name", "question_tail",
         "msg_id", "address", "exch_span", "send_time", "exch_outcome",
+        "depth", "budget", "pending", "emit_metrics",
+        "fetch_targets", "fetch_addresses", "fetch_cut",
     )
 
-    def __init__(self, resolver, kernel, qname, qtype, done, span, result):
+    def __init__(
+        self, resolver, kernel, qname, qtype, done, span, result,
+        depth=0, budget=None, pending=(), emit_metrics=True,
+    ):
         self.resolver = resolver
         self.kernel = kernel
         self.qname = qname
@@ -729,6 +857,17 @@ class _EventResolution:
         self.addresses: list[str] = []
         self.iterations = 0
         self.attempt = 0
+        # Glueless-NS fetch state: ``budget`` is the top-level client
+        # result (fetch amplification bills against it across nesting
+        # levels); child fetch resolutions carry depth+1 and skip the
+        # per-resolution metrics so the root span closes exactly once.
+        self.depth = depth
+        self.budget = budget if budget is not None else result
+        self.pending: tuple[Name, ...] = pending
+        self.emit_metrics = emit_metrics
+        self.fetch_targets: list[Name] = []
+        self.fetch_addresses: list[str] = []
+        self.fetch_cut: Name | None = None
 
     # -- referral walk -----------------------------------------------------
 
@@ -899,8 +1038,10 @@ class _EventResolution:
             self._begin_iteration()
             return
         if kind == _DEAD_REFERRAL:
-            result.rcode = Rcode.SERVFAIL
-            self._complete()
+            # Mirror of the synchronous glueless-NS fetch: chase the NS
+            # target names with child event-resolutions, sequentially,
+            # so the seeded draw order matches the sync engine exactly.
+            self._begin_ns_fetch(message, cut)
             return
         if kind == _DESCEND:
             self.current_zone = self.send_name
@@ -917,6 +1058,73 @@ class _EventResolution:
         # NODATA: name exists but not this type.
         resolver._cache_negative(message, self.qname, self.qtype, nxdomain=False)
         resolver._finalize(result, message, address, served_by, rtt_ms)
+        self._complete()
+
+    # -- glueless-NS fetching ----------------------------------------------
+
+    def _begin_ns_fetch(self, message: Message, cut: Name | None) -> None:
+        resolver = self.resolver
+        if self.depth >= MAX_FETCH_DEPTH:
+            self.result.rcode = Rcode.SERVFAIL
+            self._complete()
+            return
+        self.fetch_targets = resolver._capped_fetch_targets(
+            resolver._referral_ns_targets(message),
+            resolver.max_fetch_per_delegation,
+            self.pending,
+        )
+        self.fetch_addresses = []
+        self.fetch_cut = cut
+        self._next_fetch()
+
+    def _next_fetch(self) -> None:
+        resolver = self.resolver
+        while self.fetch_targets:
+            if not resolver._fetch_budget_left(self.budget):
+                break
+            target = self.fetch_targets.pop(0)
+            resolver._bill_ns_fetch(self.budget)
+            sub_result = ResolutionResult(qname=target, qtype=RRType.A)
+            start = resolver._resolution_prologue(
+                target, RRType.A, RRClass.IN, self.span, sub_result
+            )
+            if start is None:
+                # Cache hit (or immediate failure): harvest inline and
+                # keep scanning — no kernel round needed.
+                if self._harvest(sub_result):
+                    break
+                continue
+            child = _EventResolution(
+                resolver, self.kernel, target, RRType.A, self._fetch_done,
+                self.span, sub_result,
+                depth=self.depth + 1, budget=self.budget,
+                pending=self.pending + (target,), emit_metrics=False,
+            )
+            child.current_zone, child.addresses = start
+            child._begin_iteration()
+            return
+        self._finish_ns_fetch()
+
+    def _fetch_done(self, sub_result: ResolutionResult) -> None:
+        if self._harvest(sub_result):
+            self._finish_ns_fetch()
+            return
+        self._next_fetch()
+
+    def _harvest(self, sub_result: ResolutionResult) -> bool:
+        self.fetch_addresses.extend(
+            self.resolver._routable_answer_addresses(sub_result)
+        )
+        return bool(self.fetch_addresses)
+
+    def _finish_ns_fetch(self) -> None:
+        if self.fetch_addresses:
+            self.addresses = self.fetch_addresses
+            if self.fetch_cut is not None:
+                self.current_zone = self.fetch_cut
+            self._begin_iteration()
+            return
+        self.result.rcode = Rcode.SERVFAIL
         self._complete()
 
     # -- bookkeeping -------------------------------------------------------
@@ -940,6 +1148,6 @@ class _EventResolution:
 
     def _complete(self) -> None:
         resolver = self.resolver
-        if resolver.telemetry.enabled:
+        if resolver.telemetry.enabled and self.emit_metrics:
             resolver._emit_resolution_metrics(self.result, self.span)
         self.done(self.result)

@@ -44,6 +44,11 @@ COUNTERS = (
     "timer_event",    # measurement ticks (virtual-time timer firings)
     "sched_event",    # discrete events executed by the event kernel
     "query",          # resolutions issued — the per-query denominator
+    "ns_fetch",       # glueless-NS sub-resolutions (NXNSAttack amplification)
+    "attack_query",   # bot queries injected by an adversarial campaign
+    "rrl_check",      # authoritative RRL bucket evaluations
+    "rrl_slip",       # RRL slipped (truncated) responses
+    "rrl_drop",       # RRL dropped responses
 )
 
 

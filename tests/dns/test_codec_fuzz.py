@@ -248,6 +248,100 @@ def test_memo_on_arbitrary_wires_never_diverges():
         assert via_memo.to_wire() == Message.from_wire(wire).to_wire()
 
 
+def _random_bomb(rng: random.Random):
+    from repro.netsim.adversary import DelegationBomb
+
+    return DelegationBomb(
+        "attacker.example.",
+        "ourtestdomain.nl.",
+        fan_out=rng.randint(1, 24),
+        bombs=rng.randint(1, 8),
+        seed=rng.randrange(1 << 63),
+    )
+
+
+def _bomb_query_names(rng: random.Random, bomb) -> list[Name]:
+    """Query names an attacked recursive (or a fuzzer) might send."""
+    from repro.netsim.adversary import water_torture_label
+
+    names = [
+        bomb.origin,                             # apex
+        bomb.origin.child(b"ns"),                # in-zone glue
+        bomb.qname(rng.randrange(bomb.bombs), _label(rng, rng.randint(1, 30))),
+        bomb.ns_targets(rng.randrange(bomb.bombs))[0],  # out of bailiwick
+        Name.from_text("unrelated.example.org."),
+        bomb.origin.child(
+            water_torture_label(rng.randrange(1 << 32), 0).encode("ascii")
+        ),
+    ]
+    # A name brushing the 255-byte limit under a delegation point.
+    deep = bomb.origin.child(b"b0")
+    while deep.wire_length() + MAX_LABEL_LENGTH + 1 <= MAX_NAME_LENGTH:
+        deep = deep.child(_label(rng, MAX_LABEL_LENGTH))
+    names.append(deep)
+    return names
+
+
+def test_malicious_zones_round_trip_the_codec():
+    """Delegation-bomb zones survive encode↔decode byte-identically."""
+    rng = random.Random(SEED + 5)
+    for _ in range(25):
+        bomb = _random_bomb(rng)
+        engine = bomb.build_server()
+        for qname in _bomb_query_names(rng, bomb):
+            query = Message.make_query(
+                qname, rng.choice([RRType.TXT, RRType.A, RRType.NS]),
+                msg_id=rng.randrange(1 << 16),
+            )
+            wire = engine.handle_wire(
+                query.to_wire(), client="10.9.0.1:4242", now=0.0
+            )
+            assert wire is not None
+            decoded = Message.from_wire(wire)
+            assert decoded.to_wire() == wire
+
+
+def test_malicious_zone_referrals_carry_no_glue():
+    # The NXNSAttack shape: the delegation's NS targets live under the
+    # victim, so the referral must be glueless — targets out of
+    # bailiwick, nothing resolvable in the additional section.
+    rng = random.Random(SEED + 6)
+    for _ in range(10):
+        bomb = _random_bomb(rng)
+        engine = bomb.build_server()
+        qname = bomb.qname(0, b"fuzz")
+        query = Message.make_query(qname, RRType.TXT, msg_id=7).use_edns(4096)
+        wire = engine.handle_wire(
+            query.to_wire(), client="10.9.0.1:4242", now=0.0
+        )
+        referral = Message.from_wire(wire)
+        assert not referral.answers
+        assert len(referral.authorities) == bomb.fan_out
+        victim = Name.from_text("ourtestdomain.nl.")
+        for record in referral.authorities:
+            assert record.rrtype == RRType.NS
+            assert record.rdata.target.is_subdomain_of(victim)
+        assert not [
+            record
+            for record in referral.additionals
+            if record.rrtype in (RRType.A, RRType.AAAA)
+        ]
+
+
+def test_malicious_zone_never_crashes_on_arbitrary_queries():
+    """Random wires at a bomb-serving authoritative: reply or drop, never raise."""
+    rng = random.Random(SEED + 7)
+    bomb = _random_bomb(rng)
+    engine = bomb.build_server()
+    for _ in range(150):
+        message = _random_message(rng)
+        wire = engine.handle_wire(
+            message.to_wire(), client="10.9.0.1:4242", now=0.0
+        )
+        if wire is not None:
+            assert Message.from_wire(wire).to_wire() == wire
+
+
 def test_memo_repeated_shape_stays_certified():
     # Same shape replayed many times: hits must stay byte-faithful
     # (catches skeleton corruption from aliased mutable state).

@@ -63,6 +63,128 @@ class TestLimiter:
         assert limiter.prune(now=5.0) == 1
 
 
+class TestWindowEdges:
+    def test_exact_window_boundary_resets(self):
+        # The window is [start, start + window_s): a check landing
+        # exactly at start + window_s belongs to the *next* window.
+        limiter = ResponseRateLimiter(responses_per_second=1, window_s=1.0)
+        assert limiter.check("1.2.3.4", "k", now=0.0) is RrlAction.SEND
+        assert limiter.check("1.2.3.4", "k", now=0.999999) is not RrlAction.SEND
+        assert limiter.check("1.2.3.4", "k", now=1.0) is RrlAction.SEND
+
+    def test_rollover_restarts_the_budget_not_the_overflow(self):
+        # Over-limit state never leaks across the boundary: after the
+        # rollover the full per-window budget is available again.
+        limiter = ResponseRateLimiter(responses_per_second=2, window_s=1.0)
+        for _ in range(5):
+            limiter.check("1.2.3.4", "k", now=0.5)
+        actions = [limiter.check("1.2.3.4", "k", now=1.5) for _ in range(2)]
+        assert actions == [RrlAction.SEND, RrlAction.SEND]
+
+    def test_late_first_touch_anchors_the_window(self):
+        # The window is anchored at the first touch, not at epoch ticks.
+        limiter = ResponseRateLimiter(responses_per_second=1, window_s=1.0)
+        assert limiter.check("1.2.3.4", "k", now=10.7) is RrlAction.SEND
+        assert limiter.check("1.2.3.4", "k", now=11.6) is not RrlAction.SEND
+        assert limiter.check("1.2.3.4", "k", now=11.7) is RrlAction.SEND
+
+
+class TestSlipAccounting:
+    def test_slip_ratio_one_slips_everything(self):
+        limiter = ResponseRateLimiter(responses_per_second=2, slip_ratio=1)
+        for _ in range(2):
+            limiter.check("1.2.3.4", "k", now=0.0)
+        over = [limiter.check("1.2.3.4", "k", now=0.0) for _ in range(5)]
+        assert over == [RrlAction.SLIP] * 5
+        assert limiter.slipped == 5
+        assert limiter.dropped == 0
+
+    def test_slip_ratio_zero_exact_drop_count(self):
+        limiter = ResponseRateLimiter(responses_per_second=3, slip_ratio=0)
+        actions = [limiter.check("1.2.3.4", "k", now=0.0) for _ in range(10)]
+        assert actions[:3] == [RrlAction.SEND] * 3
+        assert actions[3:] == [RrlAction.DROP] * 7
+        assert limiter.dropped == 7
+        assert limiter.slipped == 0
+
+    def test_slip_ratio_two_alternates_exactly(self):
+        # BIND's slip=2: every second over-limit response slips, the
+        # rest drop — counts must partition the overflow exactly.
+        limiter = ResponseRateLimiter(responses_per_second=1, slip_ratio=2)
+        limiter.check("1.2.3.4", "k", now=0.0)
+        over = [limiter.check("1.2.3.4", "k", now=0.0) for _ in range(6)]
+        assert over == [
+            RrlAction.DROP, RrlAction.SLIP,
+            RrlAction.DROP, RrlAction.SLIP,
+            RrlAction.DROP, RrlAction.SLIP,
+        ]
+        assert (limiter.slipped, limiter.dropped) == (3, 3)
+
+
+class TestWaterTortureAggregation:
+    def test_flood_from_one_slash24_shares_the_bucket(self):
+        # Water torture from spoofed hosts spread over a /24: with the
+        # BIND-style zone-keyed error bucket every NXDOMAIN aggregates,
+        # whatever the qname and whichever host sent it.
+        from repro.netsim.adversary import water_torture_label
+
+        limiter = ResponseRateLimiter(
+            responses_per_second=5, slip_ratio=2, ipv4_prefix_len=24
+        )
+        zone_key = "example.nl./-/3"
+        sent = 0
+        for index in range(100):
+            _ = water_torture_label(9, index)  # unique qname, same bucket
+            action = limiter.check(
+                f"198.51.100.{index % 250 + 1}", zone_key, now=0.0
+            )
+            sent += action is RrlAction.SEND
+        assert sent == 5
+        assert limiter.slipped + limiter.dropped == 95
+
+    def test_other_slash24_keeps_its_own_budget(self):
+        limiter = ResponseRateLimiter(responses_per_second=1, ipv4_prefix_len=24)
+        assert limiter.check("198.51.100.7", "k", now=0.0) is RrlAction.SEND
+        assert limiter.check("198.51.100.9", "k", now=0.0) is not RrlAction.SEND
+        assert limiter.check("198.51.101.7", "k", now=0.0) is RrlAction.SEND
+
+    def test_per_client_buckets_at_slash32(self):
+        # Campaign mode: /32 keeps every client independent (the
+        # layout-invariance contract for sharded runs).
+        limiter = ResponseRateLimiter(responses_per_second=1, ipv4_prefix_len=32)
+        assert limiter.check("198.51.100.7", "k", now=0.0) is RrlAction.SEND
+        assert limiter.check("198.51.100.9", "k", now=0.0) is RrlAction.SEND
+
+
+class TestSelfPrune:
+    def test_self_prune_is_behaviour_neutral(self):
+        # Two limiters fed the identical stream, one force-pruned every
+        # check: decisions and counters must match exactly (pruned
+        # buckets are past-window, so they'd have been reset anyway).
+        plain = ResponseRateLimiter(responses_per_second=2, slip_ratio=2)
+        pruned = ResponseRateLimiter(responses_per_second=2, slip_ratio=2)
+        pruned.PRUNE_EVERY = 1
+        import random
+
+        rng = random.Random(17)
+        now = 0.0
+        for _ in range(500):
+            now += rng.choice([0.0, 0.1, 1.5])
+            client = f"10.0.0.{rng.randrange(4)}"
+            key = rng.choice(["a", "b"])
+            assert plain.check(client, key, now) == pruned.check(client, key, now)
+        assert (plain.slipped, plain.dropped) == (pruned.slipped, pruned.dropped)
+
+    def test_self_prune_bounds_bucket_count(self):
+        limiter = ResponseRateLimiter(window_s=1.0)
+        limiter.PRUNE_EVERY = 64
+        for index in range(1000):
+            # Unique keys (a water-torture NOERROR stream), time moving
+            # on: stale buckets must be collected along the way.
+            limiter.check("1.2.3.4", f"q{index}", now=index * 0.1)
+        assert len(limiter._buckets) < 1000
+
+
 class TestServerIntegration:
     @pytest.fixture
     def engine(self):
@@ -112,3 +234,59 @@ class TestServerIntegration:
     def test_no_limiter_by_default(self):
         engine = AuthoritativeServer("srv", [])
         assert engine.rate_limiter is None
+
+    def test_nxdomain_buckets_by_zone_not_qname(self, engine):
+        # BIND buckets error responses by the zone, not the (unique)
+        # qname — otherwise water torture gets a fresh bucket per query
+        # and RRL never fires.  Distinct nonexistent names from one /24
+        # must share the budget.
+        results = [
+            engine.handle_wire(
+                Message.make_query(
+                    f"wt{index:04x}.example.nl.", RRType.A, msg_id=index
+                ).to_wire(),
+                client=f"198.51.100.{index + 1}:53",
+                now=0.0,
+            )
+            for index in range(8)
+        ]
+        full = [
+            w for w in results
+            if w is not None and not Message.from_wire(w).truncated
+        ]
+        slipped = [
+            w for w in results
+            if w is not None and Message.from_wire(w).truncated
+        ]
+        assert len(full) == 2      # responses_per_second=2
+        assert len(slipped) == 6   # slip_ratio=1: the rest slip as TC
+
+    def test_noerror_buckets_stay_per_qname(self, engine):
+        # Positive answers for *different* names are different response
+        # keys: asking for two real names doesn't share a budget (only
+        # identical responses aggregate — the reflector defence).
+        zone = engine.find_zone(Name.from_text("t.example.nl."))
+        zone.add("u.example.nl.", RRType.TXT, TXT.from_value("other"))
+        for qname in ("t.example.nl.", "u.example.nl."):
+            wire = engine.handle_wire(
+                Message.make_query(qname, RRType.TXT, msg_id=77).to_wire(),
+                client="1.2.3.4:53",
+                now=100.0,
+            )
+            assert not Message.from_wire(wire).truncated
+
+    def test_nxdomain_outside_any_zone_still_limited(self, engine):
+        # No zone matches: the scope falls back to the qname, and the
+        # REFUSED/NXDOMAIN stream is still accounted.
+        results = [
+            engine.handle_wire(
+                Message.make_query(
+                    "gone.example.org.", RRType.A, msg_id=index
+                ).to_wire(),
+                client="1.2.3.4:53",
+                now=200.0,
+            )
+            for index in range(6)
+        ]
+        assert engine.rate_limiter.slipped + engine.rate_limiter.dropped > 0
+        assert any(w is not None for w in results)

@@ -90,6 +90,19 @@ class TestExamples:
         assert "weakest NS caps the zone" in result.stdout
         assert "share collapses" in result.stdout
 
+    def test_nxns_study(self):
+        result = run_example(
+            "nxns_study.py",
+            "--probes", "40", "--interval-s", "60", "--duration-s", "600",
+            timeout=400.0,
+        )
+        assert result.returncode == 0, result.stderr
+        assert "MaxFetch caps amplification at 3" in result.stdout
+        assert "MaxFetch caps the amplification" in result.stdout
+        assert "10.0x fetch amplification" in result.stdout
+        assert "water torture from one /24" in result.stdout
+        assert "all adversarial claims hold" in result.stdout
+
     def test_fault_detection_study(self):
         result = run_example(
             "fault_detection_study.py",
